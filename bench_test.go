@@ -1,0 +1,498 @@
+// Package tracerebase benchmarks regenerate each table and figure of the
+// paper at a reduced scale (subsampled suites, shorter traces) so the whole
+// harness runs in minutes. Each benchmark reports the experiment's headline
+// numbers as custom metrics; `cmd/rebase` produces the full-scale versions.
+package tracerebase
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/cvpsim"
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/sim/bpred"
+	"tracerebase/internal/sim/mem"
+	"tracerebase/internal/synth"
+	"tracerebase/internal/vp"
+)
+
+// benchSweepConfig is the reduced-scale configuration shared by the figure
+// benchmarks.
+func benchSweepConfig() experiments.SweepConfig {
+	return experiments.SweepConfig{Instructions: 40000, Warmup: 15000, Parallelism: 2}
+}
+
+// benchProfiles subsamples the public suite (every 9th trace = 15 traces).
+func benchProfiles() []synth.Profile {
+	suite := synth.PublicSuite()
+	var out []synth.Profile
+	for i := 0; i < len(suite); i += 9 {
+		out = append(out, suite[i])
+	}
+	return out
+}
+
+// benchIPC1 subsamples the IPC-1 suite (every 10th trace = 5 traces).
+func benchIPC1() []synth.IPC1Trace {
+	suite := synth.IPC1Suite()
+	var out []synth.IPC1Trace
+	for i := 0; i < len(suite); i += 10 {
+		out = append(out, suite[i])
+	}
+	return out
+}
+
+// BenchmarkTable1Improvements renders the improvement summary (Table 1).
+func BenchmarkTable1Improvements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		experiments.RenderTable1(&buf)
+		if buf.Len() == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// figureSweep runs the shared Figs. 1–5 sweep once per benchmark iteration.
+func figureSweep(b *testing.B, variants []string) []experiments.TraceResult {
+	b.Helper()
+	cfg := benchSweepConfig()
+	if variants != nil {
+		all := experiments.Variants()
+		var vs []experiments.Variant
+		for _, v := range all {
+			for _, want := range variants {
+				if v.Name == want {
+					vs = append(vs, v)
+				}
+			}
+		}
+		cfg.Variants = vs
+	}
+	results, err := experiments.RunSweep(benchProfiles(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+// BenchmarkFig1GeomeanIPCVariation regenerates Figure 1 and reports the
+// geomean IPC deltas of the three headline improvement sets.
+func BenchmarkFig1GeomeanIPCVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1(figureSweep(b, nil))
+		for _, r := range rows {
+			switch r.Variant {
+			case experiments.VariantMemory:
+				b.ReportMetric(r.GeomeanDeltaPct, "memory_dIPC_%")
+			case experiments.VariantBranch:
+				b.ReportMetric(r.GeomeanDeltaPct, "branch_dIPC_%")
+			case experiments.VariantAll:
+				b.ReportMetric(r.GeomeanDeltaPct, "all_dIPC_%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2PerTraceVariation regenerates Figure 2 and reports how many
+// traces shift beyond +/-5% under All_imps.
+func BenchmarkFig2PerTraceVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig2(figureSweep(b, []string{
+			experiments.VariantNone, experiments.VariantAll,
+		}))
+		for _, s := range series {
+			if s.Variant == experiments.VariantAll {
+				b.ReportMetric(float64(s.Above5+s.Below5), "traces_beyond_5pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3SlowdownVsBranchMPKI regenerates Figure 3 and reports the
+// mean flag-reg slowdown of the high-MPKI half vs the low-MPKI half — the
+// correlation the figure demonstrates.
+func BenchmarkFig3SlowdownVsBranchMPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3(figureSweep(b, []string{
+			experiments.VariantNone, experiments.VariantFlagReg, experiments.VariantBranchRegs,
+		}))
+		half := len(rows) / 2
+		var lo, hi float64
+		for j, r := range rows {
+			if j < half {
+				lo += r.FlagRegSlowdownPct / float64(half)
+			} else {
+				hi += r.FlagRegSlowdownPct / float64(len(rows)-half)
+			}
+		}
+		b.ReportMetric(lo, "lowMPKI_slowdown_%")
+		b.ReportMetric(hi, "highMPKI_slowdown_%")
+	}
+}
+
+// BenchmarkFig4BaseUpdateSpeedup regenerates Figure 4 and reports the
+// speedup of the top vs bottom half by base-update load fraction.
+func BenchmarkFig4BaseUpdateSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(figureSweep(b, []string{
+			experiments.VariantNone, experiments.VariantBaseUpdate,
+		}))
+		half := len(rows) / 2
+		var lo, hi float64
+		for j, r := range rows {
+			if j < half {
+				lo += r.SpeedupPct / float64(half)
+			} else {
+				hi += r.SpeedupPct / float64(len(rows)-half)
+			}
+		}
+		b.ReportMetric(lo, "fewupdates_speedup_%")
+		b.ReportMetric(hi, "manyupdates_speedup_%")
+	}
+}
+
+// BenchmarkFig5CallStack regenerates Figure 5 on the affected server subset
+// and reports the return-MPKI reduction factor.
+func BenchmarkFig5CallStack(b *testing.B) {
+	// Use the BlrX30 subset directly so every simulated trace matters.
+	var profiles []synth.Profile
+	for _, p := range synth.PublicSuite() {
+		if p.BlrX30Frac > 0 {
+			profiles = append(profiles, p)
+		}
+	}
+	profiles = profiles[:4]
+	cfg := benchSweepConfig()
+	cfg.Variants = []experiments.Variant{
+		{Name: experiments.VariantNone, Opts: core.OptionsNone()},
+		{Name: experiments.VariantCallStack, Opts: core.Options{CallStack: true}},
+	}
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunSweep(profiles, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Fig5(results)
+		if len(rows) == 0 {
+			b.Fatal("no affected traces found")
+		}
+		var orig, fixed float64
+		for _, r := range rows {
+			orig += r.RetMPKIOrig
+			fixed += r.RetMPKIFixed
+		}
+		b.ReportMetric(orig/float64(len(rows)), "retMPKI_orig")
+		b.ReportMetric(fixed/float64(len(rows)), "retMPKI_fixed")
+	}
+}
+
+// BenchmarkTable2IPC1Characterization regenerates the Table 2
+// characterization on the subsampled IPC-1 suite.
+func BenchmarkTable2IPC1Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchSweepConfig(), benchIPC1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanIPCDeltaPct, "mean_dIPC_%")
+		b.ReportMetric(res.MeanTargetDeltaPct, "mean_dTargetMPKI_%")
+	}
+}
+
+// BenchmarkTable3IPC1Ranking regenerates the IPC-1 championship ranking on
+// the subsampled suite and reports the winner's speedup on both trace sets.
+func BenchmarkTable3IPC1Ranking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchSweepConfig(), benchIPC1())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Competition[0].Speedup, "winner_speedup_competition")
+		b.ReportMetric(res.Fixed[0].Speedup, "winner_speedup_fixed")
+	}
+}
+
+// ---- Component throughput benchmarks ----
+
+// BenchmarkTraceGeneration measures synthetic CVP-1 generation throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(20000)
+}
+
+// BenchmarkConverterThroughput measures cvp2champsim conversion speed with
+// all improvements enabled.
+func BenchmarkConverterThroughput(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.Generate(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(20000)
+}
+
+// BenchmarkSimulatorThroughput measures the develop-model simulation speed
+// in instructions per second (reported via bytes/s).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(champtrace.NewSliceSource(recs), sim.ConfigDevelop(champtrace.RulesPatched), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+}
+
+// BenchmarkTAGESCLPredict measures direction-predictor throughput.
+func BenchmarkTAGESCLPredict(b *testing.B) {
+	pred, err := bpred.New("tage-sc-l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	pcs := make([]uint64, 1024)
+	outcomes := make([]bool, 1024)
+	for i := range pcs {
+		pcs[i] = 0x400000 + uint64(r.Intn(256))*4
+		outcomes[i] = r.Intn(3) > 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(pcs)
+		pred.Predict(pcs[j])
+		pred.Update(pcs[j], outcomes[j])
+	}
+}
+
+// BenchmarkCacheHierarchyAccess measures the latency-propagation cache
+// model's access throughput.
+func BenchmarkCacheHierarchyAccess(b *testing.B) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	r := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = 0x10000000 + uint64(r.Intn(1<<16))*64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.L1D.Access(addrs[i%len(addrs)], uint64(i), mem.Read)
+	}
+}
+
+// ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// ablationIPC runs one trace through a config and returns its IPC.
+func ablationIPC(b *testing.B, cfg sim.Config) float64 {
+	b.Helper()
+	p := synth.PublicProfile(synth.Server, 30)
+	instrs, err := p.Generate(60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sim.Run(champtrace.NewSliceSource(recs), cfg, 20000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st.IPC()
+}
+
+// BenchmarkAblationDecoupledFrontEnd quantifies the decoupled front-end
+// (FTQ + fetch-directed prefetch) against a coupled fetch on a server
+// trace — the modeling choice §4.4 flags as decisive for instruction
+// prefetching studies.
+func BenchmarkAblationDecoupledFrontEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dec := sim.ConfigDevelop(champtrace.RulesPatched)
+		cup := dec
+		cup.Decoupled = false
+		b.ReportMetric(ablationIPC(b, dec), "ipc_decoupled")
+		b.ReportMetric(ablationIPC(b, cup), "ipc_coupled")
+	}
+}
+
+// BenchmarkAblationITTAGE quantifies the indirect target predictor against
+// BTB-only target prediction.
+func BenchmarkAblationITTAGE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := sim.ConfigDevelop(champtrace.RulesPatched)
+		without := with
+		without.UseITTAGE = false
+		b.ReportMetric(ablationIPC(b, with), "ipc_ittage")
+		b.ReportMetric(ablationIPC(b, without), "ipc_btb_only")
+	}
+}
+
+// BenchmarkAblationDataPrefetchers quantifies the Icelake-like L1D
+// ip-stride + L2 next-line data prefetchers of the §4 configuration.
+func BenchmarkAblationDataPrefetchers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := sim.ConfigDevelop(champtrace.RulesPatched)
+		without := with
+		without.L1DPrefetcher = "none"
+		without.L2Prefetcher = "none"
+		b.ReportMetric(ablationIPC(b, with), "ipc_prefetch")
+		b.ReportMetric(ablationIPC(b, without), "ipc_noprefetch")
+	}
+}
+
+// BenchmarkAblationLLCReplacement compares LLC replacement policies on a
+// thrash-prone server workload.
+func BenchmarkAblationLLCReplacement(b *testing.B) {
+	for _, policy := range []string{"lru", "srrip", "drrip"} {
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sim.ConfigDevelop(champtrace.RulesPatched)
+				cfg.Hierarchy.LLC.Policy = policy
+				b.ReportMetric(ablationIPC(b, cfg), "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBranchPredictors compares the direction predictors
+// available to the core on one branchy workload.
+func BenchmarkAblationBranchPredictors(b *testing.B) {
+	for _, name := range []string{"bimodal", "gshare", "tage", "tage-sc-l"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sim.ConfigDevelop(champtrace.RulesPatched)
+				cfg.Predictor = name
+				b.ReportMetric(ablationIPC(b, cfg), "ipc")
+			}
+		})
+	}
+}
+
+// BenchmarkInstructionPrefetchers times each contest prefetcher on one
+// icache-heavy IPC-1 trace and reports its speedup over no prefetching.
+func BenchmarkInstructionPrefetchers(b *testing.B) {
+	tr, ok := synth.FindIPC1("server_030")
+	if !ok {
+		b.Fatal("server_030 missing")
+	}
+	instrs, err := tr.Profile.Generate(60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsNone())
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseSt, err := sim.Run(champtrace.NewSliceSource(recs), sim.ConfigIPC1("none", champtrace.RulesOriginal), 20000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := baseSt.IPC()
+	for _, pf := range []string{"next-line", "epi", "djolt", "fnl-mma", "barca", "pips", "jip", "mana", "tap"} {
+		b.Run(pf, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := sim.Run(champtrace.NewSliceSource(recs), sim.ConfigIPC1(pf, champtrace.RulesOriginal), 20000, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(st.IPC()/base, "speedup")
+			}
+		})
+	}
+}
+
+// TestBenchmarkHelpers keeps the subsampling helpers honest.
+func TestBenchmarkHelpers(t *testing.T) {
+	if n := len(benchProfiles()); n != 15 {
+		t.Errorf("benchProfiles: %d traces, want 15", n)
+	}
+	if n := len(benchIPC1()); n != 5 {
+		t.Errorf("benchIPC1: %d traces, want 5", n)
+	}
+	names := map[string]bool{}
+	for _, p := range benchProfiles() {
+		if names[p.Name] {
+			t.Errorf("duplicate %s", p.Name)
+		}
+		names[p.Name] = true
+	}
+	_ = fmt.Sprintf // keep fmt imported for future debug output
+}
+
+// BenchmarkValuePredictors runs the CVP-1 mini championship per predictor,
+// reporting coverage and accuracy on a public trace.
+func BenchmarkValuePredictors(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.Generate(40000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range vp.Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pred, err := vp.New(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := vp.Evaluate(cvp.NewSliceSource(instrs), pred)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.Coverage(), "coverage_%")
+				b.ReportMetric(100*res.Accuracy(), "accuracy_%")
+			}
+		})
+	}
+}
+
+// BenchmarkCVP1ReferenceModel quantifies the §1 reference-simulator flaws:
+// IPC with and without the CVP-2-era fixes on a writeback-heavy trace.
+func BenchmarkCVP1ReferenceModel(b *testing.B) {
+	p := synth.PublicProfile(synth.Crypto, 0) // high base-update fraction
+	instrs, err := p.Generate(60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		flawed := cvpsim.DefaultConfig()
+		fixed := cvpsim.DefaultConfig()
+		fixed.CVP2Fixes = true
+		fs, err := cvpsim.Run(cvp.NewSliceSource(instrs), flawed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs, err := cvpsim.Run(cvp.NewSliceSource(instrs), fixed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fs.IPC(), "ipc_flawed")
+		b.ReportMetric(xs.IPC(), "ipc_cvp2fixed")
+	}
+}

@@ -1,0 +1,99 @@
+// Command champsim runs the trace-driven out-of-order simulator on a
+// ChampSim-format trace, in either of the paper's two configurations:
+//
+//	champsim -t trace.champsim -config develop -rules patched
+//	champsim -t trace.champsim -config ipc1 -iprefetch epi -warmup 50000000
+//
+// Statistics (IPC, branch MPKIs, cache MPKIs) print to standard output in
+// the layout of the paper's Table 2 columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/sim"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("t", "", "input ChampSim trace (.gz supported); '-' for stdin")
+		config    = flag.String("config", "develop", "processor model: develop or ipc1")
+		rules     = flag.String("rules", "original", "branch deduction rules: original or patched")
+		iprefetch = flag.String("iprefetch", "", "L1I prefetcher (ipc1 config): none, next-line, epi, djolt, fnl-mma, barca, pips, jip, mana, tap")
+		warmup    = flag.Uint64("warmup", 0, "warm-up instructions excluded from statistics")
+		maxInstr  = flag.Uint64("max", 0, "stop after this many instructions (0 = whole trace)")
+	)
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatalf("need -t trace")
+	}
+	var rs champtrace.RuleSet
+	switch *rules {
+	case "original":
+		rs = champtrace.RulesOriginal
+	case "patched":
+		rs = champtrace.RulesPatched
+	default:
+		fatalf("unknown rules %q", *rules)
+	}
+	var cfg sim.Config
+	switch *config {
+	case "develop":
+		cfg = sim.ConfigDevelop(rs)
+		if *iprefetch != "" {
+			cfg.L1IPrefetcher = *iprefetch
+		}
+	case "ipc1":
+		pf := *iprefetch
+		if pf == "" {
+			pf = "none"
+		}
+		cfg = sim.ConfigIPC1(pf, rs)
+	default:
+		fatalf("unknown config %q", *config)
+	}
+
+	in := os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	reader, closer, err := champtrace.OpenReader(*tracePath, in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer closer.Close()
+
+	st, err := sim.Run(reader, cfg, *warmup, *maxInstr)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+
+	fmt.Printf("config:        %s (rules: %s)\n", cfg.Name, *rules)
+	fmt.Printf("instructions:  %d\n", st.Instructions)
+	fmt.Printf("cycles:        %d\n", st.Cycles)
+	fmt.Printf("IPC:           %.4f\n", st.IPC())
+	fmt.Printf("branches:      %d (%d conditional, %d taken)\n", st.Branches, st.CondBranches, st.TakenBranches)
+	fmt.Printf("branch MPKI:   overall %.2f  direction %.2f  target %.2f  return %.2f\n",
+		st.BranchMPKI(), st.DirMPKI(), st.TargetMPKI(), st.ReturnMPKI())
+	fmt.Printf("cache MPKI:    L1I %.1f  L1D %.1f  L2 %.1f  LLC %.1f\n",
+		st.L1I.MPKI(st.Instructions), st.L1D.MPKI(st.Instructions),
+		st.L2.MPKI(st.Instructions), st.LLC.MPKI(st.Instructions))
+	fmt.Printf("loads/stores:  %d / %d\n", st.Loads, st.Stores)
+	if st.L1I.UsefulPrefetches > 0 || st.L1D.UsefulPrefetches > 0 {
+		fmt.Printf("useful pf:     L1I %d  L1D %d\n", st.L1I.UsefulPrefetches, st.L1D.UsefulPrefetches)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "champsim: "+format+"\n", args...)
+	os.Exit(1)
+}

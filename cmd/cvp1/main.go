@@ -1,0 +1,87 @@
+// Command cvp1 runs a miniature first Championship Value Prediction on
+// CVP-1 traces — the competition these traces were originally released
+// for. Each registered predictor (last-value, stride, order-2 FCM, VTAGE)
+// is evaluated on coverage, accuracy, and a CVP-style score that penalizes
+// confident mispredictions.
+//
+//	cvp1 -trace compute_int_7 -n 200000
+//	cvp1 -t some_trace.cvp.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/synth"
+	"tracerebase/internal/vp"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "", "synthetic trace name (e.g. compute_int_7)")
+		tracePath = flag.String("t", "", "CVP-1 trace file (.gz supported)")
+		n         = flag.Int("n", 200000, "instructions (synthetic traces)")
+	)
+	flag.Parse()
+
+	var instrs []*cvp.Instruction
+	switch {
+	case *traceName != "":
+		p, ok := synth.FindPublic(*traceName)
+		if !ok {
+			if tr, ok2 := synth.FindIPC1(*traceName); ok2 {
+				p = tr.Profile
+			} else {
+				fatalf("unknown trace %q", *traceName)
+			}
+		}
+		var err error
+		instrs, err = p.Generate(*n)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("CVP-1 mini championship on %s (%d instructions)\n\n", p.Name, len(instrs))
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r, closer, err := cvp.OpenReader(*tracePath, f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer closer.Close()
+		instrs, err = cvp.ReadAll(r)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("CVP-1 mini championship on %s (%d instructions)\n\n", *tracePath, len(instrs))
+	default:
+		fatalf("need -trace NAME or -t FILE")
+	}
+
+	results, err := vp.EvaluateAll(instrs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Score() > results[j].Score() })
+
+	fmt.Printf("%-4s %-12s %9s %9s %9s %14s\n", "rank", "predictor", "coverage", "accuracy", "score", "load-coverage")
+	for i, r := range results {
+		loadCov := 0.0
+		if r.LoadEligible > 0 {
+			loadCov = float64(r.LoadPredicted) / float64(r.LoadEligible)
+		}
+		fmt.Printf("%-4d %-12s %8.1f%% %8.1f%% %9.3f %13.1f%%\n",
+			i+1, r.Predictor, 100*r.Coverage(), 100*r.Accuracy(), r.Score(), 100*loadCov)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cvp1: "+format+"\n", args...)
+	os.Exit(1)
+}

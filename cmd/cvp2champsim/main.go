@@ -1,0 +1,86 @@
+// Command cvp2champsim converts CVP-1 traces to the ChampSim format,
+// mirroring the paper artifact's converter CLI:
+//
+//	cvp2champsim -t trace.cvp.gz [-i improvement] [-o out.champsim] [-stats]
+//
+// The -i flag accepts the artifact improvement names: No_imp (default),
+// imp_mem-regs, imp_base-update, imp_mem-footprint, imp_call-stack,
+// imp_branch-regs, imp_flag-regs, Memory_imps, Branch_imps, All_imps.
+// Without -o the converted trace is written to standard output, exactly
+// like the original tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("t", "", "input CVP-1 trace (.gz supported); '-' for stdin")
+		impName   = flag.String("i", "No_imp", "improvement set to apply")
+		outPath   = flag.String("o", "", "output ChampSim trace (default: stdout)")
+		showStats = flag.Bool("stats", false, "print conversion statistics to stderr")
+	)
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatalf("need -t trace")
+	}
+	opts, err := core.ParseImprovement(*impName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var in *os.File
+	if *tracePath == "-" {
+		in = os.Stdin
+	} else {
+		in, err = os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer in.Close()
+	}
+	reader, closer, err := cvp.OpenReader(*tracePath, in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer closer.Close()
+
+	out := os.Stdout
+	if *outPath != "" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer out.Close()
+	}
+	w := champtrace.NewWriter(out)
+	st, err := core.ConvertStream(reader, w, opts)
+	if err != nil {
+		fatalf("convert: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "improvements: %s\n", opts)
+		fmt.Fprintf(os.Stderr, "instructions in/out: %d/%d\n", st.In, st.Out)
+		fmt.Fprintf(os.Stderr, "memory: no-dst %d, multi-dst loads %d, base-update loads %d (pre %d / post %d), stores %d, cross-line %d, dc-zva %d\n",
+			st.MemNoDst, st.MultiDstLoads, st.BaseUpdateLoads, st.PreIndex, st.PostIndex, st.BaseUpdateStores, st.CrossLine, st.DCZVA)
+		fmt.Fprintf(os.Stderr, "branches: cond %d (with-src %d), returns %d, calls %d direct / %d indirect, jumps %d direct / %d indirect, read+write-LR %d, flag-dst added %d\n",
+			st.CondBranches, st.CondWithSrc, st.Returns, st.DirectCalls, st.IndirectCalls, st.DirectJumps, st.IndirectJumps, st.ReadWriteLRBranches, st.FlagDstAdded)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cvp2champsim: "+format+"\n", args...)
+	os.Exit(1)
+}

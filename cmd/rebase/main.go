@@ -1,0 +1,198 @@
+// Command rebase regenerates the paper's tables and figures, mirroring the
+// artifact's results_fig*.sh / results_tab*.sh scripts:
+//
+//	rebase -exp table1
+//	rebase -exp fig1 -instructions 150000
+//	rebase -exp all -step 3        # every 3rd public trace, for quick runs
+//
+// Figures 1–5 share one sweep of the CVP-1 public suite (every trace
+// converted under every improvement set, simulated on the develop model);
+// Tables 2–3 run the 50 IPC-1 traces on the develop and IPC-1 models
+// respectively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/synth"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, fig1..fig5, table2, table3, ablation, char, or all")
+		instrs   = flag.Int("instructions", 150000, "instructions per trace")
+		warmup   = flag.Uint64("warmup", 50000, "warm-up instructions per trace")
+		step     = flag.Int("step", 1, "use every step-th trace of each suite (1 = all)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text")
+	)
+	flag.Parse()
+
+	cfg := experiments.SweepConfig{
+		Instructions: *instrs,
+		Warmup:       *warmup,
+		Parallelism:  *parallel,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%3d/%3d traces", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	report := experiments.NewJSONReport(cfg)
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	all := wants["all"]
+	needSweep := all || wants["fig1"] || wants["fig2"] || wants["fig3"] || wants["fig4"] || wants["fig5"]
+
+	start := time.Now()
+	if (all || wants["table1"]) && !*jsonOut {
+		experiments.RenderTable1(os.Stdout)
+		fmt.Println()
+	}
+
+	if needSweep {
+		profiles := subsample(synth.PublicSuite(), *step)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sweep: %d public traces x %d variants, %d instructions each\n",
+				len(profiles), len(experiments.Variants()), *instrs)
+		}
+		results, err := experiments.RunSweep(profiles, cfg)
+		if err != nil {
+			fatalf("sweep: %v", err)
+		}
+		if *jsonOut {
+			report.FillFigures(results)
+		}
+		if (all || wants["fig1"]) && !*jsonOut {
+			experiments.RenderFig1(os.Stdout, experiments.Fig1(results))
+			fmt.Println()
+		}
+		if (all || wants["fig2"]) && !*jsonOut {
+			experiments.RenderFig2(os.Stdout, experiments.Fig2(results))
+			fmt.Println()
+		}
+		if (all || wants["fig3"]) && !*jsonOut {
+			experiments.RenderFig3(os.Stdout, experiments.Fig3(results))
+			fmt.Println()
+		}
+		if (all || wants["fig4"]) && !*jsonOut {
+			experiments.RenderFig4(os.Stdout, experiments.Fig4(results))
+			fmt.Println()
+		}
+		if (all || wants["fig5"]) && !*jsonOut {
+			experiments.RenderFig5(os.Stdout, experiments.Fig5(results))
+			fmt.Println()
+		}
+	}
+
+	if all || wants["table2"] {
+		suite := subsampleIPC1(synth.IPC1Suite(), *step)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "table 2: %d IPC-1 traces\n", len(suite))
+		}
+		res, err := experiments.Table2(cfg, suite)
+		if err != nil {
+			fatalf("table2: %v", err)
+		}
+		if *jsonOut {
+			report.Table2 = &res
+		} else {
+			experiments.RenderTable2(os.Stdout, res)
+			fmt.Println()
+		}
+	}
+
+	if wants["ablation"] {
+		res, err := experiments.FrontEndAblation(cfg, nil)
+		if err != nil {
+			fatalf("ablation: %v", err)
+		}
+		if *jsonOut {
+			report.Ablation = res
+		} else {
+			experiments.RenderFrontEndAblation(os.Stdout, res)
+			fmt.Println()
+		}
+	}
+
+	if all || wants["table3"] {
+		suite := subsampleIPC1(synth.IPC1Suite(), *step)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "table 3: %d IPC-1 traces x 2 trace sets x %d prefetchers\n",
+				len(suite), len(experiments.Table3Prefetchers))
+		}
+		res, err := experiments.Table3(cfg, suite)
+		if err != nil {
+			fatalf("table3: %v", err)
+		}
+		if *jsonOut {
+			report.Table3 = &res
+		} else {
+			experiments.RenderTable3(os.Stdout, res)
+			fmt.Println()
+		}
+	}
+
+	if wants["char"] {
+		profiles := subsample(synth.PublicSuite(), *step)
+		rows, err := experiments.Characterize(profiles, cfg)
+		if err != nil {
+			fatalf("characterize: %v", err)
+		}
+		if *jsonOut {
+			report.Char = rows
+		} else {
+			experiments.RenderCharacterization(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+
+	if *jsonOut {
+		if err := report.Write(os.Stdout); err != nil {
+			fatalf("json: %v", err)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total: %.1fs\n", time.Since(start).Seconds())
+	}
+}
+
+func subsample(ps []synth.Profile, step int) []synth.Profile {
+	if step <= 1 {
+		return ps
+	}
+	var out []synth.Profile
+	for i := 0; i < len(ps); i += step {
+		out = append(out, ps[i])
+	}
+	return out
+}
+
+func subsampleIPC1(ts []synth.IPC1Trace, step int) []synth.IPC1Trace {
+	if step <= 1 {
+		return ts
+	}
+	var out []synth.IPC1Trace
+	for i := 0; i < len(ts); i += step {
+		out = append(out, ts[i])
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rebase: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command tracediff compares two conversions of the SAME CVP-1 trace and
+// reports exactly what changed — the record-level view behind the paper's
+// aggregate IPC results. Typical use: convert once with No_imp and once
+// with an improvement, then diff.
+//
+//	cvp2champsim -t srv_0.cvp.gz -i No_imp      -o a.champsim
+//	cvp2champsim -t srv_0.cvp.gz -i All_imps    -o b.champsim
+//	tracediff -a a.champsim -b b.champsim -brules patched
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+)
+
+func main() {
+	var (
+		aPath  = flag.String("a", "", "baseline ChampSim trace (original conversion)")
+		bPath  = flag.String("b", "", "comparison ChampSim trace (improved conversion)")
+		aRules = flag.String("arules", "original", "branch rules for trace A: original or patched")
+		bRules = flag.String("brules", "original", "branch rules for trace B: original or patched")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" {
+		fatalf("need -a and -b traces")
+	}
+	a, err := load(*aPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	b, err := load(*bPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st, err := core.Diff(a, b, parseRules(*aRules), parseRules(*bRules))
+	if err != nil {
+		fatalf("diff: %v", err)
+	}
+	pct := func(c uint64) float64 {
+		if st.Instructions == 0 {
+			return 0
+		}
+		return 100 * float64(c) / float64(st.Instructions)
+	}
+	fmt.Printf("instructions compared:  %d (A: %d records, B: %d records)\n", st.Instructions, len(a), len(b))
+	fmt.Printf("identical records:      %d (%.2f%%)\n", st.Identical, pct(st.Identical))
+	fmt.Printf("split into micro-ops:   %d (%.2f%%)\n", st.SplitMicroOps, pct(st.SplitMicroOps))
+	fmt.Printf("branch type changed:    %d (%.2f%%)\n", st.BranchTypeChanged, pct(st.BranchTypeChanged))
+	fmt.Printf("source regs changed:    %d (%.2f%%)\n", st.SrcRegsChanged, pct(st.SrcRegsChanged))
+	fmt.Printf("dest regs changed:      %d (%.2f%%)\n", st.DstRegsChanged, pct(st.DstRegsChanged))
+	fmt.Printf("memory slots changed:   %d (%.2f%%)\n", st.MemAddrsChanged, pct(st.MemAddrsChanged))
+}
+
+func load(path string) ([]*champtrace.Instruction, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, closer, err := champtrace.OpenReader(path, f)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	return champtrace.ReadAll(r)
+}
+
+func parseRules(s string) champtrace.RuleSet {
+	if s == "patched" {
+		return champtrace.RulesPatched
+	}
+	return champtrace.RulesOriginal
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracediff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command tracegen generates synthetic CVP-1 traces: either one named
+// trace or a full suite (the 135-trace CVP-1 public set or the 50-trace
+// IPC-1 set). Traces are written in the CVP-1 binary format, optionally
+// gzip-compressed, mirroring how the original traces were distributed.
+//
+// Usage:
+//
+//	tracegen -trace srv_0 -n 1000000 -o traces/
+//	tracegen -suite CVP1public -n 150000 -o traces/ -gzip
+//	tracegen -list
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/synth"
+)
+
+func main() {
+	var (
+		trace   = flag.String("trace", "", "single trace name (e.g. srv_0, compute_int_46, client_001)")
+		suite   = flag.String("suite", "", "generate a whole suite: CVP1public or IPC1")
+		n       = flag.Int("n", 150000, "instructions per trace")
+		outDir  = flag.String("o", ".", "output directory")
+		gz      = flag.Bool("gzip", false, "gzip-compress the output (.gz suffix)")
+		list    = flag.Bool("list", false, "list available trace names and exit")
+		verbose = flag.Bool("v", false, "print per-trace progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("# CVP-1 public suite (135 traces)")
+		for _, p := range synth.PublicSuite() {
+			fmt.Println(p.Name)
+		}
+		fmt.Println("# IPC-1 suite (50 traces)")
+		for _, tr := range synth.IPC1Suite() {
+			fmt.Printf("%s (%s)\n", tr.Name, tr.CVPName)
+		}
+		return
+	}
+
+	var profiles []synth.Profile
+	switch {
+	case *trace != "":
+		p, ok := synth.FindPublic(*trace)
+		if !ok {
+			if tr, ok2 := synth.FindIPC1(*trace); ok2 {
+				p = tr.Profile
+			} else {
+				fatalf("unknown trace %q (try -list)", *trace)
+			}
+		}
+		profiles = []synth.Profile{p}
+	case *suite == "CVP1public":
+		profiles = synth.PublicSuite()
+	case *suite == "IPC1":
+		for _, tr := range synth.IPC1Suite() {
+			profiles = append(profiles, tr.Profile)
+		}
+	default:
+		fatalf("need -trace NAME or -suite CVP1public|IPC1")
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatalf("create output dir: %v", err)
+	}
+	for _, p := range profiles {
+		name := p.Name + ".cvp"
+		if *gz {
+			name += ".gz"
+		}
+		path := filepath.Join(*outDir, name)
+		if err := writeTrace(path, p, *n, *gz); err != nil {
+			fatalf("%s: %v", p.Name, err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d instructions)\n", path, *n)
+		}
+	}
+}
+
+func writeTrace(path string, p synth.Profile, n int, gz bool) error {
+	instrs, err := p.Generate(n)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var sink io.Writer = f
+	var zw *gzip.Writer
+	if gz {
+		zw = gzip.NewWriter(f)
+		sink = zw
+	}
+	w := cvp.NewWriter(sink)
+	for _, in := range instrs {
+		if err := w.Write(in); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

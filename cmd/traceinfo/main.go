@@ -1,0 +1,203 @@
+// Command traceinfo characterizes a trace file: the instruction mix, branch
+// composition, register usage and memory behaviour that drive the paper's
+// conversion analysis. It understands both CVP-1 traces (-format cvp) and
+// ChampSim traces (-format champsim).
+//
+//	traceinfo -t srv_0.cvp.gz
+//	traceinfo -t srv_0.champsim -format champsim -rules patched
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("t", "", "input trace; '-' for stdin")
+		format    = flag.String("format", "cvp", "trace format: cvp or champsim")
+		rules     = flag.String("rules", "original", "branch deduction rules for champsim traces")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatalf("need -t trace")
+	}
+	in := os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	switch *format {
+	case "cvp":
+		reader, closer, err := cvp.OpenReader(*tracePath, in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer closer.Close()
+		if err := cvpInfo(reader); err != nil {
+			fatalf("%v", err)
+		}
+	case "champsim":
+		reader, closer, err := champtrace.OpenReader(*tracePath, in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer closer.Close()
+		rs := champtrace.RulesOriginal
+		if *rules == "patched" {
+			rs = champtrace.RulesPatched
+		}
+		if err := champInfo(reader, rs); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("unknown format %q", *format)
+	}
+}
+
+func cvpInfo(r *cvp.Reader) error {
+	var (
+		total                        uint64
+		byClass                      [cvp.NumClasses]uint64
+		memNoDst, multiDst, withVals uint64
+		readsLR, writesLR, rwLR      uint64
+		condWithSrc                  uint64
+		pcMin, pcMax                 uint64 = ^uint64(0), 0
+	)
+	for {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		total++
+		byClass[in.Class]++
+		if in.PC < pcMin {
+			pcMin = in.PC
+		}
+		if in.PC > pcMax {
+			pcMax = in.PC
+		}
+		if in.Class.IsMem() && len(in.DstRegs) == 0 {
+			memNoDst++
+		}
+		if in.IsLoad() && len(in.DstRegs) >= 2 {
+			multiDst++
+		}
+		if len(in.DstValues) > 0 {
+			withVals++
+		}
+		if in.Class.IsBranch() && in.Class != cvp.ClassCondBranch {
+			rd, wr := in.ReadsReg(cvp.RegLR), in.WritesReg(cvp.RegLR)
+			if rd {
+				readsLR++
+			}
+			if wr {
+				writesLR++
+			}
+			if rd && wr {
+				rwLR++
+			}
+		}
+		if in.Class == cvp.ClassCondBranch && len(in.SrcRegs) > 0 {
+			condWithSrc++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	pct := func(c uint64) float64 { return 100 * float64(c) / float64(total) }
+	fmt.Printf("format:            CVP-1\n")
+	fmt.Printf("instructions:      %d\n", total)
+	fmt.Printf("code span:         %#x..%#x (%d KB)\n", pcMin, pcMax, (pcMax-pcMin)/1024)
+	for c := cvp.InstClass(0); int(c) < cvp.NumClasses; c++ {
+		if byClass[c] > 0 {
+			fmt.Printf("  %-22s %9d  (%5.2f%%)\n", c, byClass[c], pct(byClass[c]))
+		}
+	}
+	fmt.Printf("mem without dst:   %d (%.2f%%)   multi-dst loads: %d (%.2f%%)\n",
+		memNoDst, pct(memNoDst), multiDst, pct(multiDst))
+	fmt.Printf("cond with src reg: %d (%.2f%%)\n", condWithSrc, pct(condWithSrc))
+	fmt.Printf("uncond branches:   read-LR %d, write-LR %d, read+write-LR %d\n", readsLR, writesLR, rwLR)
+	fmt.Printf("with output vals:  %d (%.2f%%)\n", withVals, pct(withVals))
+	return nil
+}
+
+func champInfo(r *champtrace.Reader, rules champtrace.RuleSet) error {
+	var (
+		total, branches, taken uint64
+		loads, stores          uint64
+		multiAddr              uint64
+		byType                 [champtrace.BranchOther + 1]uint64
+	)
+	for {
+		in, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		total++
+		if in.IsBranch {
+			branches++
+			if in.Taken {
+				taken++
+			}
+			byType[champtrace.Classify(in, rules)]++
+		}
+		nl, ns := 0, 0
+		for _, a := range in.SrcMem {
+			if a != 0 {
+				nl++
+			}
+		}
+		for _, a := range in.DestMem {
+			if a != 0 {
+				ns++
+			}
+		}
+		if nl > 0 {
+			loads++
+		}
+		if ns > 0 {
+			stores++
+		}
+		if nl > 1 || ns > 1 {
+			multiAddr++
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	pct := func(c uint64) float64 { return 100 * float64(c) / float64(total) }
+	fmt.Printf("format:        ChampSim (%s rules)\n", rules)
+	fmt.Printf("instructions:  %d\n", total)
+	fmt.Printf("branches:      %d (%.2f%%), %d taken\n", branches, pct(branches), taken)
+	for bt := champtrace.BranchDirectJump; bt <= champtrace.BranchOther; bt++ {
+		if byType[bt] > 0 {
+			fmt.Printf("  %-14s %9d\n", bt, byType[bt])
+		}
+	}
+	fmt.Printf("loads:         %d (%.2f%%)\n", loads, pct(loads))
+	fmt.Printf("stores:        %d (%.2f%%)\n", stores, pct(stores))
+	fmt.Printf("multi-address: %d (%.2f%%) — mem-footprint cacheline splits\n", multiAddr, pct(multiAddr))
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Prefetch-contest: a miniature IPC-1 championship (§4.4, Table 3). The
+// eight contest prefetchers run on a handful of instruction-cache-heavy
+// server traces under the IPC-1 processor model, once on traces from the
+// original converter ("competition") and once on fixed traces — showing how
+// trace fidelity reshuffles a championship ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/stats"
+	"tracerebase/internal/synth"
+)
+
+var prefetchers = []string{"epi", "djolt", "fnl-mma", "barca", "pips", "jip", "mana", "tap"}
+
+func main() {
+	traces := []string{"server_025", "server_030", "server_033", "server_037"}
+	fmt.Printf("mini IPC-1 on %v\n\n", traces)
+
+	type set struct {
+		label string
+		opts  core.Options
+		rules champtrace.RuleSet
+	}
+	fixedOpts := core.OptionsAll()
+	fixedOpts.MemFootprint = false // the IPC-1 ChampSim rejects multi-address records
+	sets := []set{
+		{"competition traces", core.OptionsNone(), champtrace.RulesOriginal},
+		{"fixed traces", fixedOpts, champtrace.RulesPatched},
+	}
+
+	speedups := map[string]map[string][]float64{}
+	for _, s := range sets {
+		speedups[s.label] = map[string][]float64{}
+	}
+
+	for _, name := range traces {
+		trc, ok := synth.FindIPC1(name)
+		if !ok {
+			log.Fatalf("trace %s not found", name)
+		}
+		instrs, err := trc.Profile.Generate(120000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range sets {
+			recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), s.opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src := champtrace.NewSliceSource(recs)
+			base, err := sim.Run(src, sim.ConfigIPC1("none", s.rules), 40000, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, pf := range prefetchers {
+				src.Reset()
+				st, err := sim.Run(src, sim.ConfigIPC1(pf, s.rules), 40000, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				speedups[s.label][pf] = append(speedups[s.label][pf], st.IPC()/base.IPC())
+			}
+		}
+	}
+
+	for _, s := range sets {
+		type entry struct {
+			pf string
+			sp float64
+		}
+		var ranking []entry
+		for _, pf := range prefetchers {
+			ranking = append(ranking, entry{pf, stats.Geomean(speedups[s.label][pf])})
+		}
+		sort.Slice(ranking, func(i, j int) bool { return ranking[i].sp > ranking[j].sp })
+		fmt.Printf("%s:\n", s.label)
+		for i, e := range ranking {
+			fmt.Printf("  %d. %-9s %.4f\n", i+1, e.pf, e.sp)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module tracerebase
+
+go 1.22

@@ -1,0 +1,150 @@
+package champtrace
+
+// BranchType is the six-way branch classification ChampSim derives from the
+// registers a trace instruction reads and writes. The trace format itself
+// has no branch-type field — only the single is-branch flag — so the
+// simulator reconstructs the type from x86 register conventions.
+type BranchType uint8
+
+// Branch types, mirroring ChampSim's enumeration.
+const (
+	NotBranch BranchType = iota
+	BranchDirectJump
+	BranchIndirect
+	BranchConditional
+	BranchDirectCall
+	BranchIndirectCall
+	BranchReturn
+	BranchOther
+)
+
+func (t BranchType) String() string {
+	switch t {
+	case NotBranch:
+		return "not-branch"
+	case BranchDirectJump:
+		return "direct-jump"
+	case BranchIndirect:
+		return "indirect-jump"
+	case BranchConditional:
+		return "conditional"
+	case BranchDirectCall:
+		return "direct-call"
+	case BranchIndirectCall:
+		return "indirect-call"
+	case BranchReturn:
+		return "return"
+	default:
+		return "other"
+	}
+}
+
+// IsCall reports whether the branch type pushes a return address.
+func (t BranchType) IsCall() bool { return t == BranchDirectCall || t == BranchIndirectCall }
+
+// RuleSet selects which branch-deduction conditions the simulator applies.
+type RuleSet uint8
+
+const (
+	// RulesOriginal is ChampSim's stock deduction: a conditional branch
+	// must read FLAGS and nothing else (beyond IP), and an indirect jump
+	// is any IP-writing branch that reads some other register — without
+	// checking whether it also reads IP.
+	RulesOriginal RuleSet = iota
+	// RulesPatched applies the two ChampSim modifications from §3.2.2:
+	// a conditional branch reads either FLAGS or other registers, and an
+	// indirect jump additionally must NOT read the instruction pointer.
+	// The patch is required for the branch-regs improvement: improved
+	// traces carry general-purpose sources on cb(n)z/tb(n)z conditionals,
+	// which the original rules would misclassify as indirect jumps.
+	RulesPatched
+)
+
+func (rs RuleSet) String() string {
+	if rs == RulesPatched {
+		return "patched"
+	}
+	return "original"
+}
+
+// regProfile summarizes how an instruction uses the special registers.
+type regProfile struct {
+	readsSP, readsIP, readsFlags, readsOther bool
+	writesSP, writesIP                       bool
+}
+
+func profile(in *Instruction) regProfile {
+	var p regProfile
+	for _, r := range in.SrcRegs {
+		switch r {
+		case RegInvalid:
+		case RegStackPointer:
+			p.readsSP = true
+		case RegFlags:
+			p.readsFlags = true
+		case RegInstructionPointer:
+			p.readsIP = true
+		default:
+			p.readsOther = true
+		}
+	}
+	for _, r := range in.DestRegs {
+		switch r {
+		case RegStackPointer:
+			p.writesSP = true
+		case RegInstructionPointer:
+			p.writesIP = true
+		}
+	}
+	return p
+}
+
+// Classify deduces the branch type of in under the given rule set. A record
+// whose is-branch flag is clear is NotBranch regardless of registers; a
+// flagged record that matches no rule is BranchOther.
+func Classify(in *Instruction, rules RuleSet) BranchType {
+	if !in.IsBranch {
+		return NotBranch
+	}
+	p := profile(in)
+	if !p.writesIP {
+		return BranchOther
+	}
+	switch {
+	case p.readsIP && !p.readsSP && !p.readsFlags && !p.readsOther && !p.writesSP:
+		return BranchDirectJump
+	case isIndirectJump(p, rules):
+		return BranchIndirect
+	case isConditional(p, rules):
+		return BranchConditional
+	case p.readsIP && p.readsSP && !p.readsFlags && !p.readsOther && p.writesSP:
+		return BranchDirectCall
+	case p.readsIP && p.readsSP && !p.readsFlags && p.readsOther && p.writesSP:
+		return BranchIndirectCall
+	case !p.readsIP && p.readsSP && !p.readsFlags && !p.readsOther && p.writesSP:
+		return BranchReturn
+	default:
+		return BranchOther
+	}
+}
+
+// isIndirectJump mirrors ChampSim's indirect-jump rule, which is evaluated
+// BEFORE the conditional rule. The original condition does not look at
+// reads-IP, so under RulesOriginal a conditional branch carrying a
+// general-purpose source register lands here — the misclassification the
+// §3.2.2 ChampSim patch exists to prevent.
+func isIndirectJump(p regProfile, rules RuleSet) bool {
+	base := !p.readsSP && !p.readsFlags && p.readsOther && !p.writesSP
+	if rules == RulesPatched {
+		return base && !p.readsIP
+	}
+	return base
+}
+
+func isConditional(p regProfile, rules RuleSet) bool {
+	base := p.readsIP && !p.readsSP && !p.writesSP
+	if rules == RulesPatched {
+		return base && (p.readsFlags || p.readsOther)
+	}
+	return base && p.readsFlags && !p.readsOther
+}

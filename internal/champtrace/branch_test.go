@@ -1,0 +1,129 @@
+package champtrace
+
+import "testing"
+
+// mk builds a branch record with the given special-register usage.
+func mk(readsIP, readsSP, readsFlags, readsOther, writesIP, writesSP bool) *Instruction {
+	in := &Instruction{IP: 0x1000, IsBranch: true}
+	if readsIP {
+		in.AddSrcReg(RegInstructionPointer)
+	}
+	if readsSP {
+		in.AddSrcReg(RegStackPointer)
+	}
+	if readsFlags {
+		in.AddSrcReg(RegFlags)
+	}
+	if readsOther {
+		in.AddSrcReg(RegOther)
+	}
+	if writesIP {
+		in.AddDestReg(RegInstructionPointer)
+	}
+	if writesSP {
+		in.AddDestReg(RegStackPointer)
+	}
+	return in
+}
+
+func TestClassifyOriginal(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Instruction
+		want BranchType
+	}{
+		{"direct jump", mk(true, false, false, false, true, false), BranchDirectJump},
+		{"indirect jump", mk(false, false, false, true, true, false), BranchIndirect},
+		{"conditional", mk(true, false, true, false, true, false), BranchConditional},
+		{"direct call", mk(true, true, false, false, true, true), BranchDirectCall},
+		{"indirect call", mk(true, true, false, true, true, true), BranchIndirectCall},
+		{"return", mk(false, true, false, false, true, true), BranchReturn},
+		{"no ip write", mk(true, false, true, false, false, false), BranchOther},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.in, RulesOriginal); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyNotBranch(t *testing.T) {
+	in := mk(true, false, true, false, true, false)
+	in.IsBranch = false
+	if got := Classify(in, RulesOriginal); got != NotBranch {
+		t.Errorf("non-branch classified as %v", got)
+	}
+	if got := Classify(in, RulesPatched); got != NotBranch {
+		t.Errorf("non-branch classified as %v under patched rules", got)
+	}
+}
+
+// TestConditionalWithGPRSource is the heart of §3.2.2: a conditional branch
+// that reads a general-purpose register instead of FLAGS (a converted
+// cb(n)z/tb(n)z) is misclassified as an indirect jump by the original rules
+// because the indirect check runs first and ignores reads-IP. The patched
+// rules classify it correctly.
+func TestConditionalWithGPRSource(t *testing.T) {
+	condWithGPR := mk(true, false, false, true, true, false)
+	if got := Classify(condWithGPR, RulesOriginal); got != BranchIndirect {
+		t.Errorf("original rules: got %v, want %v (the documented misclassification)", got, BranchIndirect)
+	}
+	if got := Classify(condWithGPR, RulesPatched); got != BranchConditional {
+		t.Errorf("patched rules: got %v, want %v", got, BranchConditional)
+	}
+}
+
+// TestPatchedPreservesOtherTypes verifies the §3.2.2 patch is safe: every
+// other branch flavour keeps its classification.
+func TestPatchedPreservesOtherTypes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Instruction
+		want BranchType
+	}{
+		{"direct jump", mk(true, false, false, false, true, false), BranchDirectJump},
+		{"indirect jump (no IP read)", mk(false, false, false, true, true, false), BranchIndirect},
+		{"flags conditional", mk(true, false, true, false, true, false), BranchConditional},
+		{"direct call", mk(true, true, false, false, true, true), BranchDirectCall},
+		{"indirect call", mk(true, true, false, true, true, true), BranchIndirectCall},
+		{"return", mk(false, true, false, false, true, true), BranchReturn},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.in, RulesPatched); got != tc.want {
+			t.Errorf("%s: patched Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIndirectCallStillIndirect confirms the paper's remark that adding the
+// CVP source register to indirect calls does not change their type: they
+// already read "other" registers.
+func TestIndirectCallStillIndirect(t *testing.T) {
+	in := mk(true, true, false, true, true, true)
+	in.AddSrcReg(40) // extra GPR source carried over from the CVP trace
+	for _, rules := range []RuleSet{RulesOriginal, RulesPatched} {
+		if got := Classify(in, rules); got != BranchIndirectCall {
+			t.Errorf("rules %v: got %v, want indirect-call", rules, got)
+		}
+	}
+}
+
+func TestBranchTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for bt := NotBranch; bt <= BranchOther; bt++ {
+		s := bt.String()
+		if s == "" || seen[s] {
+			t.Errorf("type %d: empty/duplicate string %q", bt, s)
+		}
+		seen[s] = true
+	}
+	if !BranchDirectCall.IsCall() || !BranchIndirectCall.IsCall() {
+		t.Error("calls not recognized")
+	}
+	if BranchReturn.IsCall() || BranchConditional.IsCall() {
+		t.Error("non-calls recognized as calls")
+	}
+	if RulesOriginal.String() != "original" || RulesPatched.String() != "patched" {
+		t.Error("RuleSet strings wrong")
+	}
+}

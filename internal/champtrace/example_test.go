@@ -1,0 +1,24 @@
+package champtrace_test
+
+import (
+	"fmt"
+
+	"tracerebase/internal/champtrace"
+)
+
+// ExampleClassify shows the §3.2.2 hazard: a conditional branch carrying a
+// general-purpose source register (a converted cb(n)z) classifies as an
+// indirect jump under stock ChampSim rules and as a conditional under the
+// paper's patched rules.
+func ExampleClassify() {
+	cbz := &champtrace.Instruction{IP: 0x1000, IsBranch: true, Taken: true}
+	cbz.AddSrcReg(champtrace.RegInstructionPointer)
+	cbz.AddSrcReg(40) // the general-purpose source branch-regs preserves
+	cbz.AddDestReg(champtrace.RegInstructionPointer)
+
+	fmt.Println("original rules:", champtrace.Classify(cbz, champtrace.RulesOriginal))
+	fmt.Println("patched rules: ", champtrace.Classify(cbz, champtrace.RulesPatched))
+	// Output:
+	// original rules: indirect-jump
+	// patched rules:  conditional
+}

@@ -1,0 +1,313 @@
+// Package champtrace implements the ChampSim trace format: the strict
+// 64-byte-per-instruction binary record, stream reader/writer, the x86
+// register conventions the simulator keys on, and the register-based branch
+// type deduction — in both the original ChampSim formulation and the patched
+// formulation proposed in §3.2.2 of the paper.
+package champtrace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fixed per-record field counts of the ChampSim trace format.
+const (
+	// NumDestRegs is the number of destination register slots (2).
+	NumDestRegs = 2
+	// NumSrcRegs is the number of source register slots (4).
+	NumSrcRegs = 4
+	// NumDestMem is the number of memory destination slots (2).
+	NumDestMem = 2
+	// NumSrcMem is the number of memory source slots (4).
+	NumSrcMem = 4
+	// RecordSize is the size in bytes of one encoded instruction:
+	// ip(8) + isBranch(1) + taken(1) + dst(2) + src(4) + dmem(2*8) + smem(4*8).
+	RecordSize = 8 + 1 + 1 + NumDestRegs + NumSrcRegs + 8*NumDestMem + 8*NumSrcMem
+)
+
+// x86 register conventions ChampSim uses to deduce branch types. Register
+// slot value 0 means "unused".
+const (
+	// RegInvalid marks an empty register slot.
+	RegInvalid = 0
+	// RegStackPointer is ChampSim's x86 stack pointer register id.
+	RegStackPointer = 6
+	// RegFlags is ChampSim's x86 flags register id.
+	RegFlags = 25
+	// RegInstructionPointer is ChampSim's x86 instruction pointer id.
+	RegInstructionPointer = 26
+	// RegOther is the artificial general-purpose register the original
+	// cvp2champsim converter attaches to indirect branches to convey
+	// "reads a register other than SP/FLAGS/IP" to ChampSim.
+	RegOther = 56
+)
+
+// Instruction is one ChampSim trace record. The format is strict: every
+// instruction occupies RecordSize bytes even when most slots are unused.
+type Instruction struct {
+	IP       uint64
+	IsBranch bool
+	Taken    bool
+	DestRegs [NumDestRegs]uint8
+	SrcRegs  [NumSrcRegs]uint8
+	DestMem  [NumDestMem]uint64
+	SrcMem   [NumSrcMem]uint64
+}
+
+// IsLoad reports whether the record has at least one memory source.
+// ChampSim has no operation-type field: loads are deduced this way.
+func (in *Instruction) IsLoad() bool {
+	for _, a := range in.SrcMem {
+		if a != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsStore reports whether the record has at least one memory destination.
+func (in *Instruction) IsStore() bool {
+	for _, a := range in.DestMem {
+		if a != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AddDestReg appends r to the first free destination slot, reporting whether
+// a slot was available. Duplicate registers are kept, matching ChampSim.
+func (in *Instruction) AddDestReg(r uint8) bool {
+	for i := range in.DestRegs {
+		if in.DestRegs[i] == RegInvalid {
+			in.DestRegs[i] = r
+			return true
+		}
+	}
+	return false
+}
+
+// AddSrcReg appends r to the first free source slot, reporting whether a
+// slot was available.
+func (in *Instruction) AddSrcReg(r uint8) bool {
+	for i := range in.SrcRegs {
+		if in.SrcRegs[i] == RegInvalid {
+			in.SrcRegs[i] = r
+			return true
+		}
+	}
+	return false
+}
+
+// AddSrcMem appends addr to the first free memory-source slot.
+func (in *Instruction) AddSrcMem(addr uint64) bool {
+	for i := range in.SrcMem {
+		if in.SrcMem[i] == 0 {
+			in.SrcMem[i] = addr
+			return true
+		}
+	}
+	return false
+}
+
+// AddDestMem appends addr to the first free memory-destination slot.
+func (in *Instruction) AddDestMem(addr uint64) bool {
+	for i := range in.DestMem {
+		if in.DestMem[i] == 0 {
+			in.DestMem[i] = addr
+			return true
+		}
+	}
+	return false
+}
+
+// ReadsReg reports whether r appears among the source registers.
+func (in *Instruction) ReadsReg(r uint8) bool {
+	for _, s := range in.SrcRegs {
+		if s == r && r != RegInvalid {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesReg reports whether r appears among the destination registers.
+func (in *Instruction) WritesReg(r uint8) bool {
+	for _, d := range in.DestRegs {
+		if d == r && r != RegInvalid {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode appends the 64-byte record to dst and returns the extended slice.
+func (in *Instruction) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, in.IP)
+	dst = append(dst, b2u(in.IsBranch), b2u(in.Taken))
+	dst = append(dst, in.DestRegs[:]...)
+	dst = append(dst, in.SrcRegs[:]...)
+	for _, a := range in.DestMem {
+		dst = binary.LittleEndian.AppendUint64(dst, a)
+	}
+	for _, a := range in.SrcMem {
+		dst = binary.LittleEndian.AppendUint64(dst, a)
+	}
+	return dst
+}
+
+// Decode fills the instruction from a 64-byte record.
+func (in *Instruction) Decode(b []byte) error {
+	if len(b) < RecordSize {
+		return fmt.Errorf("champtrace: record needs %d bytes, have %d", RecordSize, len(b))
+	}
+	in.IP = binary.LittleEndian.Uint64(b[0:])
+	in.IsBranch = b[8] != 0
+	in.Taken = b[9] != 0
+	copy(in.DestRegs[:], b[10:10+NumDestRegs])
+	copy(in.SrcRegs[:], b[12:12+NumSrcRegs])
+	off := 16
+	for i := range in.DestMem {
+		in.DestMem[i] = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	for i := range in.SrcMem {
+		in.SrcMem[i] = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+	}
+	return nil
+}
+
+func b2u(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Writer encodes instructions to a ChampSim trace stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   uint64
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, RecordSize)}
+}
+
+// Write encodes one instruction.
+func (tw *Writer) Write(in *Instruction) error {
+	tw.buf = in.Encode(tw.buf[:0])
+	if _, err := tw.w.Write(tw.buf); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of instructions written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes instructions from a ChampSim trace stream. It implements
+// Source.
+type Reader struct {
+	r   *bufio.Reader
+	buf [RecordSize]byte
+	n   uint64
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next instruction, io.EOF at a clean end of stream, or
+// io.ErrUnexpectedEOF when the stream ends mid-record.
+func (tr *Reader) Next() (*Instruction, error) {
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("champtrace: truncated record after %d instructions: %w", tr.n, err)
+		}
+		return nil, err
+	}
+	in := new(Instruction)
+	if err := in.Decode(tr.buf[:]); err != nil {
+		return nil, err
+	}
+	tr.n++
+	return in, nil
+}
+
+// Count returns the number of instructions decoded so far.
+func (tr *Reader) Count() uint64 { return tr.n }
+
+// Source is a stream of ChampSim instructions ending with io.EOF.
+type Source interface {
+	Next() (*Instruction, error)
+}
+
+// SliceSource adapts an in-memory slice to Source.
+type SliceSource struct {
+	instrs []*Instruction
+	pos    int
+}
+
+// NewSliceSource returns a Source over instrs.
+func NewSliceSource(instrs []*Instruction) *SliceSource {
+	return &SliceSource{instrs: instrs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (*Instruction, error) {
+	if s.pos >= len(s.instrs) {
+		return nil, io.EOF
+	}
+	in := s.instrs[s.pos]
+	s.pos++
+	return in, nil
+}
+
+// Reset rewinds to the first instruction.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the number of instructions.
+func (s *SliceSource) Len() int { return len(s.instrs) }
+
+// OpenReader wraps r with gzip decompression when name ends in ".gz".
+func OpenReader(name string, r io.Reader) (*Reader, io.Closer, error) {
+	if strings.HasSuffix(name, ".gz") {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("champtrace: open %s: %w", name, err)
+		}
+		return NewReader(zr), zr, nil
+	}
+	return NewReader(r), io.NopCloser(r), nil
+}
+
+// ReadAll decodes the full stream into memory.
+func ReadAll(src Source) ([]*Instruction, error) {
+	var out []*Instruction
+	for {
+		in, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+}

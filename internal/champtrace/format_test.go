@@ -1,0 +1,198 @@
+package champtrace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleInstrs() []*Instruction {
+	return []*Instruction{
+		{IP: 0x1000, SrcRegs: [4]uint8{1, 2}, DestRegs: [2]uint8{3}},
+		{IP: 0x1004, SrcRegs: [4]uint8{1}, DestRegs: [2]uint8{2, 1}, SrcMem: [4]uint64{0xdeadbeef0}},
+		{IP: 0x1008, SrcRegs: [4]uint8{2}, DestMem: [2]uint64{0xcafef00d0}},
+		{IP: 0x100c, IsBranch: true, Taken: true,
+			SrcRegs:  [4]uint8{RegInstructionPointer, RegFlags},
+			DestRegs: [2]uint8{RegInstructionPointer}},
+		{IP: 0x1010, IsBranch: true, Taken: false,
+			SrcRegs:  [4]uint8{RegInstructionPointer, RegFlags},
+			DestRegs: [2]uint8{RegInstructionPointer}},
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	if RecordSize != 64 {
+		t.Fatalf("RecordSize = %d, want 64 (the paper's fixed format)", RecordSize)
+	}
+	var in Instruction
+	if got := len(in.Encode(nil)); got != 64 {
+		t.Fatalf("Encode produced %d bytes, want 64", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := sampleInstrs()
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(want)*RecordSize {
+		t.Errorf("stream is %d bytes, want %d (strict 64B/instr)", buf.Len(), len(want)*RecordSize)
+	}
+	got, err := ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Errorf("instr %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var in Instruction
+		in.IP = r.Uint64()
+		in.IsBranch = r.Intn(2) == 0
+		in.Taken = in.IsBranch && r.Intn(2) == 0
+		for i := range in.DestRegs {
+			in.DestRegs[i] = uint8(r.Intn(256))
+		}
+		for i := range in.SrcRegs {
+			in.SrcRegs[i] = uint8(r.Intn(256))
+		}
+		for i := range in.DestMem {
+			in.DestMem[i] = r.Uint64()
+		}
+		for i := range in.SrcMem {
+			in.SrcMem[i] = r.Uint64()
+		}
+		var out Instruction
+		if err := out.Decode(in.Encode(nil)); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	var in Instruction
+	if err := in.Decode(make([]byte, RecordSize-1)); err == nil {
+		t.Fatal("Decode accepted short record")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range sampleInstrs() {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r := NewReader(bytes.NewReader(full[:len(full)-5]))
+	var err error
+	for err == nil {
+		_, err = r.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("truncated stream reported clean EOF")
+	}
+}
+
+func TestLoadStoreDeduction(t *testing.T) {
+	var arith Instruction
+	if arith.IsLoad() || arith.IsStore() {
+		t.Error("empty record misdeduced as load/store")
+	}
+	ld := Instruction{SrcMem: [4]uint64{0x40}}
+	if !ld.IsLoad() || ld.IsStore() {
+		t.Error("load deduction wrong")
+	}
+	st := Instruction{DestMem: [2]uint64{0x40}}
+	if st.IsLoad() || !st.IsStore() {
+		t.Error("store deduction wrong")
+	}
+}
+
+func TestAddSlots(t *testing.T) {
+	var in Instruction
+	for i := 0; i < NumDestRegs; i++ {
+		if !in.AddDestReg(uint8(10 + i)) {
+			t.Fatalf("AddDestReg %d failed", i)
+		}
+	}
+	if in.AddDestReg(99) {
+		t.Error("AddDestReg succeeded beyond capacity")
+	}
+	for i := 0; i < NumSrcRegs; i++ {
+		if !in.AddSrcReg(uint8(20 + i)) {
+			t.Fatalf("AddSrcReg %d failed", i)
+		}
+	}
+	if in.AddSrcReg(99) {
+		t.Error("AddSrcReg succeeded beyond capacity")
+	}
+	for i := 0; i < NumSrcMem; i++ {
+		if !in.AddSrcMem(uint64(0x1000 + i*64)) {
+			t.Fatalf("AddSrcMem %d failed", i)
+		}
+	}
+	if in.AddSrcMem(0x9000) {
+		t.Error("AddSrcMem succeeded beyond capacity")
+	}
+	for i := 0; i < NumDestMem; i++ {
+		if !in.AddDestMem(uint64(0x2000 + i*64)) {
+			t.Fatalf("AddDestMem %d failed", i)
+		}
+	}
+	if in.AddDestMem(0x9000) {
+		t.Error("AddDestMem succeeded beyond capacity")
+	}
+	if !in.ReadsReg(20) || in.ReadsReg(5) || in.ReadsReg(RegInvalid) {
+		t.Error("ReadsReg wrong")
+	}
+	if !in.WritesReg(10) || in.WritesReg(5) {
+		t.Error("WritesReg wrong")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	instrs := sampleInstrs()
+	src := NewSliceSource(instrs)
+	if src.Len() != len(instrs) {
+		t.Fatal("Len wrong")
+	}
+	got, err := ReadAll(src)
+	if err != nil || len(got) != len(instrs) {
+		t.Fatalf("ReadAll = %d instrs, err %v", len(got), err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	src.Reset()
+	if in, err := src.Next(); err != nil || in != instrs[0] {
+		t.Fatal("Reset failed")
+	}
+}

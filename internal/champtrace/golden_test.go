@@ -1,0 +1,70 @@
+package champtrace
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// TestGoldenEncoding pins the exact byte layout of the 64-byte record —
+// field order, widths, endianness. ChampSim reads this format with a raw
+// struct read; any drift silently corrupts every converted trace.
+func TestGoldenEncoding(t *testing.T) {
+	in := Instruction{
+		IP:       0x0000000000401234,
+		IsBranch: true,
+		Taken:    true,
+		DestRegs: [2]uint8{26, 6},
+		SrcRegs:  [4]uint8{26, 6, 25, 56},
+		DestMem:  [2]uint64{0x1000, 0},
+		SrcMem:   [4]uint64{0x2000, 0x2040, 0, 0},
+	}
+	want := "" +
+		"3412400000000000" + // ip, little-endian
+		"01" + "01" + // is-branch, taken
+		"1a06" + // dest regs
+		"1a061938" + // src regs
+		"0010000000000000" + "0000000000000000" + // dest mem
+		"0020000000000000" + "4020000000000000" + // src mem[0..1]
+		"0000000000000000" + "0000000000000000" // src mem[2..3]
+	got := hex.EncodeToString(in.Encode(nil))
+	if got != want {
+		t.Fatalf("encoding drifted:\n got  %s\n want %s", got, want)
+	}
+	var back Instruction
+	if err := back.Decode(in.Encode(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if back != in {
+		t.Fatalf("decode mismatch: %+v", back)
+	}
+}
+
+// TestGoldenStream pins a two-record stream through Writer/Reader.
+func TestGoldenStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	a := &Instruction{IP: 0x400000}
+	a.AddSrcReg(10)
+	a.AddDestReg(11)
+	b := &Instruction{IP: 0x400004}
+	b.AddSrcMem(0xdead0)
+	for _, in := range []*Instruction{a, b} {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 2*RecordSize {
+		t.Fatalf("stream length %d", buf.Len())
+	}
+	got, err := ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || *got[0] != *a || *got[1] != *b {
+		t.Fatalf("stream mismatch: %+v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import "tracerebase/internal/cvp"
+
+// AddrMode is the inferred addressing mode of a CVP-1 memory instruction.
+type AddrMode uint8
+
+const (
+	// AddrPlain is an access with no base-register writeback.
+	AddrPlain AddrMode = iota
+	// AddrPreIndex updates the base register BEFORE the access: the
+	// effective address equals the new base value (e.g. LDR X1,[X0,#12]!).
+	AddrPreIndex
+	// AddrPostIndex updates the base register AFTER the access: the
+	// effective address is the old base value and the new value differs
+	// from it by a small immediate (e.g. LDR X1,[X0],#8).
+	AddrPostIndex
+)
+
+func (m AddrMode) String() string {
+	switch m {
+	case AddrPreIndex:
+		return "pre-index"
+	case AddrPostIndex:
+		return "post-index"
+	default:
+		return "plain"
+	}
+}
+
+// IsBaseUpdate reports whether the mode writes back the base register.
+func (m AddrMode) IsBaseUpdate() bool { return m != AddrPlain }
+
+// maxPostIndexImm bounds the |new base − effective address| delta accepted
+// as a post-indexing immediate. Aarch64 pre/post-index forms encode a
+// signed 9-bit immediate (−256..255); LDP/STP writeback scales a 7-bit
+// immediate by the register size, reaching ±512 for 64-bit pairs.
+const maxPostIndexImm = 512
+
+// inference is the result of the addressing-mode heuristic.
+type inference struct {
+	mode AddrMode
+	// base is the CVP register inferred to be the updated base, valid
+	// when mode.IsBaseUpdate().
+	base uint8
+	// newBase is the value written to the base register.
+	newBase uint64
+}
+
+// inferAddrMode applies the trace-maintainer's heuristic (§3.1.2): a memory
+// instruction performs a base update when one of its destination registers
+// is also a source register and the value written to it relates to the
+// effective address either exactly (pre-index) or by a small immediate
+// (post-index). tracked supplies the last known values of the architectural
+// registers, used to reject look-alikes such as LDP X1,X0,[X0] where the
+// "base" destination is in fact populated from memory.
+//
+// The inference is best effort — the CVP-1 format does not record the
+// addressing mode, so a load whose memory value happens to land within the
+// immediate window of the effective address is indistinguishable from a
+// genuine post-index update.
+func inferAddrMode(in *cvp.Instruction, tracked *regTracker) inference {
+	if !in.Class.IsMem() {
+		return inference{mode: AddrPlain}
+	}
+	for i, d := range in.DstRegs {
+		if d == cvp.RegSP || !in.ReadsReg(d) {
+			continue
+		}
+		newBase := in.DstValues[i]
+		if newBase == in.EffAddr {
+			return inference{mode: AddrPreIndex, base: d, newBase: newBase}
+		}
+		delta := int64(newBase - in.EffAddr)
+		if delta >= -maxPostIndexImm && delta <= maxPostIndexImm && delta != 0 {
+			// Post-index requires the OLD base to equal the
+			// effective address; when we know the old value, use it
+			// to reject memory values that merely land nearby.
+			if old, ok := tracked.value(d); ok && old != in.EffAddr {
+				continue
+			}
+			return inference{mode: AddrPostIndex, base: d, newBase: newBase}
+		}
+	}
+	return inference{mode: AddrPlain}
+}
+
+// regTracker mirrors the CVP trace reader's register file: it records the
+// last value written to each architectural register so the converter can
+// reason about addresses.
+type regTracker struct {
+	known [cvp.NumRegs]bool
+	val   [cvp.NumRegs]uint64
+}
+
+func (t *regTracker) value(r uint8) (uint64, bool) {
+	if int(r) >= len(t.val) {
+		return 0, false
+	}
+	return t.val[r], t.known[r]
+}
+
+// update records the destination values of in.
+func (t *regTracker) update(in *cvp.Instruction) {
+	for i, d := range in.DstRegs {
+		if int(d) < len(t.val) {
+			t.known[d] = true
+			t.val[d] = in.DstValues[i]
+		}
+	}
+}

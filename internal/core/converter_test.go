@@ -1,0 +1,614 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+)
+
+// ldrPreIndex models LDR X1, [X0, #12]! with X0 previously holding base:
+// the effective address is base+12 and X0 is written with base+12.
+func ldrPreIndex(pc, base uint64) *cvp.Instruction {
+	return &cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: base + 12, MemSize: 8,
+		SrcRegs:   []uint8{0},
+		DstRegs:   []uint8{1, 0},
+		DstValues: []uint64{0x1111, base + 12},
+	}
+}
+
+// ldrPostIndex models LDR X1, [X0], #8: effective address is the old base
+// and X0 is written with base+8.
+func ldrPostIndex(pc, base uint64) *cvp.Instruction {
+	return &cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: base, MemSize: 8,
+		SrcRegs:   []uint8{0},
+		DstRegs:   []uint8{1, 0},
+		DstValues: []uint64{0x2222, base + 8},
+	}
+}
+
+// ldp models LDP X1, X0, [X0]: two registers populated from memory, no base
+// update — the value landing in X0 is a random memory value.
+func ldp(pc, base uint64) *cvp.Instruction {
+	return &cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: base, MemSize: 8,
+		SrcRegs:   []uint8{0},
+		DstRegs:   []uint8{1, 0},
+		DstValues: []uint64{0x3333, 0xabcdef0123456789},
+	}
+}
+
+func seedReg(c *Converter, reg uint8, val uint64) {
+	// Feed an ALU instruction writing reg so the tracker knows its value.
+	c.Convert(&cvp.Instruction{
+		PC: 0x10, Class: cvp.ClassALU,
+		DstRegs: []uint8{reg}, DstValues: []uint64{val},
+	})
+}
+
+func TestOriginalMemConversion(t *testing.T) {
+	// §3.1: the original converter turns LDR X1,[X0,#12]! into a load
+	// with sources {X0, X1}, destination {X1}, one memory source.
+	c := New(OptionsNone())
+	out := c.Convert(ldrPreIndex(0x1000, 0x8000))
+	if len(out) != 1 {
+		t.Fatalf("original converter split the instruction: %d records", len(out))
+	}
+	rec := out[0]
+	if !rec.ReadsReg(MapReg(0)) || !rec.ReadsReg(MapReg(1)) {
+		t.Errorf("want sources X0 and X1, got %v", rec.SrcRegs)
+	}
+	if !rec.WritesReg(MapReg(1)) || rec.WritesReg(MapReg(0)) {
+		t.Errorf("want single destination X1, got %v", rec.DestRegs)
+	}
+	if rec.SrcMem[0] != 0x8000+12 || rec.SrcMem[1] != 0 {
+		t.Errorf("want single memory source %#x, got %v", 0x8000+12, rec.SrcMem)
+	}
+	if rec.IsBranch {
+		t.Error("load marked as branch")
+	}
+}
+
+func TestOriginalPadsX0(t *testing.T) {
+	// Prefetch loads and plain stores have no CVP destination; the
+	// original converter pads X0, creating spurious dependencies.
+	c := New(OptionsNone())
+	st := &cvp.Instruction{PC: 0x1000, Class: cvp.ClassStore, EffAddr: 0x9000, MemSize: 8, SrcRegs: []uint8{2, 3}}
+	rec := c.Convert(st)[0]
+	if !rec.WritesReg(RegX0Mapped) {
+		t.Errorf("original converter should pad X0, dests = %v", rec.DestRegs)
+	}
+	if !rec.IsStore() || rec.IsLoad() {
+		t.Error("store slots wrong")
+	}
+
+	// mem-regs removes the padding.
+	c2 := New(Options{MemRegs: true})
+	rec2 := c2.Convert(st)[0]
+	for _, d := range rec2.DestRegs {
+		if d != champtrace.RegInvalid {
+			t.Errorf("mem-regs should leave no destination, got %v", rec2.DestRegs)
+		}
+	}
+	if c2.Stats().MemNoDst != 1 {
+		t.Errorf("MemNoDst = %d, want 1", c2.Stats().MemNoDst)
+	}
+}
+
+func TestMemRegsKeepsAllDests(t *testing.T) {
+	c := New(Options{MemRegs: true})
+	rec := c.Convert(ldrPreIndex(0x1000, 0x8000))[0]
+	if !rec.WritesReg(MapReg(0)) || !rec.WritesReg(MapReg(1)) {
+		t.Errorf("mem-regs should keep X0 and X1 as destinations, got %v", rec.DestRegs)
+	}
+	// And sources are only the true CVP sources.
+	if rec.ReadsReg(MapReg(1)) {
+		t.Errorf("mem-regs should not add destinations as sources, got %v", rec.SrcRegs)
+	}
+	if c.Stats().MultiDstLoads != 1 {
+		t.Errorf("MultiDstLoads = %d, want 1", c.Stats().MultiDstLoads)
+	}
+}
+
+func TestBaseUpdatePreIndexSplit(t *testing.T) {
+	c := New(Options{BaseUpdate: true, MemRegs: true})
+	seedReg(c, 0, 0x8000)
+	out := c.Convert(ldrPreIndex(0x1000, 0x8000))
+	if len(out) != 2 {
+		t.Fatalf("pre-index load should split into 2 micro-ops, got %d", len(out))
+	}
+	alu, mem := out[0], out[1]
+	// Pre-index: ALU first at PC, memory at PC+2.
+	if alu.IP != 0x1000 || mem.IP != 0x1002 {
+		t.Errorf("micro-op PCs = %#x, %#x; want 0x1000, 0x1002", alu.IP, mem.IP)
+	}
+	if alu.IsLoad() || alu.IsStore() || alu.IsBranch {
+		t.Error("ALU micro-op has memory/branch attributes")
+	}
+	if !alu.ReadsReg(MapReg(0)) || !alu.WritesReg(MapReg(0)) {
+		t.Errorf("ALU micro-op should read+write the base, srcs=%v dsts=%v", alu.SrcRegs, alu.DestRegs)
+	}
+	if !mem.IsLoad() {
+		t.Error("memory micro-op lost its memory source")
+	}
+	if !mem.ReadsReg(MapReg(0)) {
+		t.Error("memory micro-op should read the updated base")
+	}
+	if mem.WritesReg(MapReg(0)) {
+		t.Error("base register should belong to the ALU micro-op only")
+	}
+	if !mem.WritesReg(MapReg(1)) {
+		t.Error("memory micro-op lost the loaded register X1")
+	}
+	st := c.Stats()
+	if st.BaseUpdateLoads != 1 || st.PreIndex != 1 || st.PostIndex != 0 {
+		t.Errorf("stats = %+v, want 1 pre-index base-update load", st)
+	}
+	if st.Out != st.In+1 {
+		t.Errorf("Out = %d, In = %d; split should add exactly one record", st.Out, st.In)
+	}
+}
+
+func TestBaseUpdatePostIndexSplit(t *testing.T) {
+	c := New(Options{BaseUpdate: true, MemRegs: true})
+	seedReg(c, 0, 0x8000)
+	out := c.Convert(ldrPostIndex(0x1000, 0x8000))
+	if len(out) != 2 {
+		t.Fatalf("post-index load should split into 2 micro-ops, got %d", len(out))
+	}
+	mem, alu := out[0], out[1]
+	// Post-index: memory first at PC, ALU at PC+2.
+	if mem.IP != 0x1000 || alu.IP != 0x1002 {
+		t.Errorf("micro-op PCs = %#x, %#x; want 0x1000, 0x1002", mem.IP, alu.IP)
+	}
+	if !mem.IsLoad() || alu.IsLoad() {
+		t.Error("order wrong: memory micro-op must come first for post-index")
+	}
+	if c.Stats().PostIndex != 1 {
+		t.Errorf("PostIndex = %d, want 1", c.Stats().PostIndex)
+	}
+}
+
+func TestLoadPairNotSplit(t *testing.T) {
+	// LDP X1,X0,[X0] writes X0 from MEMORY; the tracked old value of X0
+	// equals the effective address, but the new value is far away, so no
+	// base update may be inferred.
+	c := New(Options{BaseUpdate: true, MemRegs: true})
+	seedReg(c, 0, 0x8000)
+	out := c.Convert(ldp(0x1000, 0x8000))
+	if len(out) != 1 {
+		t.Fatalf("LDP without writeback must not split, got %d records", len(out))
+	}
+	if !out[0].WritesReg(MapReg(0)) || !out[0].WritesReg(MapReg(1)) {
+		t.Errorf("LDP should keep both destinations, got %v", out[0].DestRegs)
+	}
+	if c.Stats().BaseUpdateLoads != 0 {
+		t.Error("LDP counted as base update")
+	}
+}
+
+func TestPostIndexLookAlikeRejectedByTrackedValue(t *testing.T) {
+	// A load whose memory value lands within the immediate window of the
+	// effective address looks like a post-index update — unless the
+	// tracked old base value contradicts it.
+	c := New(Options{BaseUpdate: true})
+	seedReg(c, 0, 0x4000) // old X0 != effective address
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassLoad, EffAddr: 0x8000, MemSize: 8,
+		SrcRegs:   []uint8{0},
+		DstRegs:   []uint8{0},
+		DstValues: []uint64{0x8008}, // within ±512 of EA, but old base says no
+	}
+	if out := c.Convert(in); len(out) != 1 {
+		t.Fatalf("look-alike split into %d records despite contradicting tracked value", len(out))
+	}
+}
+
+func TestStoreBaseUpdate(t *testing.T) {
+	// STR X1, [X0], #16 — store with post-index writeback: CVP records
+	// X0 as a destination holding base+16.
+	c := New(Options{BaseUpdate: true, MemRegs: true})
+	seedReg(c, 0, 0x8000)
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassStore, EffAddr: 0x8000, MemSize: 8,
+		SrcRegs:   []uint8{1, 0},
+		DstRegs:   []uint8{0},
+		DstValues: []uint64{0x8010},
+	}
+	out := c.Convert(in)
+	if len(out) != 2 {
+		t.Fatalf("store writeback should split, got %d records", len(out))
+	}
+	if !out[0].IsStore() {
+		t.Error("store micro-op must come first for post-index")
+	}
+	if c.Stats().BaseUpdateStores != 1 {
+		t.Errorf("BaseUpdateStores = %d, want 1", c.Stats().BaseUpdateStores)
+	}
+}
+
+func TestStoreExclusiveNotBaseUpdate(t *testing.T) {
+	// STXR W2, X1, [X0]: the status destination W2 is not a source, so it
+	// can never be inferred as a base.
+	c := New(Options{BaseUpdate: true, MemRegs: true})
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassStore, EffAddr: 0x8000, MemSize: 8,
+		SrcRegs:   []uint8{1, 0},
+		DstRegs:   []uint8{2},
+		DstValues: []uint64{0},
+	}
+	if out := c.Convert(in); len(out) != 1 {
+		t.Fatalf("store-exclusive split into %d records", len(out))
+	}
+	if c.Stats().BaseUpdateStores != 0 {
+		t.Error("store-exclusive inferred as base update")
+	}
+}
+
+func TestMemFootprintCrossLine(t *testing.T) {
+	// An 8-byte access at line offset 60 crosses into the next line.
+	c := New(Options{MemFootprint: true})
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassLoad, EffAddr: 0x803c, MemSize: 8,
+		SrcRegs: []uint8{0}, DstRegs: []uint8{1}, DstValues: []uint64{7},
+	}
+	rec := c.Convert(in)[0]
+	if rec.SrcMem[0] != 0x803c || rec.SrcMem[1] != 0x8040 {
+		t.Errorf("want both cachelines 0x803c and 0x8040, got %v", rec.SrcMem)
+	}
+	if c.Stats().CrossLine != 1 {
+		t.Errorf("CrossLine = %d, want 1", c.Stats().CrossLine)
+	}
+	// Without the improvement only one address is emitted.
+	c2 := New(OptionsNone())
+	rec2 := c2.Convert(in)[0]
+	if rec2.SrcMem[1] != 0 {
+		t.Errorf("original converter added a second address: %v", rec2.SrcMem)
+	}
+}
+
+func TestMemFootprintLoadPairSize(t *testing.T) {
+	// LDP at offset 56 transfers 16 bytes total (2 regs × 8B) and crosses
+	// the line; a single-register load at the same address does not.
+	c := New(Options{MemFootprint: true, MemRegs: true})
+	pair := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassLoad, EffAddr: 0x8038, MemSize: 8,
+		SrcRegs: []uint8{0}, DstRegs: []uint8{1, 2}, DstValues: []uint64{1, 2},
+	}
+	rec := c.Convert(pair)[0]
+	if rec.SrcMem[1] != 0x8040 {
+		t.Errorf("load pair should cross into 0x8040, got %v", rec.SrcMem)
+	}
+	single := &cvp.Instruction{
+		PC: 0x1004, Class: cvp.ClassLoad, EffAddr: 0x8038, MemSize: 8,
+		SrcRegs: []uint8{0}, DstRegs: []uint8{1}, DstValues: []uint64{1},
+	}
+	rec2 := c.Convert(single)[0]
+	if rec2.SrcMem[1] != 0 {
+		t.Errorf("single-register load should not cross, got %v", rec2.SrcMem)
+	}
+}
+
+func TestMemFootprintBaseUpdateExcluded(t *testing.T) {
+	// A pre-index LDR (one data register + base writeback) at offset 56
+	// transfers 8 bytes, not 16: the base register is not populated from
+	// memory. Getting this wrong is the CVP-1 simulator bug described in
+	// the introduction.
+	c := New(Options{MemFootprint: true, MemRegs: true})
+	seedReg(c, 0, 0x8000)
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassLoad, EffAddr: 0x8038, MemSize: 8,
+		SrcRegs:   []uint8{0},
+		DstRegs:   []uint8{1, 0},
+		DstValues: []uint64{7, 0x8038}, // pre-index: new base == EA
+	}
+	rec := c.Convert(in)[0]
+	if rec.SrcMem[1] != 0 {
+		t.Errorf("base-update register inflated the footprint: %v", rec.SrcMem)
+	}
+}
+
+func TestDCZVAAlignment(t *testing.T) {
+	c := New(Options{MemFootprint: true})
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassStore, EffAddr: 0x8011, MemSize: 64,
+		SrcRegs: []uint8{0},
+	}
+	rec := c.Convert(in)[0]
+	if rec.DestMem[0] != 0x8000 {
+		t.Errorf("DC ZVA address = %#x, want aligned 0x8000", rec.DestMem[0])
+	}
+	if rec.DestMem[1] != 0 {
+		t.Errorf("DC ZVA must touch a single cacheline, got %v", rec.DestMem)
+	}
+	if c.Stats().DCZVA != 1 {
+		t.Errorf("DCZVA = %d, want 1", c.Stats().DCZVA)
+	}
+}
+
+func TestFlagRegImprovement(t *testing.T) {
+	cmp := &cvp.Instruction{PC: 0x1000, Class: cvp.ClassALU, SrcRegs: []uint8{1, 2}}
+	// Original: no destination at all.
+	rec := New(OptionsNone()).Convert(cmp)[0]
+	for _, d := range rec.DestRegs {
+		if d != champtrace.RegInvalid {
+			t.Errorf("original converter gave CMP a destination: %v", rec.DestRegs)
+		}
+	}
+	// flag-reg: FLAGS becomes the destination.
+	c := New(Options{FlagReg: true})
+	rec2 := c.Convert(cmp)[0]
+	if !rec2.WritesReg(champtrace.RegFlags) {
+		t.Errorf("flag-reg should add FLAGS destination, got %v", rec2.DestRegs)
+	}
+	if c.Stats().FlagDstAdded != 1 {
+		t.Errorf("FlagDstAdded = %d, want 1", c.Stats().FlagDstAdded)
+	}
+	// FP compares too.
+	fcmp := &cvp.Instruction{PC: 0x1004, Class: cvp.ClassFP, SrcRegs: []uint8{33, 34}}
+	if rec3 := c.Convert(fcmp)[0]; !rec3.WritesReg(champtrace.RegFlags) {
+		t.Error("flag-reg should apply to FP instructions without destinations")
+	}
+	// ALU instructions WITH a destination are untouched.
+	add := &cvp.Instruction{PC: 0x1008, Class: cvp.ClassALU, SrcRegs: []uint8{1}, DstRegs: []uint8{2}, DstValues: []uint64{3}}
+	if rec4 := c.Convert(add)[0]; rec4.WritesReg(champtrace.RegFlags) {
+		t.Error("flag-reg must not touch instructions that have destinations")
+	}
+}
+
+func TestConditionalBranchConversion(t *testing.T) {
+	// A flags-based conditional (B.EQ) has no CVP sources.
+	beq := &cvp.Instruction{PC: 0x1000, Class: cvp.ClassCondBranch, Taken: true, Target: 0x2000}
+	rec := New(OptionsNone()).Convert(beq)[0]
+	if !rec.IsBranch || !rec.Taken {
+		t.Error("branch flags lost")
+	}
+	if got := champtrace.Classify(rec, champtrace.RulesOriginal); got != champtrace.BranchConditional {
+		t.Errorf("B.EQ classifies as %v, want conditional", got)
+	}
+
+	// cbz X5: has a CVP source register.
+	cbz := &cvp.Instruction{PC: 0x1004, Class: cvp.ClassCondBranch, SrcRegs: []uint8{5}}
+	// Original: the source is dropped and FLAGS is read instead.
+	rec2 := New(OptionsNone()).Convert(cbz)[0]
+	if rec2.ReadsReg(MapReg(5)) {
+		t.Errorf("original converter should drop GPR sources, got %v", rec2.SrcRegs)
+	}
+	if !rec2.ReadsReg(champtrace.RegFlags) {
+		t.Error("original converter should read FLAGS")
+	}
+	// branch-regs: the source is kept, FLAGS dropped.
+	c := New(Options{BranchRegs: true})
+	rec3 := c.Convert(cbz)[0]
+	if !rec3.ReadsReg(MapReg(5)) || rec3.ReadsReg(champtrace.RegFlags) {
+		t.Errorf("branch-regs: srcs = %v, want X5 and no FLAGS", rec3.SrcRegs)
+	}
+	if c.Stats().CondWithSrc != 1 {
+		t.Errorf("CondWithSrc = %d, want 1", c.Stats().CondWithSrc)
+	}
+	// ...and under the patched rules it still classifies as conditional.
+	if got := champtrace.Classify(rec3, champtrace.RulesPatched); got != champtrace.BranchConditional {
+		t.Errorf("patched classification = %v, want conditional", got)
+	}
+	// Under the ORIGINAL rules it would be misread as an indirect jump —
+	// this is why the paper patches ChampSim.
+	if got := champtrace.Classify(rec3, champtrace.RulesOriginal); got != champtrace.BranchIndirect {
+		t.Errorf("original classification = %v, want indirect (the documented hazard)", got)
+	}
+	// Flags-based conditionals keep FLAGS even under branch-regs.
+	rec4 := c.Convert(beq)[0]
+	if !rec4.ReadsReg(champtrace.RegFlags) {
+		t.Error("branch-regs must keep FLAGS for conditionals without sources")
+	}
+}
+
+func TestCallStackFix(t *testing.T) {
+	// RET: unconditional indirect reading X30, writing nothing.
+	ret := &cvp.Instruction{PC: 0x1000, Class: cvp.ClassUncondIndirect, Taken: true, Target: 0x2000, SrcRegs: []uint8{cvp.RegLR}}
+	// BLR X30: indirect call reading AND writing X30.
+	blrLR := &cvp.Instruction{PC: 0x1004, Class: cvp.ClassUncondIndirect, Taken: true, Target: 0x3000,
+		SrcRegs: []uint8{cvp.RegLR}, DstRegs: []uint8{cvp.RegLR}, DstValues: []uint64{0x1008}}
+
+	for _, rules := range []champtrace.RuleSet{champtrace.RulesOriginal, champtrace.RulesPatched} {
+		// Original converter: both become returns (the bug).
+		co := New(OptionsNone())
+		if got := champtrace.Classify(co.Convert(ret)[0], rules); got != champtrace.BranchReturn {
+			t.Errorf("rules %v: RET classifies as %v, want return", rules, got)
+		}
+		if got := champtrace.Classify(co.Convert(blrLR)[0], rules); got != champtrace.BranchReturn {
+			t.Errorf("rules %v: original converter should misclassify BLR X30 as return, got %v", rules, got)
+		}
+		if co.Stats().ReadWriteLRBranches != 1 {
+			t.Errorf("ReadWriteLRBranches = %d, want 1", co.Stats().ReadWriteLRBranches)
+		}
+		// call-stack improvement: BLR X30 becomes an indirect call.
+		ci := New(Options{CallStack: true})
+		if got := champtrace.Classify(ci.Convert(ret)[0], rules); got != champtrace.BranchReturn {
+			t.Errorf("rules %v: improved RET classifies as %v, want return", rules, got)
+		}
+		if got := champtrace.Classify(ci.Convert(blrLR)[0], rules); got != champtrace.BranchIndirectCall {
+			t.Errorf("rules %v: improved BLR X30 classifies as %v, want indirect-call", rules, got)
+		}
+		st := ci.Stats()
+		if st.Returns != 1 || st.IndirectCalls != 1 {
+			t.Errorf("stats = %+v, want 1 return and 1 indirect call", st)
+		}
+	}
+}
+
+func TestBranchKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *cvp.Instruction
+		want champtrace.BranchType
+	}{
+		{"b (direct jump)", &cvp.Instruction{Class: cvp.ClassUncondDirect, Taken: true, Target: 0x20}, champtrace.BranchDirectJump},
+		{"bl (direct call)", &cvp.Instruction{Class: cvp.ClassUncondDirect, Taken: true, Target: 0x20,
+			DstRegs: []uint8{cvp.RegLR}, DstValues: []uint64{0x8}}, champtrace.BranchDirectCall},
+		{"br x5 (indirect jump)", &cvp.Instruction{Class: cvp.ClassUncondIndirect, Taken: true, Target: 0x20,
+			SrcRegs: []uint8{5}}, champtrace.BranchIndirect},
+		{"blr x5 (indirect call)", &cvp.Instruction{Class: cvp.ClassUncondIndirect, Taken: true, Target: 0x20,
+			SrcRegs: []uint8{5}, DstRegs: []uint8{cvp.RegLR}, DstValues: []uint64{0x8}}, champtrace.BranchIndirectCall},
+	}
+	for _, opts := range []Options{OptionsNone(), OptionsAll()} {
+		rules := champtrace.RulesOriginal
+		if opts.BranchRegs {
+			rules = champtrace.RulesPatched
+		}
+		for _, tc := range cases {
+			c := New(opts)
+			rec := c.Convert(tc.in)[0]
+			if got := champtrace.Classify(rec, rules); got != tc.want {
+				t.Errorf("opts %v, %s: classified %v, want %v", opts, tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestIndirectBranchSources(t *testing.T) {
+	br := &cvp.Instruction{Class: cvp.ClassUncondIndirect, Taken: true, Target: 0x20, SrcRegs: []uint8{5}}
+	// Original: X56 marker, CVP source dropped.
+	rec := New(OptionsNone()).Convert(br)[0]
+	if !rec.ReadsReg(champtrace.RegOther) || rec.ReadsReg(MapReg(5)) {
+		t.Errorf("original: srcs = %v, want X56 only", rec.SrcRegs)
+	}
+	// branch-regs: actual source, no X56.
+	rec2 := New(Options{BranchRegs: true}).Convert(br)[0]
+	if rec2.ReadsReg(champtrace.RegOther) || !rec2.ReadsReg(MapReg(5)) {
+		t.Errorf("branch-regs: srcs = %v, want X5 and no X56", rec2.SrcRegs)
+	}
+	// branch-regs with no recorded source falls back to X56.
+	br2 := &cvp.Instruction{Class: cvp.ClassUncondIndirect, Taken: true, Target: 0x20}
+	rec3 := New(Options{BranchRegs: true}).Convert(br2)[0]
+	if !rec3.ReadsReg(champtrace.RegOther) {
+		t.Errorf("branch-regs fallback: srcs = %v, want X56", rec3.SrcRegs)
+	}
+}
+
+func TestConvertAllAndStream(t *testing.T) {
+	instrs := []*cvp.Instruction{
+		{PC: 0x1000, Class: cvp.ClassALU, SrcRegs: []uint8{1}, DstRegs: []uint8{0}, DstValues: []uint64{0x8000}},
+		ldrPreIndex(0x1004, 0x8000),
+		{PC: 0x1008, Class: cvp.ClassCondBranch, Taken: true, Target: 0x1000},
+	}
+	recs, st, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.In != 3 {
+		t.Errorf("In = %d, want 3", st.In)
+	}
+	if st.Out != uint64(len(recs)) {
+		t.Errorf("Out = %d but %d records returned", st.Out, len(recs))
+	}
+	if len(recs) != 4 { // base-update split adds one
+		t.Errorf("got %d records, want 4", len(recs))
+	}
+}
+
+func TestMaxSourcesTruncated(t *testing.T) {
+	// Compare-and-swap pair style: six sources; only four survive.
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassStore, EffAddr: 0x8000, MemSize: 8,
+		SrcRegs: []uint8{1, 2, 3, 4, 5, 7},
+	}
+	rec := New(Options{MemRegs: true}).Convert(in)[0]
+	n := 0
+	for _, s := range rec.SrcRegs {
+		if s != champtrace.RegInvalid {
+			n++
+		}
+	}
+	if n != champtrace.NumSrcRegs {
+		t.Errorf("kept %d sources, want %d", n, champtrace.NumSrcRegs)
+	}
+	if !rec.ReadsReg(MapReg(1)) || !rec.ReadsReg(MapReg(4)) || rec.ReadsReg(MapReg(7)) {
+		t.Errorf("want the FIRST four sources, got %v", rec.SrcRegs)
+	}
+}
+
+func TestRegMapping(t *testing.T) {
+	seen := map[uint8]uint8{}
+	for r := uint8(0); r < cvp.NumRegs; r++ {
+		m := MapReg(r)
+		switch m {
+		case champtrace.RegInvalid, champtrace.RegStackPointer, champtrace.RegFlags,
+			champtrace.RegInstructionPointer, champtrace.RegOther:
+			t.Errorf("MapReg(%d) = %d collides with a reserved ChampSim id", r, m)
+		}
+		if prev, dup := seen[m]; dup {
+			t.Errorf("MapReg(%d) = MapReg(%d) = %d: not injective", r, prev, m)
+		}
+		seen[m] = r
+	}
+}
+
+func TestPostIndexInferredWithUnknownOldValue(t *testing.T) {
+	// When the tracker has never seen the base register, a value within
+	// the immediate window is accepted as post-index (best effort, per
+	// the trace maintainer's heuristic).
+	c := New(Options{BaseUpdate: true})
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassLoad, EffAddr: 0x8000, MemSize: 8,
+		SrcRegs:   []uint8{3},
+		DstRegs:   []uint8{4, 3},
+		DstValues: []uint64{1, 0x8008},
+	}
+	if out := c.Convert(in); len(out) != 2 {
+		t.Fatalf("unknown-old post-index not split: %d records", len(out))
+	}
+	if c.Stats().PostIndex != 1 {
+		t.Errorf("PostIndex = %d", c.Stats().PostIndex)
+	}
+}
+
+func TestConvertStreamPropagatesWriteErrors(t *testing.T) {
+	instrs := []*cvp.Instruction{{PC: 0x10, Class: cvp.ClassALU}}
+	w := champtrace.NewWriter(failingWriter{})
+	if _, err := core_ConvertStreamShim(instrs, w); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, errBoom }
+
+var errBoom = fmt.Errorf("boom")
+
+func core_ConvertStreamShim(instrs []*cvp.Instruction, w *champtrace.Writer) (Stats, error) {
+	st, err := ConvertStream(cvp.NewSliceSource(instrs), w, OptionsAll())
+	if err == nil {
+		// The bufio layer may hold the record; force the flush path.
+		if ferr := w.Flush(); ferr != nil {
+			return st, ferr
+		}
+	}
+	return st, err
+}
+
+func TestStoreFootprintCrossLine(t *testing.T) {
+	// An 8-byte store at offset 60 crosses lines: second DestMem address.
+	c := New(Options{MemFootprint: true})
+	in := &cvp.Instruction{
+		PC: 0x1000, Class: cvp.ClassStore, EffAddr: 0x903c, MemSize: 8,
+		SrcRegs: []uint8{1, 2},
+	}
+	rec := c.Convert(in)[0]
+	if rec.DestMem[0] != 0x903c || rec.DestMem[1] != 0x9040 {
+		t.Fatalf("store cross-line DestMem = %v", rec.DestMem)
+	}
+}
+
+func TestZeroSizeMemDefensive(t *testing.T) {
+	// A degenerate record with MemSize 0 must not crash footprint logic.
+	c := New(Options{MemFootprint: true})
+	in := &cvp.Instruction{PC: 0x1000, Class: cvp.ClassLoad, EffAddr: 0x9000, SrcRegs: []uint8{1}}
+	rec := c.Convert(in)[0]
+	if !rec.IsLoad() {
+		t.Fatal("load lost its memory source")
+	}
+}

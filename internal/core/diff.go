@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"tracerebase/internal/champtrace"
+)
+
+// DiffStats summarizes how two conversions of the SAME CVP-1 trace differ —
+// the per-instruction view behind the paper's aggregate results. Comparing
+// a No_imp conversion against an improved one shows exactly which records
+// each improvement touches.
+type DiffStats struct {
+	// Instructions is the number of aligned instruction slots compared
+	// (original-converter records).
+	Instructions uint64
+	// SplitMicroOps counts instructions the second trace splits into an
+	// ALU + memory micro-op pair (base-update).
+	SplitMicroOps uint64
+	// BranchTypeChanged counts branches whose deduced type differs
+	// (call-stack and branch-regs effects). Classification uses the rule
+	// set each side requires.
+	BranchTypeChanged uint64
+	// SrcRegsChanged and DstRegsChanged count records whose register
+	// sets differ (mem-regs, branch-regs, flag-reg effects).
+	SrcRegsChanged, DstRegsChanged uint64
+	// MemAddrsChanged counts records whose memory slots differ
+	// (mem-footprint's second cacheline, DC ZVA realignment).
+	MemAddrsChanged uint64
+	// Identical counts records equal in every field.
+	Identical uint64
+}
+
+// Diff aligns two conversions of the same CVP-1 trace and categorizes the
+// differences. a must be the original-converter output (one record per
+// instruction); b may contain base-update splits (micro-op pairs at PC and
+// PC+2 — instruction PCs are assumed 4-byte aligned, as Aarch64's are).
+// aRules/bRules are the branch-deduction rule sets each trace is meant to
+// run under.
+func Diff(a, b []*champtrace.Instruction, aRules, bRules champtrace.RuleSet) (DiffStats, error) {
+	var st DiffStats
+	j := 0
+	for i := 0; i < len(a); i++ {
+		if j >= len(b) {
+			return st, fmt.Errorf("core: second trace ends early at record %d", j)
+		}
+		orig := a[i]
+		st.Instructions++
+
+		// Collect b's records for this instruction: one, or a split
+		// pair whose members sit at PC and PC+2.
+		recs := []*champtrace.Instruction{b[j]}
+		j++
+		if j < len(b) && b[j].IP == orig.IP+2 {
+			recs = append(recs, b[j])
+			j++
+			st.SplitMicroOps++
+		}
+		if recs[0].IP != orig.IP && recs[0].IP != orig.IP+2 {
+			return st, fmt.Errorf("core: misaligned at %#x vs %#x (record %d)", orig.IP, recs[0].IP, i)
+		}
+
+		// The memory-bearing (or only) record carries the comparable
+		// semantics.
+		main := recs[0]
+		if len(recs) == 2 && (recs[1].IsLoad() || recs[1].IsStore()) {
+			main = recs[1]
+		}
+
+		identical := len(recs) == 1 && *main == *orig
+		if identical {
+			st.Identical++
+			continue
+		}
+		if orig.IsBranch {
+			at := champtrace.Classify(orig, aRules)
+			bt := champtrace.Classify(main, bRules)
+			if at != bt {
+				st.BranchTypeChanged++
+			}
+		}
+		if main.SrcRegs != orig.SrcRegs {
+			st.SrcRegsChanged++
+		}
+		if main.DestRegs != orig.DestRegs {
+			st.DstRegsChanged++
+		}
+		if main.SrcMem != orig.SrcMem || main.DestMem != orig.DestMem {
+			st.MemAddrsChanged++
+		}
+	}
+	if j != len(b) {
+		return st, fmt.Errorf("core: second trace has %d trailing records", len(b)-j)
+	}
+	return st, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/synth"
+)
+
+func convertBoth(t *testing.T, instrs []*cvp.Instruction, opts Options) (a, b []*champtrace.Instruction) {
+	t.Helper()
+	a, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsNone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err = ConvertAll(cvp.NewSliceSource(instrs), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestDiffIdenticalConversions(t *testing.T) {
+	p := synth.PublicProfile(synth.ComputeInt, 5)
+	instrs, err := p.Generate(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := convertBoth(t, instrs, OptionsNone())
+	st, err := Diff(a, b, champtrace.RulesOriginal, champtrace.RulesOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Identical != st.Instructions {
+		t.Fatalf("identical conversions diff: %+v", st)
+	}
+	if st.SplitMicroOps != 0 || st.BranchTypeChanged != 0 {
+		t.Fatalf("spurious differences: %+v", st)
+	}
+}
+
+func TestDiffBaseUpdateSplits(t *testing.T) {
+	p := synth.PublicProfile(synth.Crypto, 0) // high BaseUpdateFrac
+	instrs, err := p.Generate(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := convertBoth(t, instrs, Options{BaseUpdate: true})
+	st, err := Diff(a, b, champtrace.RulesOriginal, champtrace.RulesOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SplitMicroOps == 0 {
+		t.Fatal("no splits detected on a writeback-heavy trace")
+	}
+	if st.Instructions != uint64(len(a)) {
+		t.Fatalf("aligned %d of %d instructions", st.Instructions, len(a))
+	}
+}
+
+func TestDiffCallStackChangesBranchTypes(t *testing.T) {
+	p := synth.PublicProfile(synth.Server, 3) // BLR-X30 subset
+	instrs, err := p.Generate(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := convertBoth(t, instrs, Options{CallStack: true})
+	st, err := Diff(a, b, champtrace.RulesOriginal, champtrace.RulesOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BranchTypeChanged == 0 {
+		t.Fatal("call-stack produced no branch-type changes on a BLR-X30 trace")
+	}
+	if st.MemAddrsChanged != 0 {
+		t.Errorf("call-stack touched memory slots: %+v", st)
+	}
+}
+
+func TestDiffFlagRegChangesDests(t *testing.T) {
+	p := synth.PublicProfile(synth.ComputeInt, 2)
+	instrs, err := p.Generate(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := convertBoth(t, instrs, Options{FlagReg: true})
+	st, err := Diff(a, b, champtrace.RulesOriginal, champtrace.RulesOriginal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DstRegsChanged == 0 {
+		t.Fatal("flag-reg changed no destination sets")
+	}
+	if st.SplitMicroOps != 0 {
+		t.Errorf("flag-reg should not split: %+v", st)
+	}
+}
+
+func TestDiffMisalignment(t *testing.T) {
+	a := []*champtrace.Instruction{{IP: 0x1000}, {IP: 0x1004}}
+	// Early end.
+	if _, err := Diff(a, a[:1], champtrace.RulesOriginal, champtrace.RulesOriginal); err == nil {
+		t.Error("early end not reported")
+	}
+	// Trailing records.
+	b := []*champtrace.Instruction{{IP: 0x1000}, {IP: 0x1004}, {IP: 0x1008}}
+	if _, err := Diff(a, b, champtrace.RulesOriginal, champtrace.RulesOriginal); err == nil {
+		t.Error("trailing records not reported")
+	}
+	// Wrong IPs entirely.
+	c := []*champtrace.Instruction{{IP: 0x9000}, {IP: 0x9004}}
+	if _, err := Diff(a, c, champtrace.RulesOriginal, champtrace.RulesOriginal); err == nil {
+		t.Error("misalignment not reported")
+	}
+}

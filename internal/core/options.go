@@ -1,0 +1,185 @@
+// Package core implements the cvp2champsim trace converter — the primary
+// contribution of "Rebasing Microarchitectural Research with Industry
+// Traces" (IISWC 2023).
+//
+// The converter translates CVP-1 (Aarch64, Qualcomm) instruction records
+// into the strict 64-byte ChampSim (x86-convention) trace format. With the
+// zero-value Options it reproduces the behaviour of the *original*
+// cvp2champsim converter shipped in the ChampSim repository, including its
+// documented defects. Each of the paper's six improvements (Table 1) can be
+// enabled independently, and the three sets used in the evaluation
+// (Memory_imps, Branch_imps, All_imps) are provided as constructors.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options selects which of the paper's trace-conversion improvements are
+// applied. The zero value reproduces the original cvp2champsim converter.
+type Options struct {
+	// MemRegs (imp. mem-regs, §3.1.1) keeps all destination registers of
+	// memory instructions — and only them. The original converter forces
+	// every non-branch to have exactly one destination, padding with X0
+	// and discarding the second and third destinations of load pairs,
+	// vector loads, and base-update loads.
+	MemRegs bool
+	// BaseUpdate (imp. base-update, §3.1.2) infers the addressing mode of
+	// memory instructions and splits base-update (pre/post-indexing
+	// increment) accesses into an ALU micro-op and a memory micro-op, so
+	// the updated base register becomes available at ALU latency rather
+	// than memory latency.
+	BaseUpdate bool
+	// MemFootprint (imp. mem-footprint, §3.1.3) computes the total
+	// transfer size, adds the second cacheline address for accesses that
+	// cross a 64 B boundary, and aligns DC ZVA 64-byte stores.
+	MemFootprint bool
+	// CallStack (imp. call-stack, §3.2.1) fixes return identification:
+	// only unconditional branches that read X30 and write no register are
+	// returns; branches that read AND write X30 are (indirect) calls.
+	CallStack bool
+	// BranchRegs (imp. branch-regs, §3.2.2) preserves the original CVP-1
+	// source registers of branches so that load→branch dependencies
+	// survive conversion. Requires the patched ChampSim branch-deduction
+	// rules (champtrace.RulesPatched) to classify correctly.
+	BranchRegs bool
+	// FlagReg (imp. flag-reg, §3.2.3) adds the flag register as the
+	// destination of ALU and FP instructions that have no destination
+	// register, restoring the dependency of flag-reading conditional
+	// branches on their producers.
+	FlagReg bool
+}
+
+// OptionsNone returns the original-converter behaviour (No_imp).
+func OptionsNone() Options { return Options{} }
+
+// OptionsMemory returns the three memory improvements (Memory_imps).
+func OptionsMemory() Options {
+	return Options{MemRegs: true, BaseUpdate: true, MemFootprint: true}
+}
+
+// OptionsBranch returns the three branch improvements (Branch_imps).
+func OptionsBranch() Options {
+	return Options{CallStack: true, BranchRegs: true, FlagReg: true}
+}
+
+// OptionsAll returns all six improvements (All_imps).
+func OptionsAll() Options {
+	return Options{
+		MemRegs: true, BaseUpdate: true, MemFootprint: true,
+		CallStack: true, BranchRegs: true, FlagReg: true,
+	}
+}
+
+// Enabled returns the artifact-style names of the enabled improvements.
+func (o Options) Enabled() []string {
+	var names []string
+	for _, imp := range Improvements {
+		if imp.Get(o) {
+			names = append(names, imp.Name)
+		}
+	}
+	return names
+}
+
+func (o Options) String() string {
+	names := o.Enabled()
+	if len(names) == 0 {
+		return "No_imp"
+	}
+	if o == OptionsAll() {
+		return "All_imps"
+	}
+	if o == OptionsMemory() {
+		return "Memory_imps"
+	}
+	if o == OptionsBranch() {
+		return "Branch_imps"
+	}
+	return strings.Join(names, "+")
+}
+
+// Improvement describes one of the paper's Table 1 rows.
+type Improvement struct {
+	// Name is the artifact-style improvement name.
+	Name string
+	// Kind is "Memory" or "Branch", Table 1's instruction-type column.
+	Kind string
+	// Summary is Table 1's "modifications to the converter" column.
+	Summary string
+	// Set enables the improvement on an Options value.
+	Set func(*Options)
+	// Get reports whether the improvement is enabled.
+	Get func(Options) bool
+}
+
+// Improvements lists the six proposed improvements in Table 1 order.
+var Improvements = []Improvement{
+	{
+		Name: "mem-regs", Kind: "Memory",
+		Summary: "Convey all dependencies between the registers written by memory instructions and the instructions that read from them.",
+		Set:     func(o *Options) { o.MemRegs = true },
+		Get:     func(o Options) bool { return o.MemRegs },
+	},
+	{
+		Name: "base-update", Kind: "Memory",
+		Summary: "Make base registers available after the latency of an ALU instruction rather than after the latency of the memory access.",
+		Set:     func(o *Options) { o.BaseUpdate = true },
+		Get:     func(o Options) bool { return o.BaseUpdate },
+	},
+	{
+		Name: "mem-footprint", Kind: "Memory",
+		Summary: "Access all cachelines accessed by the instruction.",
+		Set:     func(o *Options) { o.MemFootprint = true },
+		Get:     func(o Options) bool { return o.MemFootprint },
+	},
+	{
+		Name: "call-stack", Kind: "Branch",
+		Summary: "Fix the identification of returns.",
+		Set:     func(o *Options) { o.CallStack = true },
+		Get:     func(o Options) bool { return o.CallStack },
+	},
+	{
+		Name: "branch-regs", Kind: "Branch",
+		Summary: "Convey all dependencies between the registers read by branch instructions and the instructions that generate them.",
+		Set:     func(o *Options) { o.BranchRegs = true },
+		Get:     func(o Options) bool { return o.BranchRegs },
+	},
+	{
+		Name: "flag-reg", Kind: "Branch",
+		Summary: "Add the flag register as the destination of ALU and FP instructions that do not have any destination register so that branches reading from flags depend on them.",
+		Set:     func(o *Options) { o.FlagReg = true },
+		Get:     func(o Options) bool { return o.FlagReg },
+	},
+}
+
+// ParseImprovement maps an artifact improvement name (as accepted by the
+// cvp2champsim -i flag) to an Options value. Both the artifact spellings
+// (imp_mem-regs, All_imps, ...) and bare names (mem-regs, all, ...) are
+// accepted.
+func ParseImprovement(name string) (Options, error) {
+	switch strings.ToLower(name) {
+	case "no_imp", "none", "original", "":
+		return OptionsNone(), nil
+	case "all_imps", "all":
+		return OptionsAll(), nil
+	case "memory_imps", "memory":
+		return OptionsMemory(), nil
+	case "branch_imps", "branch":
+		return OptionsBranch(), nil
+	}
+	bare := strings.TrimPrefix(strings.ToLower(name), "imp_")
+	// The artifact spells the flag-reg improvement "imp_flag-regs".
+	if bare == "flag-regs" {
+		bare = "flag-reg"
+	}
+	for _, imp := range Improvements {
+		if imp.Name == bare {
+			var o Options
+			imp.Set(&o)
+			return o, nil
+		}
+	}
+	return Options{}, fmt.Errorf("core: unknown improvement %q", name)
+}

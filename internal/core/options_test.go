@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"tracerebase/internal/cvp"
+)
+
+func TestOptionSets(t *testing.T) {
+	if OptionsNone() != (Options{}) {
+		t.Error("OptionsNone is not the zero value")
+	}
+	mem := OptionsMemory()
+	if !mem.MemRegs || !mem.BaseUpdate || !mem.MemFootprint || mem.CallStack || mem.BranchRegs || mem.FlagReg {
+		t.Errorf("OptionsMemory = %+v", mem)
+	}
+	br := OptionsBranch()
+	if br.MemRegs || br.BaseUpdate || br.MemFootprint || !br.CallStack || !br.BranchRegs || !br.FlagReg {
+		t.Errorf("OptionsBranch = %+v", br)
+	}
+	all := OptionsAll()
+	for _, imp := range Improvements {
+		if !imp.Get(all) {
+			t.Errorf("OptionsAll missing %s", imp.Name)
+		}
+	}
+}
+
+func TestImprovementsTable(t *testing.T) {
+	if len(Improvements) != 6 {
+		t.Fatalf("Table 1 has 6 improvements, got %d", len(Improvements))
+	}
+	kinds := map[string]int{}
+	for _, imp := range Improvements {
+		if imp.Name == "" || imp.Summary == "" {
+			t.Errorf("improvement missing metadata: %+v", imp)
+		}
+		kinds[imp.Kind]++
+		var o Options
+		imp.Set(&o)
+		if !imp.Get(o) {
+			t.Errorf("%s: Set/Get mismatch", imp.Name)
+		}
+		// Setting one improvement must not enable another.
+		for _, other := range Improvements {
+			if other.Name != imp.Name && other.Get(o) {
+				t.Errorf("setting %s also enabled %s", imp.Name, other.Name)
+			}
+		}
+	}
+	if kinds["Memory"] != 3 || kinds["Branch"] != 3 {
+		t.Errorf("kind split = %v, want 3 Memory + 3 Branch", kinds)
+	}
+}
+
+func TestParseImprovement(t *testing.T) {
+	cases := []struct {
+		name string
+		want Options
+	}{
+		{"No_imp", OptionsNone()},
+		{"", OptionsNone()},
+		{"original", OptionsNone()},
+		{"All_imps", OptionsAll()},
+		{"all", OptionsAll()},
+		{"Memory_imps", OptionsMemory()},
+		{"Branch_imps", OptionsBranch()},
+		{"imp_mem-regs", Options{MemRegs: true}},
+		{"imp_base-update", Options{BaseUpdate: true}},
+		{"imp_mem-footprint", Options{MemFootprint: true}},
+		{"imp_call-stack", Options{CallStack: true}},
+		{"imp_branch-regs", Options{BranchRegs: true}},
+		{"imp_flag-regs", Options{FlagReg: true}}, // artifact spelling
+		{"flag-reg", Options{FlagReg: true}},
+		{"mem-regs", Options{MemRegs: true}},
+	}
+	for _, tc := range cases {
+		got, err := ParseImprovement(tc.name)
+		if err != nil {
+			t.Errorf("ParseImprovement(%q): %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseImprovement(%q) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := ParseImprovement("bogus"); err == nil {
+		t.Error("ParseImprovement accepted bogus name")
+	}
+}
+
+func TestOptionsString(t *testing.T) {
+	cases := []struct {
+		o    Options
+		want string
+	}{
+		{OptionsNone(), "No_imp"},
+		{OptionsAll(), "All_imps"},
+		{OptionsMemory(), "Memory_imps"},
+		{OptionsBranch(), "Branch_imps"},
+		{Options{BaseUpdate: true}, "base-update"},
+		{Options{CallStack: true, FlagReg: true}, "call-stack+flag-reg"},
+	}
+	for _, tc := range cases {
+		if got := tc.o.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestAddrModeStrings(t *testing.T) {
+	if AddrPlain.String() != "plain" || AddrPreIndex.String() != "pre-index" || AddrPostIndex.String() != "post-index" {
+		t.Error("AddrMode strings wrong")
+	}
+	if AddrPlain.IsBaseUpdate() || !AddrPreIndex.IsBaseUpdate() || !AddrPostIndex.IsBaseUpdate() {
+		t.Error("IsBaseUpdate wrong")
+	}
+}
+
+func TestInferAddrModeDirect(t *testing.T) {
+	var tr regTracker
+	// Non-memory instructions never infer a mode.
+	alu := &cvp.Instruction{Class: cvp.ClassALU, SrcRegs: []uint8{0}, DstRegs: []uint8{0}, DstValues: []uint64{5}}
+	if m := inferAddrMode(alu, &tr); m.mode != AddrPlain {
+		t.Errorf("ALU inferred as %v", m.mode)
+	}
+	// SP is never inferred as a base-update register.
+	sp := &cvp.Instruction{Class: cvp.ClassLoad, EffAddr: 0x100, MemSize: 8,
+		SrcRegs: []uint8{cvp.RegSP}, DstRegs: []uint8{cvp.RegSP}, DstValues: []uint64{0x100}}
+	if m := inferAddrMode(sp, &tr); m.mode != AddrPlain {
+		t.Errorf("SP writeback inferred as %v", m.mode)
+	}
+	// Pre-index: new base == effective address.
+	pre := &cvp.Instruction{Class: cvp.ClassLoad, EffAddr: 0x200, MemSize: 8,
+		SrcRegs: []uint8{3}, DstRegs: []uint8{4, 3}, DstValues: []uint64{9, 0x200}}
+	if m := inferAddrMode(pre, &tr); m.mode != AddrPreIndex || m.base != 3 {
+		t.Errorf("pre-index inferred as %v base %d", m.mode, m.base)
+	}
+	// Destination that is not a source is never a base.
+	noSrc := &cvp.Instruction{Class: cvp.ClassLoad, EffAddr: 0x200, MemSize: 8,
+		SrcRegs: []uint8{3}, DstRegs: []uint8{4}, DstValues: []uint64{0x200}}
+	if m := inferAddrMode(noSrc, &tr); m.mode != AddrPlain {
+		t.Errorf("non-source destination inferred as %v", m.mode)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+)
+
+// randomCVPInstr builds a structurally valid random CVP-1 instruction with
+// plausible register/value relationships.
+func randomCVPInstr(r *rand.Rand, pc uint64) *cvp.Instruction {
+	in := &cvp.Instruction{
+		PC:    pc,
+		Class: cvp.InstClass(r.Intn(cvp.NumClasses)),
+	}
+	if in.Class.IsMem() {
+		in.EffAddr = uint64(r.Int63())
+		in.MemSize = []uint8{1, 2, 4, 8, 16, 64}[r.Intn(6)]
+	}
+	if in.Class.IsBranch() {
+		in.Taken = r.Intn(2) == 0
+		if in.Taken {
+			in.Target = uint64(r.Int63())
+		}
+	}
+	for i, n := 0, r.Intn(cvp.MaxSrcRegs+1); i < n; i++ {
+		in.SrcRegs = append(in.SrcRegs, uint8(r.Intn(cvp.NumRegs)))
+	}
+	for i, n := 0, r.Intn(cvp.MaxDstRegs+1); i < n; i++ {
+		in.DstRegs = append(in.DstRegs, uint8(r.Intn(cvp.NumRegs)))
+		in.DstValues = append(in.DstValues, r.Uint64())
+	}
+	return in
+}
+
+func allOptionSets() []Options {
+	sets := []Options{OptionsNone(), OptionsMemory(), OptionsBranch(), OptionsAll()}
+	for _, imp := range Improvements {
+		var o Options
+		imp.Set(&o)
+		sets = append(sets, o)
+	}
+	return sets
+}
+
+// TestQuickConverterStructuralInvariants: for any valid CVP-1 stream and
+// any improvement set, every emitted ChampSim record is structurally sound.
+func TestQuickConverterStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		instrs := make([]*cvp.Instruction, 200)
+		pc := uint64(0x400000)
+		for i := range instrs {
+			instrs[i] = randomCVPInstr(r, pc)
+			pc += 4
+		}
+		for _, opts := range allOptionSets() {
+			c := New(opts)
+			for _, in := range instrs {
+				if err := in.Validate(); err != nil {
+					t.Logf("generator produced invalid instruction: %v", err)
+					return false
+				}
+				out := c.Convert(in)
+				if len(out) < 1 || len(out) > 2 {
+					t.Logf("opts %v: %d records for one instruction", opts, len(out))
+					return false
+				}
+				if len(out) == 2 && !opts.BaseUpdate {
+					t.Logf("opts %v: split without base-update", opts)
+					return false
+				}
+				for _, rec := range out {
+					if !checkRecord(t, rec, in, opts) {
+						return false
+					}
+				}
+			}
+			st := c.Stats()
+			if st.In != uint64(len(instrs)) {
+				t.Logf("opts %v: In=%d", opts, st.In)
+				return false
+			}
+			if st.Out < st.In {
+				t.Logf("opts %v: Out=%d < In=%d", opts, st.Out, st.In)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkRecord(t *testing.T, rec *champtrace.Instruction, in *cvp.Instruction, opts Options) bool {
+	// Branch flag must mirror the CVP class for the primary record.
+	if rec.IsBranch && !in.Class.IsBranch() {
+		t.Logf("non-branch CVP became branch record")
+		return false
+	}
+	// Loads/stores must not lose their memory nature (primary record).
+	if in.Class.IsBranch() {
+		if rec.IsLoad() || rec.IsStore() {
+			t.Logf("branch with memory slots")
+			return false
+		}
+		if !rec.Taken == in.Taken {
+			t.Logf("taken flag lost")
+			return false
+		}
+		bt := champtrace.Classify(rec, champtrace.RulesPatched)
+		if bt == champtrace.NotBranch || bt == champtrace.BranchOther {
+			t.Logf("branch classifies as %v (srcs %v dsts %v, cvp class %v)", bt, rec.SrcRegs, rec.DestRegs, in.Class)
+			return false
+		}
+	}
+	// Memory slots are cacheline-coherent: at most 2 source lines and
+	// they differ.
+	if rec.SrcMem[0] != 0 && rec.SrcMem[1] != 0 {
+		if rec.SrcMem[0]/64 == rec.SrcMem[1]/64 {
+			t.Logf("duplicate cacheline in SrcMem")
+			return false
+		}
+		if !opts.MemFootprint {
+			t.Logf("second address without mem-footprint")
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickConverterDeterminism: converting the same stream twice yields
+// identical records.
+func TestQuickConverterDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		instrs := make([]*cvp.Instruction, 100)
+		pc := uint64(0x1000)
+		for i := range instrs {
+			instrs[i] = randomCVPInstr(r, pc)
+			pc += 4
+		}
+		a, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsAll())
+		if err != nil {
+			return false
+		}
+		b, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsAll())
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if *a[i] != *b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickImprovementMonotonicity: enabling base-update never REMOVES
+// records, and disabling all improvements reproduces record-per-instruction
+// conversion.
+func TestQuickRecordCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		instrs := make([]*cvp.Instruction, 150)
+		pc := uint64(0x2000)
+		for i := range instrs {
+			instrs[i] = randomCVPInstr(r, pc)
+			pc += 4
+		}
+		plain, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsNone())
+		if err != nil || len(plain) != len(instrs) {
+			return false
+		}
+		split, _, err := ConvertAll(cvp.NewSliceSource(instrs), Options{BaseUpdate: true})
+		if err != nil || len(split) < len(instrs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassifyTotal enumerates every register-usage profile and checks that
+// classification is total, deterministic, and that the two rule sets only
+// disagree on the documented cases (conditional-with-other-sources and
+// IP-reading indirects).
+func TestClassifyTotal(t *testing.T) {
+	for bits := 0; bits < 64; bits++ {
+		in := &champtrace.Instruction{IP: 0x1000, IsBranch: true}
+		if bits&1 != 0 {
+			in.AddSrcReg(champtrace.RegInstructionPointer)
+		}
+		if bits&2 != 0 {
+			in.AddSrcReg(champtrace.RegStackPointer)
+		}
+		if bits&4 != 0 {
+			in.AddSrcReg(champtrace.RegFlags)
+		}
+		if bits&8 != 0 {
+			in.AddSrcReg(champtrace.RegOther)
+		}
+		if bits&16 != 0 {
+			in.AddDestReg(champtrace.RegInstructionPointer)
+		}
+		if bits&32 != 0 {
+			in.AddDestReg(champtrace.RegStackPointer)
+		}
+		orig := champtrace.Classify(in, champtrace.RulesOriginal)
+		patched := champtrace.Classify(in, champtrace.RulesPatched)
+		if orig > champtrace.BranchOther || patched > champtrace.BranchOther {
+			t.Fatalf("bits %06b: classification out of range", bits)
+		}
+		if orig != patched {
+			readsIP := bits&1 != 0
+			readsOther := bits&8 != 0
+			if !(readsIP && readsOther) {
+				t.Errorf("bits %06b: rule sets disagree (%v vs %v) outside the documented overlap",
+					bits, orig, patched)
+			}
+		}
+	}
+}

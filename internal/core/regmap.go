@@ -1,0 +1,37 @@
+package core
+
+import (
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+)
+
+// MapReg translates a CVP-1 Aarch64 architectural register number (0..63)
+// to a ChampSim trace register id.
+//
+// ChampSim reserves id 0 as "no register" and keys its branch-type deduction
+// on ids 6 (stack pointer), 25 (flags), and 26 (instruction pointer);
+// id 56 is the artificial "reads other" register the original converter
+// attaches to indirect branches. Aarch64 registers are therefore shifted by
+// one (X0→1 ... X30→31, SP→32, V0→33 ...) and the four ids that would
+// collide with the reserved ones are relocated above the Aarch64 range.
+func MapReg(r uint8) uint8 {
+	m := r + 1
+	switch m {
+	case champtrace.RegStackPointer: // X5
+		return 65
+	case champtrace.RegFlags: // X24
+		return 66
+	case champtrace.RegInstructionPointer: // X25
+		return 67
+	case champtrace.RegOther: // V23
+		return 68
+	}
+	return m
+}
+
+// RegX0Mapped is the ChampSim id of Aarch64 X0, which the original
+// converter pads onto instructions that have no destination register.
+var RegX0Mapped = MapReg(cvp.RegX0)
+
+// RegLRMapped is the ChampSim id of the Aarch64 link register X30.
+var RegLRMapped = MapReg(cvp.RegLR)

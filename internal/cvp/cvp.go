@@ -1,0 +1,249 @@
+// Package cvp implements the CVP-1 (first Championship Value Prediction)
+// trace format: the instruction model, binary encoding, and stream
+// reader/writer.
+//
+// CVP-1 traces were generated at Qualcomm from Aarch64 workloads and released
+// after the 2018 championship. Each dynamic instruction record carries the
+// program counter, a coarse instruction class, the effective address and
+// access size for memory operations, the taken flag and target for branches,
+// and the architectural source/destination registers together with the
+// 64-bit values written to each destination. The traces are anonymized: the
+// exact opcode, addressing mode, instruction bytes, and special-purpose
+// registers (most importantly the flags/NZCV register) are absent, which is
+// the root cause of every conversion issue studied in the paper.
+package cvp
+
+import "fmt"
+
+// InstClass is the coarse instruction classification stored in CVP-1 traces.
+type InstClass uint8
+
+// Instruction classes, in the order defined by the CVP-1 trace kit.
+const (
+	ClassALU InstClass = iota
+	ClassLoad
+	ClassStore
+	ClassCondBranch
+	ClassUncondDirect
+	ClassUncondIndirect
+	ClassFP
+	ClassSlowALU
+	ClassUndef
+)
+
+// NumClasses is the number of valid instruction classes.
+const NumClasses = int(ClassUndef) + 1
+
+func (c InstClass) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassCondBranch:
+		return "condBranch"
+	case ClassUncondDirect:
+		return "uncondDirectBranch"
+	case ClassUncondIndirect:
+		return "uncondIndirectBranch"
+	case ClassFP:
+		return "fp"
+	case ClassSlowALU:
+		return "slowAlu"
+	case ClassUndef:
+		return "undef"
+	default:
+		return fmt.Sprintf("InstClass(%d)", uint8(c))
+	}
+}
+
+// IsBranch reports whether the class is one of the three CVP-1 branch
+// classes (conditional, unconditional direct, unconditional indirect).
+func (c InstClass) IsBranch() bool {
+	return c == ClassCondBranch || c == ClassUncondDirect || c == ClassUncondIndirect
+}
+
+// IsMem reports whether the class is a load or a store.
+func (c InstClass) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// Aarch64 architectural register numbering used by the CVP-1 traces.
+// General-purpose registers X0..X30 are 0..30; register 31 encodes XZR/SP;
+// SIMD registers V0..V31 are 32..63. The flags (NZCV) register is NOT
+// representable: the traces only record general-purpose and SIMD registers.
+const (
+	RegX0   = 0
+	RegX29  = 29 // frame pointer
+	RegLR   = 30 // X30, the link register
+	RegSP   = 31 // XZR / SP slot
+	RegV0   = 32
+	RegVMax = 63
+	// NumRegs is the size of the architectural register file visible in
+	// CVP-1 traces.
+	NumRegs = 64
+)
+
+// Limits of the record encoding.
+const (
+	// MaxSrcRegs is the largest source-register count the encoding
+	// accepts. A handful of Aarch64 instructions (e.g. compare-and-swap
+	// pair) read more than four registers; CVP-1 can represent them.
+	MaxSrcRegs = 6
+	// MaxDstRegs is the largest destination-register count: vector loads
+	// (LD3/LD4 with base update) can write several registers, but CVP-1
+	// caps the recorded set at three.
+	MaxDstRegs = 3
+)
+
+// Instruction is one dynamic instruction record from a CVP-1 trace.
+type Instruction struct {
+	// PC is the virtual address of the instruction.
+	PC uint64
+	// Class is the coarse instruction class.
+	Class InstClass
+
+	// EffAddr is the effective (virtual) address of a load or store.
+	// Valid only when Class.IsMem().
+	EffAddr uint64
+	// MemSize is the per-register transfer size in bytes (1, 2, 4, 8, 16,
+	// or 64 for DC ZVA). For load pairs and vector loads this is the size of ONE
+	// register's transfer; the trace does not record the total footprint,
+	// which is what the mem-footprint improvement reconstructs.
+	MemSize uint8
+
+	// Taken reports the outcome of a branch. Valid only for branches.
+	Taken bool
+	// Target is the target address of a taken branch.
+	Target uint64
+
+	// SrcRegs are the architectural source registers.
+	SrcRegs []uint8
+	// DstRegs are the architectural destination registers.
+	DstRegs []uint8
+	// DstValues are the values written to each destination register,
+	// parallel to DstRegs. These are what make the CVP-1 traces usable
+	// for value prediction, and what the improved converter's
+	// addressing-mode inference relies on.
+	DstValues []uint64
+}
+
+// IsLoad reports whether the instruction is a load.
+func (in *Instruction) IsLoad() bool { return in.Class == ClassLoad }
+
+// IsStore reports whether the instruction is a store.
+func (in *Instruction) IsStore() bool { return in.Class == ClassStore }
+
+// IsBranch reports whether the instruction is any branch class.
+func (in *Instruction) IsBranch() bool { return in.Class.IsBranch() }
+
+// ReadsReg reports whether r appears among the source registers.
+func (in *Instruction) ReadsReg(r uint8) bool {
+	for _, s := range in.SrcRegs {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesReg reports whether r appears among the destination registers.
+func (in *Instruction) WritesReg(r uint8) bool {
+	for _, d := range in.DstRegs {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}
+
+// DstValue returns the value written to register r and whether r is a
+// destination of the instruction.
+func (in *Instruction) DstValue(r uint8) (uint64, bool) {
+	for i, d := range in.DstRegs {
+		if d == r {
+			return in.DstValues[i], true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the structural invariants of the record and returns a
+// descriptive error when one is violated.
+func (in *Instruction) Validate() error {
+	if int(in.Class) >= NumClasses {
+		return fmt.Errorf("cvp: invalid instruction class %d at pc %#x", in.Class, in.PC)
+	}
+	if len(in.SrcRegs) > MaxSrcRegs {
+		return fmt.Errorf("cvp: %d source registers exceeds max %d at pc %#x", len(in.SrcRegs), MaxSrcRegs, in.PC)
+	}
+	if len(in.DstRegs) > MaxDstRegs {
+		return fmt.Errorf("cvp: %d destination registers exceeds max %d at pc %#x", len(in.DstRegs), MaxDstRegs, in.PC)
+	}
+	if len(in.DstValues) != len(in.DstRegs) {
+		return fmt.Errorf("cvp: %d destination values for %d destination registers at pc %#x", len(in.DstValues), len(in.DstRegs), in.PC)
+	}
+	for _, r := range in.SrcRegs {
+		if r >= NumRegs {
+			return fmt.Errorf("cvp: source register %d out of range at pc %#x", r, in.PC)
+		}
+	}
+	for _, r := range in.DstRegs {
+		if r >= NumRegs {
+			return fmt.Errorf("cvp: destination register %d out of range at pc %#x", r, in.PC)
+		}
+	}
+	if in.Class.IsMem() {
+		switch in.MemSize {
+		case 1, 2, 4, 8, 16, 64: // 64 encodes DC ZVA cacheline-zeroing stores
+		default:
+			return fmt.Errorf("cvp: invalid access size %d at pc %#x", in.MemSize, in.PC)
+		}
+	}
+	if !in.Class.IsBranch() && in.Taken {
+		return fmt.Errorf("cvp: non-branch marked taken at pc %#x", in.PC)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instruction.
+func (in *Instruction) Clone() *Instruction {
+	out := *in
+	out.SrcRegs = append([]uint8(nil), in.SrcRegs...)
+	out.DstRegs = append([]uint8(nil), in.DstRegs...)
+	out.DstValues = append([]uint64(nil), in.DstValues...)
+	return &out
+}
+
+// Source is a stream of CVP-1 instructions. Next returns io.EOF after the
+// final instruction.
+type Source interface {
+	Next() (*Instruction, error)
+}
+
+// SliceSource adapts an in-memory instruction slice to the Source interface.
+type SliceSource struct {
+	instrs []*Instruction
+	pos    int
+}
+
+// NewSliceSource returns a Source reading from instrs.
+func NewSliceSource(instrs []*Instruction) *SliceSource {
+	return &SliceSource{instrs: instrs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (*Instruction, error) {
+	if s.pos >= len(s.instrs) {
+		return nil, errEOF
+	}
+	in := s.instrs[s.pos]
+	s.pos++
+	return in, nil
+}
+
+// Reset rewinds the source to the first instruction.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of instructions in the source.
+func (s *SliceSource) Len() int { return len(s.instrs) }

@@ -1,0 +1,336 @@
+package cvp
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleInstrs() []*Instruction {
+	return []*Instruction{
+		{PC: 0x1000, Class: ClassALU, SrcRegs: []uint8{1, 2}, DstRegs: []uint8{3}, DstValues: []uint64{42}},
+		{PC: 0x1004, Class: ClassLoad, EffAddr: 0xdeadbeef0, MemSize: 8, SrcRegs: []uint8{0}, DstRegs: []uint8{1, 0}, DstValues: []uint64{7, 0xdeadbeef8}},
+		{PC: 0x1008, Class: ClassStore, EffAddr: 0xcafef00d, MemSize: 4, SrcRegs: []uint8{2, 0}},
+		{PC: 0x100c, Class: ClassCondBranch, Taken: true, Target: 0x1000, SrcRegs: []uint8{5}},
+		{PC: 0x1010, Class: ClassCondBranch, Taken: false},
+		{PC: 0x1014, Class: ClassUncondDirect, Taken: true, Target: 0x2000, DstRegs: []uint8{RegLR}, DstValues: []uint64{0x1018}},
+		{PC: 0x2000, Class: ClassUncondIndirect, Taken: true, Target: 0x1018, SrcRegs: []uint8{RegLR}},
+		{PC: 0x1018, Class: ClassFP, SrcRegs: []uint8{33, 34}, DstRegs: []uint8{35}, DstValues: []uint64{1}},
+		{PC: 0x101c, Class: ClassSlowALU, SrcRegs: []uint8{1, 2}, DstRegs: []uint8{4}, DstValues: []uint64{9}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := sampleInstrs()
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatalf("Write(%+v): %v", in, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(want)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(want))
+	}
+
+	r := NewReader(&buf)
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(normalize(got[i]), normalize(want[i])) {
+			t.Errorf("instr %d:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for comparison.
+func normalize(in *Instruction) Instruction {
+	out := *in
+	if len(out.SrcRegs) == 0 {
+		out.SrcRegs = nil
+	}
+	if len(out.DstRegs) == 0 {
+		out.DstRegs = nil
+	}
+	if len(out.DstValues) == 0 {
+		out.DstValues = nil
+	}
+	return out
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var raw bytes.Buffer
+	zw := gzip.NewWriter(&raw)
+	w := NewWriter(zw)
+	want := sampleInstrs()
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, closer, err := OpenReader("trace.gz", bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	defer closer.Close()
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(want))
+	}
+}
+
+func TestOpenReaderPlain(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleInstrs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, closer, err := OpenReader("trace.bin", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range sampleInstrs() {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop the stream at every prefix length and verify the reader either
+	// returns clean io.EOF at a record boundary or flags truncation; it
+	// must never hang or return corrupt data silently beyond the cut.
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if err == io.EOF {
+			continue // clean boundary
+		}
+		if err == nil {
+			t.Fatalf("cut %d: no error on truncated stream", cut)
+		}
+	}
+}
+
+func TestInvalidClass(t *testing.T) {
+	// A record whose class byte is out of range must be rejected.
+	b := make([]byte, 9)
+	b[8] = 0xff
+	r := NewReader(bytes.NewReader(b))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("Next accepted invalid class byte")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instruction
+		ok   bool
+	}{
+		{"plain alu", Instruction{Class: ClassALU}, true},
+		{"bad class", Instruction{Class: InstClass(99)}, false},
+		{"too many src", Instruction{Class: ClassALU, SrcRegs: make([]uint8, MaxSrcRegs+1)}, false},
+		{"too many dst", Instruction{Class: ClassALU, DstRegs: make([]uint8, MaxDstRegs+1), DstValues: make([]uint64, MaxDstRegs+1)}, false},
+		{"value count mismatch", Instruction{Class: ClassALU, DstRegs: []uint8{1}}, false},
+		{"src out of range", Instruction{Class: ClassALU, SrcRegs: []uint8{64}}, false},
+		{"dst out of range", Instruction{Class: ClassALU, DstRegs: []uint8{200}, DstValues: []uint64{0}}, false},
+		{"bad mem size", Instruction{Class: ClassLoad, MemSize: 3}, false},
+		{"good mem size", Instruction{Class: ClassLoad, MemSize: 16}, true},
+		{"taken non-branch", Instruction{Class: ClassALU, Taken: true}, false},
+		{"taken branch", Instruction{Class: ClassCondBranch, Taken: true}, true},
+	}
+	for _, tc := range cases {
+		err := tc.in.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestInstructionPredicates(t *testing.T) {
+	ld := &Instruction{Class: ClassLoad, SrcRegs: []uint8{7}, DstRegs: []uint8{3, 7}, DstValues: []uint64{11, 22}}
+	if !ld.IsLoad() || ld.IsStore() || ld.IsBranch() {
+		t.Errorf("load predicates wrong: %+v", ld)
+	}
+	if !ld.ReadsReg(7) || ld.ReadsReg(3) {
+		t.Error("ReadsReg wrong")
+	}
+	if !ld.WritesReg(3) || !ld.WritesReg(7) || ld.WritesReg(1) {
+		t.Error("WritesReg wrong")
+	}
+	if v, ok := ld.DstValue(7); !ok || v != 22 {
+		t.Errorf("DstValue(7) = %d,%v want 22,true", v, ok)
+	}
+	if _, ok := ld.DstValue(9); ok {
+		t.Error("DstValue(9) should be absent")
+	}
+	for _, c := range []InstClass{ClassCondBranch, ClassUncondDirect, ClassUncondIndirect} {
+		if !c.IsBranch() {
+			t.Errorf("%v should be a branch", c)
+		}
+	}
+	for _, c := range []InstClass{ClassALU, ClassLoad, ClassStore, ClassFP, ClassSlowALU, ClassUndef} {
+		if c.IsBranch() {
+			t.Errorf("%v should not be a branch", c)
+		}
+	}
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() || ClassALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := sampleInstrs()[1]
+	c := in.Clone()
+	if !reflect.DeepEqual(normalize(c), normalize(in)) {
+		t.Fatalf("clone differs: %+v vs %+v", c, in)
+	}
+	c.DstRegs[0] = 99
+	c.SrcRegs[0] = 98
+	c.DstValues[0] = 97
+	if in.DstRegs[0] == 99 || in.SrcRegs[0] == 98 || in.DstValues[0] == 97 {
+		t.Error("Clone shares backing arrays with original")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	instrs := sampleInstrs()
+	src := NewSliceSource(instrs)
+	if src.Len() != len(instrs) {
+		t.Fatalf("Len = %d want %d", src.Len(), len(instrs))
+	}
+	got, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(instrs) {
+		t.Fatalf("read %d want %d", len(got), len(instrs))
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("exhausted source returned %v, want io.EOF", err)
+	}
+	src.Reset()
+	if in, err := src.Next(); err != nil || in != instrs[0] {
+		t.Fatalf("after Reset, Next = %v, %v", in, err)
+	}
+}
+
+// randomInstruction builds a structurally valid random instruction for
+// property-based round-trip testing.
+func randomInstruction(r *rand.Rand) *Instruction {
+	in := &Instruction{
+		PC:    r.Uint64(),
+		Class: InstClass(r.Intn(NumClasses)),
+	}
+	if in.Class.IsMem() {
+		in.EffAddr = r.Uint64()
+		in.MemSize = []uint8{1, 2, 4, 8, 16}[r.Intn(5)]
+	}
+	if in.Class.IsBranch() {
+		in.Taken = r.Intn(2) == 0
+		if in.Taken {
+			in.Target = r.Uint64()
+		}
+	}
+	for i, n := 0, r.Intn(MaxSrcRegs+1); i < n; i++ {
+		in.SrcRegs = append(in.SrcRegs, uint8(r.Intn(NumRegs)))
+	}
+	for i, n := 0, r.Intn(MaxDstRegs+1); i < n; i++ {
+		in.DstRegs = append(in.DstRegs, uint8(r.Intn(NumRegs)))
+		in.DstValues = append(in.DstValues, r.Uint64())
+	}
+	return in
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		want := make([]*Instruction, count)
+		for i := range want {
+			want[i] = randomInstruction(r)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, in := range want {
+			if err := w.Write(in); err != nil {
+				t.Logf("Write: %v", err)
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(NewReader(&buf))
+		if err != nil {
+			t.Logf("ReadAll: %v", err)
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !reflect.DeepEqual(normalize(got[i]), normalize(want[i])) {
+				t.Logf("instr %d mismatch:\n got  %+v\n want %+v", i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	seen := map[string]bool{}
+	for c := InstClass(0); int(c) < NumClasses; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("class %d has empty/duplicate string %q", c, s)
+		}
+		seen[s] = true
+	}
+	if got := InstClass(200).String(); got != "InstClass(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}

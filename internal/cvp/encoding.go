@@ -1,0 +1,222 @@
+package cvp
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// errEOF is the sentinel returned by sources when the stream is exhausted.
+var errEOF = io.EOF
+
+// The binary record layout follows the CVP-1 trace kit:
+//
+//	pc          uint64
+//	class       uint8
+//	if load/store:
+//	    effAddr uint64
+//	    memSize uint8
+//	if branch:
+//	    taken   uint8
+//	    if taken: target uint64
+//	nSrc        uint8
+//	src[nSrc]   uint8 each
+//	nDst        uint8
+//	dst[nDst]   uint8 each
+//	val[nDst]   uint64 each
+//
+// All integers are little-endian.
+
+// Writer encodes instructions into the CVP-1 binary format.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   uint64
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+}
+
+// Write encodes one instruction. The instruction is validated first.
+func (tw *Writer) Write(in *Instruction) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	b := tw.buf[:0]
+	b = binary.LittleEndian.AppendUint64(b, in.PC)
+	b = append(b, byte(in.Class))
+	if in.Class.IsMem() {
+		b = binary.LittleEndian.AppendUint64(b, in.EffAddr)
+		b = append(b, in.MemSize)
+	}
+	if in.Class.IsBranch() {
+		if in.Taken {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint64(b, in.Target)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = append(b, byte(len(in.SrcRegs)))
+	b = append(b, in.SrcRegs...)
+	b = append(b, byte(len(in.DstRegs)))
+	b = append(b, in.DstRegs...)
+	for _, v := range in.DstValues {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	tw.buf = b[:0]
+	if _, err := tw.w.Write(b); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of instructions written so far.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush flushes buffered output to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes instructions from the CVP-1 binary format. It implements
+// Source.
+type Reader struct {
+	r   *bufio.Reader
+	n   uint64
+	tmp [8]byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (tr *Reader) readU8() (uint8, error) { return tr.r.ReadByte() }
+
+func (tr *Reader) readU64() (uint64, error) {
+	if _, err := io.ReadFull(tr.r, tr.tmp[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(tr.tmp[:]), nil
+}
+
+// Next decodes the next instruction, returning io.EOF at a clean end of
+// stream and io.ErrUnexpectedEOF for a truncated record.
+func (tr *Reader) Next() (*Instruction, error) {
+	pc, err := tr.readU64()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("cvp: truncated record after %d instructions: %w", tr.n, err)
+		}
+		return nil, err
+	}
+	in := &Instruction{PC: pc}
+	cls, err := tr.readU8()
+	if err != nil {
+		return nil, truncated(tr.n, err)
+	}
+	if int(cls) >= NumClasses {
+		return nil, fmt.Errorf("cvp: invalid instruction class %d at record %d", cls, tr.n)
+	}
+	in.Class = InstClass(cls)
+	if in.Class.IsMem() {
+		if in.EffAddr, err = tr.readU64(); err != nil {
+			return nil, truncated(tr.n, err)
+		}
+		if in.MemSize, err = tr.readU8(); err != nil {
+			return nil, truncated(tr.n, err)
+		}
+	}
+	if in.Class.IsBranch() {
+		t, err := tr.readU8()
+		if err != nil {
+			return nil, truncated(tr.n, err)
+		}
+		in.Taken = t != 0
+		if in.Taken {
+			if in.Target, err = tr.readU64(); err != nil {
+				return nil, truncated(tr.n, err)
+			}
+		}
+	}
+	nSrc, err := tr.readU8()
+	if err != nil {
+		return nil, truncated(tr.n, err)
+	}
+	if int(nSrc) > MaxSrcRegs {
+		return nil, fmt.Errorf("cvp: record %d has %d source registers (max %d)", tr.n, nSrc, MaxSrcRegs)
+	}
+	if nSrc > 0 {
+		in.SrcRegs = make([]uint8, nSrc)
+		if _, err := io.ReadFull(tr.r, in.SrcRegs); err != nil {
+			return nil, truncated(tr.n, err)
+		}
+	}
+	nDst, err := tr.readU8()
+	if err != nil {
+		return nil, truncated(tr.n, err)
+	}
+	if int(nDst) > MaxDstRegs {
+		return nil, fmt.Errorf("cvp: record %d has %d destination registers (max %d)", tr.n, nDst, MaxDstRegs)
+	}
+	if nDst > 0 {
+		in.DstRegs = make([]uint8, nDst)
+		if _, err := io.ReadFull(tr.r, in.DstRegs); err != nil {
+			return nil, truncated(tr.n, err)
+		}
+		in.DstValues = make([]uint64, nDst)
+		for i := range in.DstValues {
+			if in.DstValues[i], err = tr.readU64(); err != nil {
+				return nil, truncated(tr.n, err)
+			}
+		}
+	}
+	tr.n++
+	return in, nil
+}
+
+// Count returns the number of instructions decoded so far.
+func (tr *Reader) Count() uint64 { return tr.n }
+
+func truncated(n uint64, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("cvp: truncated record after %d instructions: %w", n, io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// OpenReader wraps r with transparent gzip decompression when name carries a
+// ".gz" suffix, mirroring how the CVP-1 traces are distributed.
+func OpenReader(name string, r io.Reader) (*Reader, io.Closer, error) {
+	if strings.HasSuffix(name, ".gz") {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cvp: open %s: %w", name, err)
+		}
+		return NewReader(zr), zr, nil
+	}
+	return NewReader(r), io.NopCloser(r), nil
+}
+
+// ReadAll decodes the full stream into memory.
+func ReadAll(src Source) ([]*Instruction, error) {
+	var out []*Instruction
+	for {
+		in, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+}

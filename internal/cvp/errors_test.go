@@ -1,0 +1,66 @@
+package cvp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	bad := &Instruction{Class: InstClass(99)}
+	if err := w.Write(bad); err == nil {
+		t.Fatal("Write accepted invalid class")
+	}
+	if w.Count() != 0 {
+		t.Fatalf("Count = %d after rejected write", w.Count())
+	}
+}
+
+func TestOpenReaderBadGzip(t *testing.T) {
+	if _, _, err := OpenReader("trace.gz", strings.NewReader("not gzip data")); err == nil {
+		t.Fatal("OpenReader accepted corrupt gzip")
+	}
+}
+
+func TestReaderRejectsOversizedCounts(t *testing.T) {
+	// Record with nSrc > MaxSrcRegs.
+	b := make([]byte, 0, 16)
+	b = append(b, make([]byte, 8)...) // pc
+	b = append(b, byte(ClassALU))
+	b = append(b, byte(MaxSrcRegs+1))
+	r := NewReader(bytes.NewReader(b))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("accepted oversized source count")
+	}
+	// Record with nDst > MaxDstRegs.
+	b2 := make([]byte, 0, 16)
+	b2 = append(b2, make([]byte, 8)...)
+	b2 = append(b2, byte(ClassALU))
+	b2 = append(b2, 0) // no srcs
+	b2 = append(b2, byte(MaxDstRegs+1))
+	r2 := NewReader(bytes.NewReader(b2))
+	if _, err := r2.Next(); err == nil {
+		t.Fatal("accepted oversized destination count")
+	}
+}
+
+func TestReaderCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		if err := w.Write(&Instruction{PC: uint64(i), Class: ClassALU}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", r.Count())
+	}
+}

@@ -1,0 +1,144 @@
+package cvpsim
+
+import (
+	"testing"
+
+	"tracerebase/internal/cvp"
+	simmem "tracerebase/internal/sim/mem"
+	"tracerebase/internal/synth"
+)
+
+func run(t *testing.T, instrs []*cvp.Instruction, fixes bool) Stats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CVP2Fixes = fixes
+	st, err := Run(cvp.NewSliceSource(instrs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// writebackChain builds a pointer-walking loop of pre-index loads: the base
+// register of each load feeds the next load's address — the §1 scenario
+// where CVP-1's instruction-granularity latency serializes on memory.
+func writebackChain(n int) []*cvp.Instruction {
+	out := make([]*cvp.Instruction, 0, n)
+	base := uint64(0x10000000)
+	for i := 0; i < n; i++ {
+		eff := base + 64 // pre-index: new base == effective address
+		out = append(out, &cvp.Instruction{
+			PC: 0x400000 + uint64(i%64)*4, Class: cvp.ClassLoad,
+			EffAddr: eff, MemSize: 8,
+			SrcRegs:   []uint8{8},
+			DstRegs:   []uint8{1, 8},
+			DstValues: []uint64{0xdead, eff},
+		})
+		base = eff
+	}
+	return out
+}
+
+// TestBaseUpdateFlawSerializes reproduces flaw #2: without the CVP-2 fix,
+// each load's address waits for the previous load's DATA; with the fix the
+// base releases at ALU latency and the chain pipelines.
+func TestBaseUpdateFlawSerializes(t *testing.T) {
+	instrs := writebackChain(4000)
+	flawed := run(t, instrs, false)
+	fixed := run(t, instrs, true)
+	if fixed.IPC() <= flawed.IPC()*1.2 {
+		t.Fatalf("CVP-2 fix should unserialize the writeback chain: %.3f -> %.3f IPC",
+			flawed.IPC(), fixed.IPC())
+	}
+}
+
+// TestFootprintFlawOverestimates reproduces flaw #1: the flawed accounting
+// doubles the footprint of base-update loads (2 outputs x transfer size),
+// the fixed accounting counts only the memory-populated register.
+func TestFootprintFlawOverestimates(t *testing.T) {
+	instrs := writebackChain(1000)
+	flawed := run(t, instrs, false)
+	fixed := run(t, instrs, true)
+	if flawed.MemBytes != 2*fixed.MemBytes {
+		t.Fatalf("flawed footprint %d bytes, fixed %d — want exactly 2x for 8B pre-index loads",
+			flawed.MemBytes, fixed.MemBytes)
+	}
+	if fixed.MemBytes != 1000*8 {
+		t.Fatalf("fixed footprint = %d, want %d", fixed.MemBytes, 1000*8)
+	}
+}
+
+// Plain loads (no writeback) are identical under both accountings.
+func TestPlainLoadsUnaffected(t *testing.T) {
+	var instrs []*cvp.Instruction
+	for i := 0; i < 2000; i++ {
+		instrs = append(instrs, &cvp.Instruction{
+			PC: 0x400000 + uint64(i%64)*4, Class: cvp.ClassLoad,
+			EffAddr: 0x20000000 + uint64(i%512)*64, MemSize: 8,
+			SrcRegs:   []uint8{8},
+			DstRegs:   []uint8{1},
+			DstValues: []uint64{uint64(i)},
+		})
+	}
+	flawed := run(t, instrs, false)
+	fixed := run(t, instrs, true)
+	if flawed.MemBytes != fixed.MemBytes {
+		t.Fatalf("plain loads diverge: %d vs %d bytes", flawed.MemBytes, fixed.MemBytes)
+	}
+	if flawed.IPC() != fixed.IPC() {
+		t.Fatalf("plain loads diverge in IPC: %.3f vs %.3f", flawed.IPC(), fixed.IPC())
+	}
+}
+
+func TestRunsSyntheticTrace(t *testing.T) {
+	p := synth.PublicProfile(synth.ComputeInt, 12)
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flawed := run(t, instrs, false)
+	fixed := run(t, instrs, true)
+	if flawed.Instructions != 30000 || fixed.Instructions != 30000 {
+		t.Fatalf("instruction counts: %d, %d", flawed.Instructions, fixed.Instructions)
+	}
+	if flawed.IPC() <= 0 || fixed.IPC() <= 0 {
+		t.Fatal("degenerate IPC")
+	}
+	// The fixes never hurt: footprint shrinks or holds, IPC rises or holds.
+	if fixed.MemBytes > flawed.MemBytes {
+		t.Errorf("fixed footprint %d > flawed %d", fixed.MemBytes, flawed.MemBytes)
+	}
+	if fixed.IPC() < flawed.IPC()*0.999 {
+		t.Errorf("fixes slowed the model: %.3f -> %.3f", flawed.IPC(), fixed.IPC())
+	}
+}
+
+func TestWindowBoundsRunahead(t *testing.T) {
+	// A tiny window on a slow chain forces fetch to wait: cycles grow.
+	instrs := writebackChain(500)
+	small := DefaultConfig()
+	small.WindowSize = 4
+	big := DefaultConfig()
+	big.WindowSize = 512
+	stSmall, err := Run(cvp.NewSliceSource(instrs), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBig, err := Run(cvp.NewSliceSource(instrs), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSmall.Cycles < stBig.Cycles {
+		t.Fatalf("smaller window finished faster: %d < %d cycles", stSmall.Cycles, stBig.Cycles)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	st, err := Run(cvp.NewSliceSource(writebackChain(100)), Config{Hierarchy: simmem.DefaultHierarchyConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 100 {
+		t.Fatalf("instructions = %d", st.Instructions)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tracerebase/internal/synth"
+)
+
+// CharRow characterizes one public trace under the improved converter — the
+// public-suite counterpart of Table 2, useful for inspecting what the
+// synthetic suite looks like in absolute terms.
+type CharRow struct {
+	Name     string
+	Category string
+	IPC      float64
+	// Branch MPKIs: overall / direction / target.
+	Overall, Direction, Target float64
+	// Hierarchy MPKIs.
+	L1I, L1D, L2, LLC float64
+	// BaseUpdatePct is the percentage of instructions that are
+	// base-update loads; CondPct the conditional-branch percentage.
+	BaseUpdatePct, CondPct float64
+}
+
+// Characterize runs the public suite (or a subset) under All_imps on the
+// develop model and returns per-trace characterization rows.
+func Characterize(profiles []synth.Profile, cfg SweepConfig) ([]CharRow, error) {
+	cfg.fill()
+	cfg.Variants = figureVariants(VariantAll)
+	if profiles == nil {
+		profiles = synth.PublicSuite()
+	}
+	results, err := RunSweep(profiles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CharRow, 0, len(results))
+	for _, tr := range results {
+		r := tr.Results[VariantAll]
+		st := r.Sim
+		row := CharRow{
+			Name:      tr.Profile.Name,
+			Category:  string(tr.Profile.Category),
+			IPC:       st.IPC(),
+			Overall:   st.BranchMPKI(),
+			Direction: st.DirMPKI(),
+			Target:    st.TargetMPKI(),
+			L1I:       st.L1I.MPKI(st.Instructions),
+			L1D:       st.L1D.MPKI(st.Instructions),
+			L2:        st.L2.MPKI(st.Instructions),
+			LLC:       st.LLC.MPKI(st.Instructions),
+		}
+		if r.Conv.In > 0 {
+			row.BaseUpdatePct = 100 * float64(r.Conv.BaseUpdateLoads) / float64(r.Conv.In)
+			row.CondPct = 100 * float64(r.Conv.CondBranches) / float64(r.Conv.In)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCharacterization prints the characterization table.
+func RenderCharacterization(w io.Writer, rows []CharRow) {
+	fmt.Fprintln(w, "CVP-1 public suite characterization (improved converter, develop model)")
+	fmt.Fprintf(w, "  %-16s %-12s %5s | %7s %9s %6s | %6s %6s %6s %6s | %7s %6s\n",
+		"trace", "category", "IPC", "overall", "direction", "target", "L1I", "L1D", "L2", "LLC", "baseupd%", "cond%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %-12s %5.2f | %7.2f %9.2f %6.2f | %6.1f %6.1f %6.1f %6.1f | %7.2f %6.2f\n",
+			r.Name, r.Category, r.IPC, r.Overall, r.Direction, r.Target,
+			r.L1I, r.L1D, r.L2, r.LLC, r.BaseUpdatePct, r.CondPct)
+	}
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tracerebase/internal/stats"
+)
+
+// fig1Order lists the Fig. 1 bars left to right.
+var fig1Order = []string{
+	VariantBaseUpdate, VariantMemFootprint, VariantMemRegs, VariantMemory,
+	VariantFlagReg, VariantBranchRegs, VariantCallStack, VariantBranch,
+	VariantAll,
+}
+
+// Fig1Row is one bar of Figure 1: the IPC variation of the geometric mean
+// across the CVP-1 public traces for one improvement set.
+type Fig1Row struct {
+	Variant string
+	// GeomeanDeltaPct is 100*(geomean(IPC_variant/IPC_original)-1).
+	GeomeanDeltaPct float64
+}
+
+// Fig1 computes the Figure 1 series from a sweep.
+func Fig1(results []TraceResult) []Fig1Row {
+	rows := make([]Fig1Row, 0, len(fig1Order))
+	for _, v := range fig1Order {
+		ratios := make([]float64, 0, len(results))
+		for _, tr := range results {
+			if _, ok := tr.Results[v]; !ok {
+				continue
+			}
+			ratios = append(ratios, 1+tr.Delta(v))
+		}
+		if len(ratios) == 0 {
+			continue
+		}
+		rows = append(rows, Fig1Row{Variant: v, GeomeanDeltaPct: 100 * (stats.Geomean(ratios) - 1)})
+	}
+	return rows
+}
+
+// RenderFig1 prints the Figure 1 bars.
+func RenderFig1(w io.Writer, rows []Fig1Row) {
+	fmt.Fprintln(w, "Figure 1: IPC variation of the geomean IPC across the CVP-1 public traces")
+	fmt.Fprintln(w, "          (each improvement vs the original cvp2champsim converter)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %+7.2f%%\n", r.Variant, r.GeomeanDeltaPct)
+	}
+}
+
+// Fig2Series is one curve of Figure 2: per-trace IPC variation for one
+// improvement, sorted from highest increase to highest decrease.
+type Fig2Series struct {
+	Variant string
+	// DeltasPct is sorted descending (the paper sorts each curve
+	// independently).
+	DeltasPct []float64
+	// Above5 and Below5 count traces with |delta| beyond 5%.
+	Above5, Below5 int
+	// WorstTrace and BestTrace name the extremes.
+	WorstTrace, BestTrace string
+	WorstPct, BestPct     float64
+}
+
+// Fig2 computes the Figure 2 series from a sweep.
+func Fig2(results []TraceResult) []Fig2Series {
+	var out []Fig2Series
+	for _, v := range fig1Order {
+		s := Fig2Series{Variant: v}
+		for _, tr := range results {
+			if _, ok := tr.Results[v]; !ok {
+				continue
+			}
+			d := 100 * tr.Delta(v)
+			s.DeltasPct = append(s.DeltasPct, d)
+			if d > 5 {
+				s.Above5++
+			}
+			if d < -5 {
+				s.Below5++
+			}
+			if d < s.WorstPct {
+				s.WorstPct, s.WorstTrace = d, tr.Profile.Name
+			}
+			if d > s.BestPct {
+				s.BestPct, s.BestTrace = d, tr.Profile.Name
+			}
+		}
+		if len(s.DeltasPct) == 0 {
+			continue
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(s.DeltasPct)))
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderFig2 prints the Figure 2 summary and curves.
+func RenderFig2(w io.Writer, series []Fig2Series) {
+	fmt.Fprintln(w, "Figure 2: per-trace IPC variation, sorted per improvement")
+	for _, s := range series {
+		fmt.Fprintf(w, "  %-14s >+5%%: %3d traces  <-5%%: %3d traces", s.Variant, s.Above5, s.Below5)
+		if s.BestTrace != "" {
+			fmt.Fprintf(w, "  best %+6.1f%% (%s)", s.BestPct, s.BestTrace)
+		}
+		if s.WorstTrace != "" {
+			fmt.Fprintf(w, "  worst %+6.1f%% (%s)", s.WorstPct, s.WorstTrace)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "    series:")
+		for i, d := range s.DeltasPct {
+			if i%10 == 0 {
+				fmt.Fprintf(w, "\n      ")
+			}
+			fmt.Fprintf(w, "%+6.1f ", d)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig3Row is one x-position of Figure 3: a trace with its baseline branch
+// MPKI and the slowdown caused by the two dependency-restoring branch
+// improvements.
+type Fig3Row struct {
+	Trace      string
+	BranchMPKI float64
+	// FlagRegSlowdownPct and BranchRegsSlowdownPct are positive when the
+	// improvement reduces IPC.
+	FlagRegSlowdownPct    float64
+	BranchRegsSlowdownPct float64
+}
+
+// Fig3 computes the Figure 3 rows, sorted by increasing branch MPKI of the
+// original traces.
+func Fig3(results []TraceResult) []Fig3Row {
+	rows := make([]Fig3Row, 0, len(results))
+	for _, tr := range results {
+		base, ok := tr.Results[VariantNone]
+		if !ok {
+			continue
+		}
+		if _, ok := tr.Results[VariantFlagReg]; !ok {
+			continue
+		}
+		rows = append(rows, Fig3Row{
+			Trace:                 tr.Profile.Name,
+			BranchMPKI:            base.Sim.BranchMPKI(),
+			FlagRegSlowdownPct:    -100 * tr.Delta(VariantFlagReg),
+			BranchRegsSlowdownPct: -100 * tr.Delta(VariantBranchRegs),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].BranchMPKI < rows[j].BranchMPKI })
+	return rows
+}
+
+// RenderFig3 prints the Figure 3 table.
+func RenderFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "Figure 3: slowdown of flag-reg and branch-regs vs branch MPKI")
+	fmt.Fprintln(w, "          (traces sorted by increasing branch MPKI)")
+	fmt.Fprintf(w, "  %-18s %10s %12s %12s\n", "trace", "brMPKI", "flag-reg%", "branch-regs%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %10.2f %12.2f %12.2f\n", r.Trace, r.BranchMPKI, r.FlagRegSlowdownPct, r.BranchRegsSlowdownPct)
+	}
+	lo, hi := splitHalves(rows)
+	fmt.Fprintf(w, "  mean slowdown, low-MPKI half:  flag-reg %.2f%%  branch-regs %.2f%%\n", lo[0], lo[1])
+	fmt.Fprintf(w, "  mean slowdown, high-MPKI half: flag-reg %.2f%%  branch-regs %.2f%%\n", hi[0], hi[1])
+}
+
+func splitHalves(rows []Fig3Row) (lo, hi [2]float64) {
+	half := len(rows) / 2
+	if half == 0 {
+		return
+	}
+	for i, r := range rows {
+		if i < half {
+			lo[0] += r.FlagRegSlowdownPct / float64(half)
+			lo[1] += r.BranchRegsSlowdownPct / float64(half)
+		} else {
+			hi[0] += r.FlagRegSlowdownPct / float64(len(rows)-half)
+			hi[1] += r.BranchRegsSlowdownPct / float64(len(rows)-half)
+		}
+	}
+	return
+}
+
+// Fig4Row is one x-position of Figure 4: a trace with its fraction of
+// base-update loads and the speedup from the base-update improvement.
+type Fig4Row struct {
+	Trace string
+	// BaseUpdateLoadPct is the percentage of dynamic instructions that
+	// are loads performing base-register writeback.
+	BaseUpdateLoadPct float64
+	SpeedupPct        float64
+}
+
+// Fig4 computes the Figure 4 rows, sorted by increasing base-update load
+// fraction.
+func Fig4(results []TraceResult) []Fig4Row {
+	rows := make([]Fig4Row, 0, len(results))
+	for _, tr := range results {
+		r, ok := tr.Results[VariantBaseUpdate]
+		if !ok {
+			continue
+		}
+		pct := 0.0
+		if r.Conv.In > 0 {
+			pct = 100 * float64(r.Conv.BaseUpdateLoads) / float64(r.Conv.In)
+		}
+		rows = append(rows, Fig4Row{
+			Trace:             tr.Profile.Name,
+			BaseUpdateLoadPct: pct,
+			SpeedupPct:        100 * tr.Delta(VariantBaseUpdate),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].BaseUpdateLoadPct < rows[j].BaseUpdateLoadPct })
+	return rows
+}
+
+// RenderFig4 prints the Figure 4 table.
+func RenderFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4: speedup of base-update vs fraction of base-update loads")
+	fmt.Fprintln(w, "          (traces sorted by increasing base-update load fraction)")
+	fmt.Fprintf(w, "  %-18s %14s %10s\n", "trace", "baseupd-loads%", "speedup%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %14.2f %10.2f\n", r.Trace, r.BaseUpdateLoadPct, r.SpeedupPct)
+	}
+}
+
+// Fig5Row is one trace of Figure 5: return-target MPKI before and after the
+// call-stack fix, and the resulting IPC change.
+type Fig5Row struct {
+	Trace        string
+	RetMPKIOrig  float64
+	RetMPKIFixed float64
+	IPCDeltaPct  float64
+}
+
+// Fig5Threshold is the original-converter return MPKI above which a trace
+// counts as affected by the call-stack bug (the paper's affected subset has
+// return misprediction rates an order of magnitude above the rest).
+const Fig5Threshold = 0.5
+
+// Fig5 computes the Figure 5 rows — the traces suffering high return MPKI
+// with the original converter — sorted from highest to lowest original
+// return MPKI.
+func Fig5(results []TraceResult) []Fig5Row {
+	var rows []Fig5Row
+	for _, tr := range results {
+		base, ok := tr.Results[VariantNone]
+		if !ok {
+			continue
+		}
+		fixed, ok := tr.Results[VariantCallStack]
+		if !ok {
+			continue
+		}
+		if base.Sim.ReturnMPKI() < Fig5Threshold {
+			continue
+		}
+		rows = append(rows, Fig5Row{
+			Trace:        tr.Profile.Name,
+			RetMPKIOrig:  base.Sim.ReturnMPKI(),
+			RetMPKIFixed: fixed.Sim.ReturnMPKI(),
+			IPCDeltaPct:  100 * tr.Delta(VariantCallStack),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].RetMPKIOrig > rows[j].RetMPKIOrig })
+	return rows
+}
+
+// RenderFig5 prints the Figure 5 table.
+func RenderFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5: call-stack fix on the affected traces")
+	fmt.Fprintln(w, "          (traces sorted by decreasing original RAS MPKI)")
+	fmt.Fprintf(w, "  %-18s %12s %12s %10s\n", "trace", "retMPKI-orig", "retMPKI-fix", "IPC delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %12.2f %12.2f %+9.2f%%\n", r.Trace, r.RetMPKIOrig, r.RetMPKIFixed, r.IPCDeltaPct)
+	}
+	if len(rows) > 0 {
+		var ratio float64
+		n := 0
+		for _, r := range rows {
+			if r.RetMPKIFixed > 0 {
+				ratio += r.RetMPKIOrig / r.RetMPKIFixed
+				n++
+			}
+		}
+		fmt.Fprintf(w, "  affected traces: %d", len(rows))
+		if n > 0 {
+			fmt.Fprintf(w, "; mean MPKI reduction factor %.1fx over %d traces with nonzero fixed MPKI", ratio/float64(n), n)
+		}
+		fmt.Fprintln(w)
+	}
+}

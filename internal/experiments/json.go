@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONReport bundles any subset of experiment results for machine
+// consumption (plot scripts, regression tracking). Nil sections are
+// omitted.
+type JSONReport struct {
+	// Settings echoes the sweep configuration the results came from.
+	Settings struct {
+		Instructions int    `json:"instructions"`
+		Warmup       uint64 `json:"warmup"`
+	} `json:"settings"`
+	Fig1     []Fig1Row                `json:"fig1,omitempty"`
+	Fig2     []Fig2Series             `json:"fig2,omitempty"`
+	Fig3     []Fig3Row                `json:"fig3,omitempty"`
+	Fig4     []Fig4Row                `json:"fig4,omitempty"`
+	Fig5     []Fig5Row                `json:"fig5,omitempty"`
+	Table2   *Table2Result            `json:"table2,omitempty"`
+	Table3   *Table3Result            `json:"table3,omitempty"`
+	Ablation []FrontEndAblationResult `json:"ablation,omitempty"`
+	Char     []CharRow                `json:"characterization,omitempty"`
+}
+
+// NewJSONReport seeds a report with the sweep settings.
+func NewJSONReport(cfg SweepConfig) *JSONReport {
+	r := &JSONReport{}
+	r.Settings.Instructions = cfg.Instructions
+	r.Settings.Warmup = cfg.Warmup
+	return r
+}
+
+// FillFigures derives all five figures from one sweep result.
+func (r *JSONReport) FillFigures(results []TraceResult) {
+	r.Fig1 = Fig1(results)
+	r.Fig2 = Fig2(results)
+	r.Fig3 = Fig3(results)
+	r.Fig4 = Fig4(results)
+	r.Fig5 = Fig5(results)
+}
+
+// Write emits the report as indented JSON.
+func (r *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

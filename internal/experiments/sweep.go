@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): the geomean and per-trace IPC impact of each conversion
+// improvement (Figs. 1–2), the branch-MPKI and base-update correlations
+// (Figs. 3–4), the call-stack fix (Fig. 5), the improvement summary
+// (Table 1), the IPC-1 trace characterization (Table 2), and the IPC-1
+// prefetcher ranking on competition vs fixed traces (Table 3).
+//
+// The sweep — every trace converted under every improvement set and
+// simulated — is shared: Figs. 1–5 all derive from one sweep result.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
+)
+
+// Variant is one converter configuration of the evaluation.
+type Variant struct {
+	// Name is the artifact-style label ("No_imp", "imp_flag-regs", ...).
+	Name string
+	// Opts is the improvement set applied.
+	Opts core.Options
+}
+
+// Variant names used throughout the experiments.
+const (
+	VariantNone         = "No_imp"
+	VariantMemRegs      = "mem-regs"
+	VariantBaseUpdate   = "base-update"
+	VariantMemFootprint = "mem-footprint"
+	VariantMemory       = "Memory_imps"
+	VariantFlagReg      = "flag-reg"
+	VariantBranchRegs   = "branch-regs"
+	VariantCallStack    = "call-stack"
+	VariantBranch       = "Branch_imps"
+	VariantAll          = "All_imps"
+)
+
+// Variants returns the ten converter configurations of Figs. 1–2: the
+// original converter, each improvement individually, the Memory and Branch
+// sets, and all improvements together.
+func Variants() []Variant {
+	return []Variant{
+		{VariantNone, core.OptionsNone()},
+		{VariantMemRegs, core.Options{MemRegs: true}},
+		{VariantBaseUpdate, core.Options{BaseUpdate: true}},
+		{VariantMemFootprint, core.Options{MemFootprint: true}},
+		{VariantMemory, core.OptionsMemory()},
+		{VariantFlagReg, core.Options{FlagReg: true}},
+		{VariantBranchRegs, core.Options{BranchRegs: true}},
+		{VariantCallStack, core.Options{CallStack: true}},
+		{VariantBranch, core.OptionsBranch()},
+		{VariantAll, core.OptionsAll()},
+	}
+}
+
+// figureVariants selects a subset of Variants by name.
+func figureVariants(names ...string) []Variant {
+	all := Variants()
+	var out []Variant
+	for _, n := range names {
+		for _, v := range all {
+			if v.Name == n {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of simulating one trace under one variant.
+type Result struct {
+	// IPC is instructions per cycle in the measured region.
+	IPC float64
+	// Sim carries the full simulator statistics.
+	Sim sim.Stats
+	// Conv carries the converter statistics.
+	Conv core.Stats
+}
+
+// TraceResult bundles all variant results for one trace.
+type TraceResult struct {
+	Profile synth.Profile
+	Results map[string]Result
+}
+
+// Delta returns the IPC change (ratio-1) of variant v relative to the
+// original converter.
+func (tr TraceResult) Delta(v string) float64 {
+	base := tr.Results[VariantNone].IPC
+	if base == 0 {
+		return 0
+	}
+	return tr.Results[v].IPC/base - 1
+}
+
+// SweepConfig parameterizes a sweep.
+type SweepConfig struct {
+	// Instructions is the per-trace dynamic instruction count;
+	// Warmup instructions are excluded from statistics.
+	Instructions int
+	Warmup       uint64
+	// Variants lists the converter configurations to run; nil means all
+	// ten.
+	Variants []Variant
+	// Parallelism bounds concurrent trace simulations; 0 = NumCPU.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed trace.
+	Progress func(done, total int)
+}
+
+// DefaultSweepConfig returns the configuration used by the rebase CLI:
+// 150k instructions per trace with a 50k warm-up. The paper runs the
+// original traces (tens of millions of instructions) to completion without
+// warm-up; the warm-up here stands in for the steady state a full-length
+// trace reaches on its own.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{Instructions: 150000, Warmup: 50000}
+}
+
+func (c *SweepConfig) fill() {
+	if c.Instructions <= 0 {
+		c.Instructions = 150000
+	}
+	if c.Variants == nil {
+		c.Variants = Variants()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+}
+
+// RunTrace generates one trace and simulates it under every variant on the
+// develop-branch model.
+func RunTrace(p synth.Profile, cfg SweepConfig) (TraceResult, error) {
+	cfg.fill()
+	instrs, err := p.Generate(cfg.Instructions)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	tr := TraceResult{Profile: p, Results: make(map[string]Result, len(cfg.Variants))}
+	for _, v := range cfg.Variants {
+		recs, cst, err := core.ConvertAll(cvp.NewSliceSource(instrs), v.Opts)
+		if err != nil {
+			return tr, fmt.Errorf("experiments: convert %s/%s: %w", p.Name, v.Name, err)
+		}
+		// Traces carrying branch-regs need the §3.2.2 ChampSim patch.
+		rules := champtrace.RulesOriginal
+		if v.Opts.BranchRegs {
+			rules = champtrace.RulesPatched
+		}
+		st, err := sim.Run(champtrace.NewSliceSource(recs), sim.ConfigDevelop(rules), cfg.Warmup, 0)
+		if err != nil {
+			return tr, fmt.Errorf("experiments: simulate %s/%s: %w", p.Name, v.Name, err)
+		}
+		tr.Results[v.Name] = Result{IPC: st.IPC(), Sim: st, Conv: cst}
+	}
+	return tr, nil
+}
+
+// RunSweep simulates every profile under every variant, in parallel.
+func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) {
+	cfg.fill()
+	out := make([]TraceResult, len(profiles))
+	errs := make([]error, len(profiles))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	var mu sync.Mutex
+	done := 0
+	for i := range profiles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = RunTrace(profiles[i], cfg)
+			if cfg.Progress != nil {
+				mu.Lock()
+				done++
+				cfg.Progress(done, len(profiles))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+// Package bpred implements the conditional-branch direction predictors used
+// by the simulated core: bimodal, gshare, and TAGE-SC-L (the predictor the
+// paper configures on ChampSim's develop branch, §4).
+package bpred
+
+import "fmt"
+
+// DirectionPredictor predicts taken/not-taken for conditional branches.
+// Predict must be called before Update for each dynamic branch, in program
+// order; Update trains the predictor with the actual outcome and advances
+// any internal history.
+type DirectionPredictor interface {
+	// Name identifies the predictor.
+	Name() string
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains with the resolved direction.
+	Update(pc uint64, taken bool)
+}
+
+// New constructs a predictor by name: "always-taken", "bimodal", "gshare",
+// "tage", or "tage-sc-l".
+func New(name string) (DirectionPredictor, error) {
+	switch name {
+	case "always-taken":
+		return AlwaysTaken{}, nil
+	case "bimodal":
+		return NewBimodal(14), nil
+	case "gshare":
+		return NewGshare(14), nil
+	case "tage":
+		return NewTAGE(DefaultTAGEConfig()), nil
+	case "tage-sc-l", "":
+		return NewTAGESCL(), nil
+	}
+	return nil, fmt.Errorf("bpred: unknown predictor %q", name)
+}
+
+// AlwaysTaken is the trivial static predictor.
+type AlwaysTaken struct{}
+
+// Name implements DirectionPredictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// Predict implements DirectionPredictor.
+func (AlwaysTaken) Predict(pc uint64) bool { return true }
+
+// Update implements DirectionPredictor.
+func (AlwaysTaken) Update(pc uint64, taken bool) {}
+
+// counter is a saturating two-bit counter; values 0..3, taken when >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of two-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits entries, initialized
+// weakly taken.
+func NewBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+// Name implements DirectionPredictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+func (b *Bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements DirectionPredictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Gshare XORs a global history register into the table index.
+type Gshare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	hbits   uint
+}
+
+// NewGshare returns a gshare predictor with 2^bits entries and bits of
+// global history.
+func NewGshare(bits int) *Gshare {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: uint64(n - 1), hbits: uint(bits)}
+}
+
+// Name implements DirectionPredictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+func (g *Gshare) idx(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements DirectionPredictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements DirectionPredictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = ((g.history << 1) | b2u(taken)) & g.mask
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

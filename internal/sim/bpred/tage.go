@@ -1,0 +1,279 @@
+package bpred
+
+// TAGE (TAgged GEometric history length) predictor, after Seznec &
+// Michaud. A bimodal base predictor is backed by a series of
+// partially-tagged tables indexed with geometrically increasing global
+// history lengths; the longest matching table provides the prediction.
+
+// TAGEConfig parameterizes the tagged tables.
+type TAGEConfig struct {
+	// BaseBits is log2 of the bimodal base table size.
+	BaseBits int
+	// TableBits is log2 of each tagged table size.
+	TableBits int
+	// TagBits is the partial tag width.
+	TagBits int
+	// HistLengths are the geometric history lengths, shortest first.
+	HistLengths []int
+	// UsefulResetPeriod is the number of allocations between graceful
+	// resets of the useful counters.
+	UsefulResetPeriod int
+}
+
+// DefaultTAGEConfig approximates a 64 KB TAGE: 12-bit tables, 11-bit tags,
+// history lengths 5..240.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BaseBits:          14,
+		TableBits:         12,
+		TagBits:           11,
+		HistLengths:       []int{5, 9, 15, 25, 44, 76, 130, 240},
+		UsefulResetPeriod: 256 * 1024,
+	}
+}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    int8 // -4..3, taken when >= 0
+	useful uint8
+}
+
+// foldedHistory maintains a cyclic-shift-register fold of the global
+// history down to a target width, updated incrementally per branch.
+type foldedHistory struct {
+	value    uint64
+	origLen  int // history length being folded
+	foldLen  int // target width
+	outPoint int // origLen % foldLen
+}
+
+func newFolded(origLen, foldLen int) foldedHistory {
+	return foldedHistory{origLen: origLen, foldLen: foldLen, outPoint: origLen % foldLen}
+}
+
+// update pushes the newest history bit in and rotates the oldest out.
+// oldest is the bit leaving the history window (history[origLen-1]).
+func (f *foldedHistory) update(newest, oldest uint64) {
+	f.value = (f.value << 1) | newest
+	f.value ^= oldest << uint(f.outPoint)
+	f.value ^= f.value >> uint(f.foldLen)
+	f.value &= (1 << uint(f.foldLen)) - 1
+}
+
+// history is a long global branch history kept as a bit buffer.
+type history struct {
+	bits []uint64
+	len  int
+}
+
+func newHistory(n int) *history {
+	return &history{bits: make([]uint64, (n+63)/64+1), len: n}
+}
+
+// push inserts a new bit at position 0, shifting everything up.
+func (h *history) push(b uint64) {
+	carry := b
+	for i := range h.bits {
+		next := h.bits[i] >> 63
+		h.bits[i] = (h.bits[i] << 1) | carry
+		carry = next
+	}
+}
+
+// bit returns history bit i (0 = most recent).
+func (h *history) bit(i int) uint64 {
+	return (h.bits[i/64] >> uint(i%64)) & 1
+}
+
+// TAGE is the tagged geometric predictor.
+type TAGE struct {
+	cfg    TAGEConfig
+	base   *Bimodal
+	tables [][]tageEntry
+	// folded index and tag registers per table (two tag folds, as in the
+	// reference implementation, to decorrelate tag from index).
+	idxFold  []foldedHistory
+	tagFold1 []foldedHistory
+	tagFold2 []foldedHistory
+	ghist    *history
+	// scratch per prediction, reused by Update.
+	provider    int // table index of the provider, -1 = base
+	providerIdx uint64
+	altPred     bool
+	predTaken   bool
+	allocs      int
+	useAltOnNA  int8 // "use alt on newly allocated" meta-counter
+}
+
+// NewTAGE builds a TAGE predictor.
+func NewTAGE(cfg TAGEConfig) *TAGE {
+	n := len(cfg.HistLengths)
+	t := &TAGE{
+		cfg:      cfg,
+		base:     NewBimodal(cfg.BaseBits),
+		tables:   make([][]tageEntry, n),
+		idxFold:  make([]foldedHistory, n),
+		tagFold1: make([]foldedHistory, n),
+		tagFold2: make([]foldedHistory, n),
+		ghist:    newHistory(cfg.HistLengths[n-1] + 1),
+	}
+	for i := 0; i < n; i++ {
+		t.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
+		t.idxFold[i] = newFolded(cfg.HistLengths[i], cfg.TableBits)
+		t.tagFold1[i] = newFolded(cfg.HistLengths[i], cfg.TagBits)
+		t.tagFold2[i] = newFolded(cfg.HistLengths[i], cfg.TagBits-1)
+	}
+	return t
+}
+
+// Name implements DirectionPredictor.
+func (t *TAGE) Name() string { return "tage" }
+
+func (t *TAGE) index(pc uint64, table int) uint64 {
+	mask := uint64(1<<uint(t.cfg.TableBits)) - 1
+	return ((pc >> 2) ^ (pc >> uint(t.cfg.TableBits+2)) ^ t.idxFold[table].value) & mask
+}
+
+func (t *TAGE) tag(pc uint64, table int) uint16 {
+	mask := uint64(1<<uint(t.cfg.TagBits)) - 1
+	return uint16(((pc >> 2) ^ t.tagFold1[table].value ^ (t.tagFold2[table].value << 1)) & mask)
+}
+
+// Predict implements DirectionPredictor.
+func (t *TAGE) Predict(pc uint64) bool {
+	t.provider = -1
+	t.altPred = t.base.Predict(pc)
+	alt := -1
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		idx := t.index(pc, i)
+		if t.tables[i][idx].tag == t.tag(pc, i) {
+			if t.provider < 0 {
+				t.provider = i
+				t.providerIdx = idx
+			} else if alt < 0 {
+				alt = i
+				t.altPred = t.tables[i][idx].ctr >= 0
+			}
+			if t.provider >= 0 && alt >= 0 {
+				break
+			}
+		}
+	}
+	if t.provider < 0 {
+		t.predTaken = t.altPred
+		return t.predTaken
+	}
+	e := &t.tables[t.provider][t.providerIdx]
+	// Newly allocated entries (weak counter, zero useful) may be less
+	// reliable than the alternative prediction.
+	weak := (e.ctr == 0 || e.ctr == -1) && e.useful == 0
+	if weak && t.useAltOnNA >= 0 {
+		t.predTaken = t.altPred
+	} else {
+		t.predTaken = e.ctr >= 0
+	}
+	return t.predTaken
+}
+
+// Update implements DirectionPredictor. It must follow the Predict call for
+// the same branch.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	mispred := t.predTaken != taken
+
+	if t.provider >= 0 {
+		e := &t.tables[t.provider][t.providerIdx]
+		providerPred := e.ctr >= 0
+		weak := (e.ctr == 0 || e.ctr == -1) && e.useful == 0
+		if weak && providerPred != t.altPred {
+			// Train the meta-counter on whether alt beat the new
+			// entry.
+			if t.altPred == taken {
+				if t.useAltOnNA < 7 {
+					t.useAltOnNA++
+				}
+			} else if t.useAltOnNA > -8 {
+				t.useAltOnNA--
+			}
+		}
+		e.ctr = satUpdate(e.ctr, taken)
+		if providerPred != t.altPred {
+			if providerPred == taken {
+				if e.useful < 3 {
+					e.useful++
+				}
+			} else if e.useful > 0 {
+				e.useful--
+			}
+		}
+	} else {
+		t.base.Update(pc, taken)
+	}
+
+	// Allocate a new entry on misprediction in a longer-history table.
+	if mispred && t.provider < len(t.tables)-1 {
+		t.allocate(pc, taken)
+	}
+
+	// Advance global history and folds.
+	newest := b2u(taken)
+	maxLen := t.cfg.HistLengths[len(t.cfg.HistLengths)-1]
+	_ = maxLen
+	for i := range t.tables {
+		oldest := t.ghist.bit(t.cfg.HistLengths[i] - 1)
+		t.idxFold[i].update(newest, oldest)
+		t.tagFold1[i].update(newest, oldest)
+		t.tagFold2[i].update(newest, oldest)
+	}
+	t.ghist.push(newest)
+}
+
+func (t *TAGE) allocate(pc uint64, taken bool) {
+	start := t.provider + 1
+	// Find a non-useful entry in tables with longer history.
+	for i := start; i < len(t.tables); i++ {
+		idx := t.index(pc, i)
+		e := &t.tables[i][idx]
+		if e.useful == 0 {
+			e.tag = t.tag(pc, i)
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			t.bumpAllocs()
+			return
+		}
+	}
+	// All candidates useful: decay them so future allocations succeed.
+	for i := start; i < len(t.tables); i++ {
+		idx := t.index(pc, i)
+		if e := &t.tables[i][idx]; e.useful > 0 {
+			e.useful--
+		}
+	}
+}
+
+func (t *TAGE) bumpAllocs() {
+	t.allocs++
+	if t.cfg.UsefulResetPeriod > 0 && t.allocs >= t.cfg.UsefulResetPeriod {
+		t.allocs = 0
+		for i := range t.tables {
+			for j := range t.tables[i] {
+				t.tables[i][j].useful >>= 1
+			}
+		}
+	}
+}
+
+func satUpdate(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}

@@ -1,0 +1,183 @@
+package bpred
+
+// TAGE-SC-L: TAGE backed by a loop predictor (L) and a statistical
+// corrector (SC), after Seznec's CBP-5 predictor. The loop predictor
+// captures regular loop exits that defeat TAGE's history tables; the
+// statistical corrector revises TAGE's output when statistically biased
+// branches disagree with it.
+
+// loopEntry tracks one loop branch.
+type loopEntry struct {
+	tag        uint16
+	tripCount  uint16 // confirmed iteration count before the exit
+	curCount   uint16
+	confidence uint8 // confirmations of the same trip count
+	valid      bool
+}
+
+const (
+	loopTableBits  = 8
+	loopConfidence = 3
+)
+
+// loopPredictor predicts "not taken" (loop exit) on the final iteration of
+// loops with stable trip counts, and "taken" otherwise.
+type loopPredictor struct {
+	table []loopEntry
+	// scratch from the last predict call
+	hit        bool
+	idx        uint64
+	prediction bool
+}
+
+func newLoopPredictor() *loopPredictor {
+	return &loopPredictor{table: make([]loopEntry, 1<<loopTableBits)}
+}
+
+func (l *loopPredictor) predict(pc uint64) (pred bool, confident bool) {
+	l.idx = (pc >> 2) & (1<<loopTableBits - 1)
+	e := &l.table[l.idx]
+	tag := uint16((pc >> (2 + loopTableBits)) & 0x3fff)
+	l.hit = e.valid && e.tag == tag
+	if !l.hit || e.confidence < loopConfidence {
+		return false, false
+	}
+	// Predict exit (not taken) when the next iteration reaches the trip
+	// count; taken otherwise.
+	l.prediction = e.curCount+1 < e.tripCount
+	return l.prediction, true
+}
+
+func (l *loopPredictor) update(pc uint64, taken bool) {
+	e := &l.table[l.idx]
+	tag := uint16((pc >> (2 + loopTableBits)) & 0x3fff)
+	if !e.valid || e.tag != tag {
+		// Allocate on a not-taken outcome (a loop exit candidate).
+		if !taken {
+			*e = loopEntry{tag: tag, valid: true}
+		}
+		return
+	}
+	if taken {
+		e.curCount++
+		if e.curCount == 0xffff { // overflow: not a well-behaved loop
+			e.valid = false
+		}
+		return
+	}
+	// Loop exit: check trip count stability.
+	count := e.curCount + 1
+	if e.tripCount == count {
+		if e.confidence < 7 {
+			e.confidence++
+		}
+	} else {
+		e.tripCount = count
+		e.confidence = 0
+	}
+	e.curCount = 0
+}
+
+// scTable is one component of the statistical corrector: a history-hashed
+// table of signed weights.
+type scTable struct {
+	weights []int8
+	histLen int
+	mask    uint64
+}
+
+func newSCTable(bits, histLen int) *scTable {
+	return &scTable{weights: make([]int8, 1<<bits), histLen: histLen, mask: uint64(1<<bits) - 1}
+}
+
+func (s *scTable) index(pc, hist uint64) uint64 {
+	h := hist & ((1 << uint(s.histLen)) - 1)
+	return ((pc >> 2) ^ h ^ (h >> 7)) & s.mask
+}
+
+// TAGESCL combines TAGE, the loop predictor, and the statistical corrector.
+type TAGESCL struct {
+	tage *TAGE
+	loop *loopPredictor
+	sc   []*scTable
+	// low-order global history for the SC tables.
+	schist uint64
+	// threshold for overriding TAGE with the SC sum.
+	scThreshold int32
+	// scratch
+	loopPred, loopConf bool
+	tagePred           bool
+	scSum              int32
+	finalPred          bool
+}
+
+// NewTAGESCL builds a TAGE-SC-L with the default 64 KB-class TAGE.
+func NewTAGESCL() *TAGESCL {
+	return &TAGESCL{
+		tage: NewTAGE(DefaultTAGEConfig()),
+		loop: newLoopPredictor(),
+		sc: []*scTable{
+			newSCTable(12, 0), // bias table
+			newSCTable(12, 6),
+			newSCTable(12, 12),
+		},
+		scThreshold: 6,
+	}
+}
+
+// Name implements DirectionPredictor.
+func (p *TAGESCL) Name() string { return "tage-sc-l" }
+
+// Predict implements DirectionPredictor.
+func (p *TAGESCL) Predict(pc uint64) bool {
+	p.tagePred = p.tage.Predict(pc)
+	p.loopPred, p.loopConf = p.loop.predict(pc)
+
+	pred := p.tagePred
+	if p.loopConf {
+		pred = p.loopPred
+	}
+
+	// Statistical corrector: sum of signed weights, centered on the TAGE
+	// prediction.
+	p.scSum = 0
+	for _, t := range p.sc {
+		p.scSum += int32(t.weights[t.index(pc, p.schist)])
+	}
+	if p.tagePred {
+		p.scSum += 2
+	} else {
+		p.scSum -= 2
+	}
+	if abs32(p.scSum) > p.scThreshold {
+		pred = p.scSum >= 0
+	}
+	p.finalPred = pred
+	return pred
+}
+
+// Update implements DirectionPredictor.
+func (p *TAGESCL) Update(pc uint64, taken bool) {
+	// Train the SC when it disagreed with the outcome or was weak.
+	if (p.scSum >= 0) != taken || abs32(p.scSum) <= p.scThreshold {
+		for _, t := range p.sc {
+			i := t.index(pc, p.schist)
+			w := t.weights[i]
+			if taken && w < 63 {
+				t.weights[i] = w + 1
+			} else if !taken && w > -64 {
+				t.weights[i] = w - 1
+			}
+		}
+	}
+	p.loop.update(pc, taken)
+	p.tage.Update(pc, taken)
+	p.schist = (p.schist << 1) | b2u(taken)
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

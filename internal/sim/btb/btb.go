@@ -1,0 +1,136 @@
+// Package btb implements the branch target machinery of the simulated
+// front-end: a set-associative branch target buffer, a return address
+// stack, an ITTAGE indirect-target predictor, and the combined target
+// predictor that routes each branch type to the right structure (§4: 16K
+// BTB, 64 KB ITTAGE).
+package btb
+
+import "tracerebase/internal/champtrace"
+
+// Entry is one BTB entry.
+type Entry struct {
+	Target uint64
+	Type   champtrace.BranchType
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	sets    [][]btbLine
+	setMask uint64
+	tick    uint64
+	ways    int
+}
+
+type btbLine struct {
+	tag   uint64
+	entry Entry
+	valid bool
+	lru   uint64
+}
+
+// NewBTB builds a BTB with the given total entries and associativity.
+// entries/ways must be a power of two.
+func NewBTB(entries, ways int) *BTB {
+	if ways <= 0 || entries <= 0 || entries%ways != 0 {
+		panic("btb: entries must be a positive multiple of ways")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("btb: set count must be a power of two")
+	}
+	b := &BTB{sets: make([][]btbLine, sets), setMask: uint64(sets - 1), ways: ways}
+	for i := range b.sets {
+		b.sets[i] = make([]btbLine, ways)
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (int, uint64) {
+	idx := (pc >> 2) & b.setMask
+	return int(idx), pc >> 2 >> uint(popBits(b.setMask))
+}
+
+func popBits(mask uint64) int {
+	n := 0
+	for mask > 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup returns the stored entry for pc.
+func (b *BTB) Lookup(pc uint64) (Entry, bool) {
+	setIdx, tag := b.index(pc)
+	b.tick++
+	for i := range b.sets[setIdx] {
+		ln := &b.sets[setIdx][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = b.tick
+			return ln.entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Update installs or refreshes the entry for pc.
+func (b *BTB) Update(pc uint64, e Entry) {
+	setIdx, tag := b.index(pc)
+	b.tick++
+	victim := 0
+	for i := range b.sets[setIdx] {
+		ln := &b.sets[setIdx][i]
+		if ln.valid && ln.tag == tag {
+			ln.entry = e
+			ln.lru = b.tick
+			return
+		}
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.lru < b.sets[setIdx][victim].lru {
+			victim = i
+		}
+	}
+	b.sets[setIdx][victim] = btbLine{tag: tag, entry: e, valid: true, lru: b.tick}
+}
+
+// RAS is the return address stack. Pushes beyond the capacity wrap around
+// (overwriting the oldest entry), like a hardware circular stack.
+type RAS struct {
+	stack []uint64
+	top   int // number of live entries, capped at len(stack)
+	pos   int // index one past the most recent push (circular)
+}
+
+// NewRAS returns a return address stack with the given capacity.
+func NewRAS(size int) *RAS {
+	if size <= 0 {
+		panic("btb: RAS size must be positive")
+	}
+	return &RAS{stack: make([]uint64, size)}
+}
+
+// Push records a return address (on a call).
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.pos] = addr
+	r.pos = (r.pos + 1) % len(r.stack)
+	if r.top < len(r.stack) {
+		r.top++
+	}
+}
+
+// Pop predicts and removes the most recent return address. An empty stack
+// returns 0, false.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.pos = (r.pos - 1 + len(r.stack)) % len(r.stack)
+	r.top--
+	return r.stack[r.pos], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.top }

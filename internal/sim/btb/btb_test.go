@@ -1,0 +1,347 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracerebase/internal/champtrace"
+)
+
+func TestBTBBasics(t *testing.T) {
+	b := NewBTB(64, 4)
+	if _, ok := b.Lookup(0x1000); ok {
+		t.Fatal("cold BTB returned a hit")
+	}
+	b.Update(0x1000, Entry{Target: 0x2000, Type: champtrace.BranchDirectJump})
+	e, ok := b.Lookup(0x1000)
+	if !ok || e.Target != 0x2000 || e.Type != champtrace.BranchDirectJump {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	// Overwrite in place.
+	b.Update(0x1000, Entry{Target: 0x3000, Type: champtrace.BranchDirectCall})
+	if e, _ := b.Lookup(0x1000); e.Target != 0x3000 {
+		t.Errorf("update-in-place failed: %+v", e)
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	b := NewBTB(4, 2) // 2 sets x 2 ways
+	// Fill one set (PCs mapping to set 0: (pc>>2)&1 == 0).
+	pcs := []uint64{0x00, 0x10, 0x20} // >>2 = 0, 4, 8 — all even → set 0
+	for i, pc := range pcs[:2] {
+		b.Update(pc, Entry{Target: uint64(i + 1)})
+	}
+	b.Lookup(pcs[0]) // refresh 0x00
+	b.Update(pcs[2], Entry{Target: 3})
+	if _, ok := b.Lookup(pcs[1]); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := b.Lookup(pcs[0]); !ok {
+		t.Error("MRU entry evicted")
+	}
+}
+
+func TestBTBValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBTB(0, 1) },
+		func() { NewBTB(7, 2) },
+		func() { NewBTB(24, 2) }, // 12 sets, not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewBTB accepted invalid config")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS popped a value")
+	}
+	r.Push(0x100)
+	r.Push(0x200)
+	r.Push(0x300)
+	if r.Depth() != 3 {
+		t.Errorf("Depth = %d", r.Depth())
+	}
+	for _, want := range []uint64{0x300, 0x200, 0x100} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = %#x, %v; want %#x", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("drained RAS popped a value")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(4)
+	for i := 1; i <= 6; i++ {
+		r.Push(uint64(i * 0x10))
+	}
+	// Capacity 4: the oldest two entries (0x10, 0x20) are overwritten.
+	for _, want := range []uint64{0x60, 0x50, 0x40, 0x30} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %#x, %v; want %#x", got, ok, want)
+		}
+	}
+	if r.Depth() != 0 {
+		t.Errorf("Depth = %d after draining", r.Depth())
+	}
+}
+
+// Property: push/pop sequences behave as a bounded stack.
+func TestQuickRASStack(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const cap = 8
+		r := NewRAS(cap)
+		var model []uint64
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				r.Push(v)
+				model = append(model, v)
+				if len(model) > cap {
+					model = model[len(model)-cap:]
+				}
+			} else {
+				got, ok := r.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestITTAGEMonomorphic(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	pc := uint64(0x4000)
+	target := uint64(0x8000)
+	for i := 0; i < 50; i++ {
+		it.Predict(pc)
+		it.Update(pc, target)
+	}
+	got, ok := it.Predict(pc)
+	if !ok || got != target {
+		t.Fatalf("monomorphic indirect: Predict = %#x, %v", got, ok)
+	}
+	it.Update(pc, target)
+}
+
+// An indirect branch whose target is determined by the preceding control
+// flow (virtual dispatch under a type-switch) must be captured via path
+// history.
+func TestITTAGEPathCorrelated(t *testing.T) {
+	it := NewITTAGE(DefaultITTAGEConfig())
+	pc := uint64(0x4000)
+	targets := []uint64{0x8000, 0x9000, 0xa000, 0xb000}
+	correct, total := 0, 0
+	for round := 0; round < 4000; round++ {
+		which := round % len(targets)
+		// Distinct preceding control flow per target.
+		for d := 0; d < 3; d++ {
+			it.PushPath(uint64(0x100000 + which*0x40 + d*8))
+		}
+		got, ok := it.Predict(pc)
+		if round > 2000 {
+			total++
+			if ok && got == targets[which] {
+				correct++
+			}
+		}
+		it.Update(pc, targets[which])
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("path-correlated indirect accuracy = %.3f, want > 0.95", acc)
+	}
+}
+
+func TestTargetPredictorRoutes(t *testing.T) {
+	tp := NewTargetPredictor(1024, 4, 16, true)
+
+	// Direct jump: BTB path. First encounter is a cold miss.
+	pc, tgt := uint64(0x1000), uint64(0x2000)
+	pred, known := tp.Predict(pc, champtrace.BranchDirectJump)
+	if known {
+		t.Error("cold BTB predicted a target")
+	}
+	if tp.Resolve(pc, champtrace.BranchDirectJump, true, pred, known, tgt, pc+4) {
+		t.Error("cold miss reported correct")
+	}
+	pred, known = tp.Predict(pc, champtrace.BranchDirectJump)
+	if !known || pred != tgt {
+		t.Errorf("warm BTB Predict = %#x, %v", pred, known)
+	}
+	if !tp.Resolve(pc, champtrace.BranchDirectJump, true, pred, known, tgt, pc+4) {
+		t.Error("warm hit reported incorrect")
+	}
+	st := tp.Stats()
+	if st.TakenBranches != 2 || st.Mispredicts != 1 || st.BTBMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTargetPredictorCallReturn(t *testing.T) {
+	tp := NewTargetPredictor(1024, 4, 16, false)
+	callPC, callee, retPC := uint64(0x1000), uint64(0x8000), uint64(0x8010)
+
+	// Call pushes the fallthrough on the RAS.
+	pred, known := tp.Predict(callPC, champtrace.BranchDirectCall)
+	tp.Resolve(callPC, champtrace.BranchDirectCall, true, pred, known, callee, callPC+4)
+	// Return pops it and predicts perfectly.
+	pred, known = tp.Predict(retPC, champtrace.BranchReturn)
+	if !known || pred != callPC+4 {
+		t.Fatalf("return Predict = %#x, %v; want %#x", pred, known, callPC+4)
+	}
+	if !tp.Resolve(retPC, champtrace.BranchReturn, true, pred, known, callPC+4, retPC+4) {
+		t.Error("aligned return mispredicted")
+	}
+	if tp.Stats().ReturnMispredicts != 0 {
+		t.Errorf("ReturnMispredicts = %d", tp.Stats().ReturnMispredicts)
+	}
+}
+
+// TestMisclassifiedCallCorruptsRAS reproduces the §3.2.1 mechanism: an
+// indirect call misclassified as a RETURN pops the stack instead of
+// pushing, so both it and the genuine return that follows mispredict.
+func TestMisclassifiedCallCorruptsRAS(t *testing.T) {
+	run := func(blrType champtrace.BranchType) (retMispred uint64) {
+		tp := NewTargetPredictor(1024, 4, 16, false)
+		outer, blr, callee2, ret2, ret1 := uint64(0x1000), uint64(0x2000), uint64(0x3000), uint64(0x3010), uint64(0x2010)
+		for i := 0; i < 100; i++ {
+			// outer calls f at 0x2000.
+			p, k := tp.Predict(outer, champtrace.BranchDirectCall)
+			tp.Resolve(outer, champtrace.BranchDirectCall, true, p, k, blr, outer+4)
+			// f does BLR X30-style dispatch to g at 0x3000 —
+			// classified either correctly (indirect call) or as a
+			// bogus return.
+			p, k = tp.Predict(blr, blrType)
+			tp.Resolve(blr, blrType, true, p, k, callee2, blr+4)
+			// g returns to f.
+			p, k = tp.Predict(ret2, champtrace.BranchReturn)
+			tp.Resolve(ret2, champtrace.BranchReturn, true, p, k, blr+4, ret2+4)
+			// f returns to outer.
+			p, k = tp.Predict(ret1, champtrace.BranchReturn)
+			tp.Resolve(ret1, champtrace.BranchReturn, true, p, k, outer+4, ret1+4)
+		}
+		return tp.Stats().ReturnMispredicts
+	}
+	good := run(champtrace.BranchIndirectCall)
+	bad := run(champtrace.BranchReturn)
+	if good != 0 {
+		t.Errorf("correctly classified dispatch still caused %d return mispredicts", good)
+	}
+	if bad < 100 {
+		t.Errorf("misclassified dispatch caused only %d return mispredicts, want >= 100", bad)
+	}
+}
+
+func TestIdealTargets(t *testing.T) {
+	tp := NewTargetPredictor(1024, 4, 16, false)
+	tp.Ideal = true
+	pred, known := tp.Predict(0x1000, champtrace.BranchIndirect)
+	if known {
+		t.Error("ideal predictor should defer to the caller")
+	}
+	if !tp.Resolve(0x1000, champtrace.BranchIndirect, true, pred, known, 0x9999, 0x1004) {
+		t.Error("ideal resolve must always be correct")
+	}
+	if tp.Stats().Mispredicts != 0 {
+		t.Errorf("ideal predictor recorded mispredicts: %+v", tp.Stats())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	tp := NewTargetPredictor(64, 4, 4, false)
+	p, k := tp.Predict(0x10, champtrace.BranchDirectJump)
+	tp.Resolve(0x10, champtrace.BranchDirectJump, true, p, k, 0x20, 0x14)
+	tp.ResetStats()
+	if tp.Stats() != (TargetStats{}) {
+		t.Errorf("ResetStats left %+v", tp.Stats())
+	}
+}
+
+func TestNotTakenBranchNoTargetCost(t *testing.T) {
+	tp := NewTargetPredictor(64, 4, 4, false)
+	p, k := tp.Predict(0x10, champtrace.BranchConditional)
+	if !tp.Resolve(0x10, champtrace.BranchConditional, false, p, k, 0, 0x14) {
+		t.Error("not-taken branch cannot target-mispredict")
+	}
+	if st := tp.Stats(); st.TakenBranches != 0 || st.Mispredicts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestITTAGEAllocationPressure drives many polymorphic branches through a
+// small predictor: useful-bit decay must let new allocations land without
+// panics or index escapes.
+func TestITTAGEAllocationPressure(t *testing.T) {
+	cfg := ITTAGEConfig{TableBits: 4, TagBits: 6, HistLengths: []int{2, 4, 8}}
+	it := NewITTAGE(cfg)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x1000 + rng.Intn(512)*4)
+		tgt := uint64(0x100000 + rng.Intn(64)*0x100)
+		it.Predict(pc)
+		it.Update(pc, tgt)
+	}
+	// After heavy churn the predictor still answers coherently for a
+	// freshly-trained monomorphic branch.
+	for i := 0; i < 30; i++ {
+		it.Predict(0x9000)
+		it.Update(0x9000, 0xabc000)
+	}
+	if got, ok := it.Predict(0x9000); !ok || got != 0xabc000 {
+		t.Fatalf("post-churn prediction = %#x, %v", got, ok)
+	}
+}
+
+// Property: with W ways per set, W branches mapping to one set coexist.
+func TestQuickBTBAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const sets, ways = 16, 4
+		b := NewBTB(sets*ways, ways)
+		// PCs that collide in one set: stride of sets in (pc>>2).
+		base := uint64(rng.Intn(1 << 20))
+		var pcs []uint64
+		for i := 0; i < ways; i++ {
+			pcs = append(pcs, (base+uint64(i)*sets)<<2)
+		}
+		for i, pc := range pcs {
+			b.Update(pc, Entry{Target: uint64(i + 1)})
+		}
+		for i, pc := range pcs {
+			e, ok := b.Lookup(pc)
+			if !ok || e.Target != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package btb
+
+// ITTAGE indirect target predictor, after Seznec's 64-Kbyte ITTAGE (JWAC-2):
+// tagged tables indexed with geometrically increasing target-path history
+// select the longest matching entry; its stored target is the prediction,
+// guarded by a confidence counter.
+
+type ittageEntry struct {
+	tag    uint16
+	target uint64
+	conf   int8 // -2..1: predict when >= 0
+	useful uint8
+}
+
+// ITTAGEConfig parameterizes the predictor.
+type ITTAGEConfig struct {
+	// TableBits is log2 of each tagged table size.
+	TableBits int
+	// TagBits is the partial tag width.
+	TagBits int
+	// HistLengths are the path-history lengths, shortest first.
+	HistLengths []int
+}
+
+// DefaultITTAGEConfig approximates the 64 KB configuration.
+func DefaultITTAGEConfig() ITTAGEConfig {
+	return ITTAGEConfig{
+		TableBits:   10,
+		TagBits:     12,
+		HistLengths: []int{4, 8, 16, 32, 64},
+	}
+}
+
+// ITTAGE predicts indirect branch targets from path history.
+type ITTAGE struct {
+	cfg    ITTAGEConfig
+	tables [][]ittageEntry
+	// path is a hash of recent taken-branch targets.
+	path uint64
+	// base is a simple last-target table for branches with no tag match.
+	base     []uint64
+	baseMask uint64
+	// scratch from Predict for the matching Update.
+	provider    int
+	providerIdx uint64
+}
+
+// NewITTAGE builds an ITTAGE predictor.
+func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
+	n := len(cfg.HistLengths)
+	it := &ITTAGE{
+		cfg:      cfg,
+		tables:   make([][]ittageEntry, n),
+		base:     make([]uint64, 1<<cfg.TableBits),
+		baseMask: uint64(1<<cfg.TableBits) - 1,
+	}
+	for i := range it.tables {
+		it.tables[i] = make([]ittageEntry, 1<<cfg.TableBits)
+	}
+	return it
+}
+
+func (it *ITTAGE) index(pc uint64, table int) uint64 {
+	h := it.foldPath(it.cfg.HistLengths[table], it.cfg.TableBits)
+	return ((pc >> 2) ^ h) & (uint64(1<<it.cfg.TableBits) - 1)
+}
+
+func (it *ITTAGE) tag(pc uint64, table int) uint16 {
+	h := it.foldPath(it.cfg.HistLengths[table], it.cfg.TagBits)
+	return uint16(((pc >> 2) ^ (pc >> 12) ^ (h << 1)) & (uint64(1<<it.cfg.TagBits) - 1))
+}
+
+// foldPath hashes the low histLen nibbles of the path register down to
+// width bits.
+func (it *ITTAGE) foldPath(histLen, width int) uint64 {
+	h := it.path & ((1 << uint(min(histLen, 63))) - 1)
+	out := uint64(0)
+	for h != 0 {
+		out ^= h & ((1 << uint(width)) - 1)
+		h >>= uint(width)
+	}
+	return out
+}
+
+// Predict returns the predicted target for the indirect branch at pc, and
+// whether the predictor had anything to say.
+func (it *ITTAGE) Predict(pc uint64) (uint64, bool) {
+	it.provider = -1
+	for i := len(it.tables) - 1; i >= 0; i-- {
+		idx := it.index(pc, i)
+		e := &it.tables[i][idx]
+		if e.tag == it.tag(pc, i) && e.target != 0 {
+			if e.conf >= 0 {
+				it.provider = i
+				it.providerIdx = idx
+				return e.target, true
+			}
+			if it.provider < 0 {
+				it.provider = i
+				it.providerIdx = idx
+			}
+		}
+	}
+	if t := it.base[(pc>>2)&it.baseMask]; t != 0 {
+		return t, true
+	}
+	return 0, false
+}
+
+// Update trains the predictor with the actual target and advances the path
+// history. It must follow the Predict call for the same branch.
+func (it *ITTAGE) Update(pc, target uint64) {
+	if it.provider >= 0 {
+		e := &it.tables[it.provider][it.providerIdx]
+		if e.target == target {
+			if e.conf < 1 {
+				e.conf++
+			}
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else {
+			if e.conf > -2 {
+				e.conf--
+			}
+			if e.conf < 0 {
+				e.target = target
+				e.conf = 0
+			}
+			// Allocate in a longer-history table.
+			it.allocate(pc, target, it.provider+1)
+		}
+	} else {
+		it.allocate(pc, target, 0)
+	}
+	it.base[(pc>>2)&it.baseMask] = target
+	it.pushPath(target)
+}
+
+func (it *ITTAGE) allocate(pc, target uint64, from int) {
+	for i := from; i < len(it.tables); i++ {
+		idx := it.index(pc, i)
+		e := &it.tables[i][idx]
+		if e.useful == 0 {
+			*e = ittageEntry{tag: it.tag(pc, i), target: target, conf: 0}
+			return
+		}
+		e.useful--
+	}
+}
+
+func (it *ITTAGE) pushPath(target uint64) {
+	it.path = (it.path << 3) ^ ((target >> 2) & 0x3f) ^ (it.path >> 61)
+}
+
+// PushPath records a taken branch target in the path history without
+// training any table — used for non-indirect taken branches so the path
+// reflects the full control flow.
+func (it *ITTAGE) PushPath(target uint64) { it.pushPath(target) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package btb
+
+import "tracerebase/internal/champtrace"
+
+// TargetStats counts target-prediction events by branch class.
+type TargetStats struct {
+	// TakenBranches counts taken branches needing a target.
+	TakenBranches uint64
+	// Mispredicts counts wrong or unknown targets for taken branches.
+	Mispredicts uint64
+	// BTBMisses counts taken branches missing in the BTB.
+	BTBMisses uint64
+	// ReturnMispredicts counts wrong RAS predictions — the Fig. 5 metric.
+	ReturnMispredicts uint64
+	// Returns counts predicted returns.
+	Returns uint64
+}
+
+// TargetPredictor routes each branch type to the appropriate target
+// structure: RAS for returns, ITTAGE (when configured) for indirect
+// branches, BTB for everything else. With Ideal set, every target is
+// predicted perfectly (the IPC-1 ChampSim configuration, §4.4).
+type TargetPredictor struct {
+	BTB    *BTB
+	RAS    *RAS
+	ITTAGE *ITTAGE
+	Ideal  bool
+	stats  TargetStats
+}
+
+// NewTargetPredictor builds the develop-configuration target machinery:
+// a 16K-entry 8-way BTB, 64-entry RAS, and ITTAGE.
+func NewTargetPredictor(btbEntries, btbWays, rasSize int, ittage bool) *TargetPredictor {
+	tp := &TargetPredictor{
+		BTB: NewBTB(btbEntries, btbWays),
+		RAS: NewRAS(rasSize),
+	}
+	if ittage {
+		tp.ITTAGE = NewITTAGE(DefaultITTAGEConfig())
+	}
+	return tp
+}
+
+// Stats returns a snapshot of the counters.
+func (tp *TargetPredictor) Stats() TargetStats { return tp.stats }
+
+// ResetStats zeroes the counters (end of warm-up).
+func (tp *TargetPredictor) ResetStats() { tp.stats = TargetStats{} }
+
+// Predict returns the predicted target for a branch of the given type that
+// the front-end believes is taken. known is false when no structure has a
+// target (BTB cold miss). Predict mutates the RAS for returns; the caller
+// must invoke Update exactly once afterwards.
+func (tp *TargetPredictor) Predict(pc uint64, btype champtrace.BranchType) (target uint64, known bool) {
+	if tp.Ideal {
+		return 0, false // caller substitutes the actual target
+	}
+	switch btype {
+	case champtrace.BranchReturn:
+		if t, ok := tp.RAS.Pop(); ok {
+			return t, true
+		}
+		return 0, false
+	case champtrace.BranchIndirect, champtrace.BranchIndirectCall:
+		if tp.ITTAGE != nil {
+			if t, ok := tp.ITTAGE.Predict(pc); ok {
+				return t, true
+			}
+		}
+	}
+	if e, ok := tp.BTB.Lookup(pc); ok {
+		return e.Target, true
+	}
+	return 0, false
+}
+
+// Resolve records the actual outcome for the branch at pc: it trains the
+// structures and returns whether the predicted target was correct.
+// fallthrough-Addr is the sequential address after the branch, pushed on
+// the RAS by calls.
+func (tp *TargetPredictor) Resolve(pc uint64, btype champtrace.BranchType, taken bool,
+	predTarget uint64, predKnown bool, actualTarget, fallthroughAddr uint64) (correct bool) {
+
+	if btype == champtrace.BranchReturn {
+		tp.stats.Returns++
+	}
+	if btype.IsCall() && !tp.Ideal {
+		tp.RAS.Push(fallthroughAddr)
+	}
+	if !taken {
+		return true
+	}
+	tp.stats.TakenBranches++
+	if tp.Ideal {
+		return true
+	}
+
+	if _, ok := tp.BTB.Lookup(pc); !ok {
+		tp.stats.BTBMisses++
+	}
+	tp.BTB.Update(pc, Entry{Target: actualTarget, Type: btype})
+	switch btype {
+	case champtrace.BranchIndirect, champtrace.BranchIndirectCall:
+		if tp.ITTAGE != nil {
+			tp.ITTAGE.Update(pc, actualTarget)
+		}
+	default:
+		if tp.ITTAGE != nil {
+			tp.ITTAGE.PushPath(actualTarget)
+		}
+	}
+
+	correct = predKnown && predTarget == actualTarget
+	if !correct {
+		tp.stats.Mispredicts++
+		if btype == champtrace.BranchReturn {
+			tp.stats.ReturnMispredicts++
+		}
+	}
+	return correct
+}

@@ -1,0 +1,234 @@
+// Package cpu implements the ChampSim-class trace-driven out-of-order core:
+// a decoupled (or coupled) front-end with FTQ and fetch-directed instruction
+// prefetch, branch direction/target prediction, L1I fetch, and a back-end
+// with ROB, register dependency scheduling, load/store queues with
+// store-to-load forwarding, and in-order retire.
+//
+// Like ChampSim, the model is trace-driven: wrong-path instructions are not
+// available, so a mispredicted branch stalls instruction supply until the
+// branch resolves in the back-end, after which fetch resumes with a redirect
+// penalty. This is exactly the mechanism through which the paper's converter
+// improvements change IPC: restoring register dependencies delays branch
+// resolution (flag-reg, branch-regs), while splitting base updates
+// accelerates address generation (base-update).
+package cpu
+
+import (
+	"fmt"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/sim/bpred"
+	"tracerebase/internal/sim/btb"
+	"tracerebase/internal/sim/dprefetch"
+	"tracerebase/internal/sim/iprefetch"
+	"tracerebase/internal/sim/mem"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	// Name labels the configuration ("develop", "ipc1").
+	Name string
+
+	// Pipeline widths (instructions per cycle).
+	FetchWidth, DispatchWidth, IssueWidth, RetireWidth int
+	// ROBSize bounds in-flight instructions; SQSize bounds the store
+	// queue used for store-to-load forwarding.
+	ROBSize, SQSize int
+	// FTQSize is the decoupled front-end's fetch target queue depth;
+	// DecodeQueue bounds instructions fetched but not yet dispatched.
+	FTQSize, DecodeQueue int
+
+	// DecodeLatency is the fetch-to-dispatch pipe depth in cycles;
+	// RedirectPenalty is the extra front-end bubble after a branch
+	// resolves a misprediction.
+	DecodeLatency, RedirectPenalty uint64
+
+	// Decoupled enables the runahead branch-prediction unit that fills
+	// the FTQ ahead of fetch and prefetches fetch targets into the L1I
+	// (fetch-directed instruction prefetch).
+	Decoupled bool
+
+	// Rules selects the branch-type deduction (original or §3.2.2
+	// patched ChampSim).
+	Rules champtrace.RuleSet
+	// Predictor names the direction predictor (see bpred.New).
+	Predictor string
+	// BTBEntries/BTBWays/RASSize size the target structures; UseITTAGE
+	// adds the indirect target predictor; IdealTargets makes every
+	// branch target prediction perfect (the IPC-1 configuration).
+	BTBEntries, BTBWays, RASSize int
+	UseITTAGE                    bool
+	IdealTargets                 bool
+
+	// Memory hierarchy and prefetchers.
+	Hierarchy                   mem.HierarchyConfig
+	L1DPrefetcher, L2Prefetcher string
+	L1IPrefetcher               string
+
+	// UseTLBs enables the ITLB/DTLB/STLB translation hierarchy; TLBs
+	// sizes it (zero value = mem.DefaultTLBConfig).
+	UseTLBs bool
+	TLBs    mem.TLBHierarchyConfig
+
+	// StoreForwardLatency is the load latency when forwarded from the
+	// store queue.
+	StoreForwardLatency uint64
+}
+
+// Validate fills defaults and rejects nonsensical configurations.
+func (c *Config) Validate() error {
+	if c.FetchWidth <= 0 || c.DispatchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("cpu: widths must be positive: %+v", c)
+	}
+	if c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: ROB size must be positive")
+	}
+	if c.SQSize <= 0 {
+		c.SQSize = 32
+	}
+	if c.FTQSize <= 0 {
+		c.FTQSize = c.FetchWidth
+	}
+	if c.DecodeQueue <= 0 {
+		c.DecodeQueue = 4 * c.DispatchWidth
+	}
+	if c.StoreForwardLatency == 0 {
+		c.StoreForwardLatency = 2
+	}
+	if c.BTBEntries <= 0 {
+		c.BTBEntries = 16384
+	}
+	if c.BTBWays <= 0 {
+		c.BTBWays = 8
+	}
+	if c.RASSize <= 0 {
+		c.RASSize = 64
+	}
+	return nil
+}
+
+// CacheStat is the per-level statistics surfaced in results.
+type CacheStat struct {
+	Accesses, Misses uint64
+	UsefulPrefetches uint64
+}
+
+// MPKI returns misses per kilo instruction given the instruction count.
+func (c CacheStat) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.Misses) / float64(instructions)
+}
+
+// Stats is the result of one simulation.
+type Stats struct {
+	// Instructions and Cycles cover the measured region (after warm-up).
+	Instructions, Cycles uint64
+
+	Branches, CondBranches, TakenBranches uint64
+	// Mispredicts is the union of direction and target mispredictions;
+	// the components are reported separately like the paper's Table 2.
+	Mispredicts, DirMispredicts, TargetMispredicts uint64
+	Returns, ReturnMispredicts                     uint64
+	BTBMisses                                      uint64
+
+	Loads, Stores uint64
+
+	L1I, L1D, L2, LLC CacheStat
+
+	// ITLBMisses, DTLBMisses and STLBMisses count translation misses
+	// (zero when the configuration runs without TLBs).
+	ITLBMisses, DTLBMisses, STLBMisses uint64
+}
+
+// IPC returns instructions per cycle for the measured region.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// BranchMPKI returns the overall branch MPKI (direction + target union).
+func (s Stats) BranchMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mispredicts) / float64(s.Instructions)
+}
+
+// DirMPKI returns the direction misprediction MPKI.
+func (s Stats) DirMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.DirMispredicts) / float64(s.Instructions)
+}
+
+// TargetMPKI returns the target misprediction MPKI for taken branches.
+func (s Stats) TargetMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.TargetMispredicts) / float64(s.Instructions)
+}
+
+// ReturnMPKI returns the return-target misprediction MPKI (Fig. 5).
+func (s Stats) ReturnMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.ReturnMispredicts) / float64(s.Instructions)
+}
+
+// New builds a Pipeline for the given configuration.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := bpred.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	tp := btb.NewTargetPredictor(cfg.BTBEntries, cfg.BTBWays, cfg.RASSize, cfg.UseITTAGE)
+	tp.Ideal = cfg.IdealTargets
+
+	hier := mem.NewHierarchy(cfg.Hierarchy)
+	l1dpf, err := dprefetch.New(cfg.L1DPrefetcher)
+	if err != nil {
+		return nil, err
+	}
+	if l1dpf != nil {
+		hier.L1D.SetPrefetcher(l1dpf)
+	}
+	l2pf, err := dprefetch.New(cfg.L2Prefetcher)
+	if err != nil {
+		return nil, err
+	}
+	if l2pf != nil {
+		hier.L2.SetPrefetcher(l2pf)
+	}
+	ipf, err := iprefetch.New(cfg.L1IPrefetcher)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Pipeline{
+		cfg:  cfg,
+		pred: pred,
+		tp:   tp,
+		hier: hier,
+		ipf:  ipf,
+		rob:  make([]*uop, cfg.ROBSize),
+		sq:   make([]sqEntry, 0, cfg.SQSize),
+	}
+	if cfg.UseTLBs {
+		tcfg := cfg.TLBs
+		if tcfg == (mem.TLBHierarchyConfig{}) {
+			tcfg = mem.DefaultTLBConfig()
+		}
+		p.tlbs = mem.NewTLBHierarchy(tcfg)
+	}
+	return p, nil
+}

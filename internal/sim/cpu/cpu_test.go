@@ -1,0 +1,480 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/sim/mem"
+)
+
+// testConfig is a small, fast configuration for unit tests.
+func testConfig() Config {
+	return Config{
+		Name:            "test",
+		FetchWidth:      4,
+		DispatchWidth:   4,
+		IssueWidth:      4,
+		RetireWidth:     4,
+		ROBSize:         128,
+		SQSize:          32,
+		FTQSize:         32,
+		DecodeQueue:     32,
+		DecodeLatency:   3,
+		RedirectPenalty: 2,
+		Decoupled:       true,
+		Rules:           champtrace.RulesPatched,
+		Predictor:       "bimodal",
+		BTBEntries:      1024,
+		BTBWays:         4,
+		RASSize:         32,
+		Hierarchy:       mem.DefaultHierarchyConfig(),
+		L1DPrefetcher:   "none",
+		L2Prefetcher:    "none",
+		L1IPrefetcher:   "none",
+	}
+}
+
+func mkALU(ip uint64, srcs []uint8, dst uint8) *champtrace.Instruction {
+	in := &champtrace.Instruction{IP: ip}
+	for _, s := range srcs {
+		in.AddSrcReg(s)
+	}
+	if dst != 0 {
+		in.AddDestReg(dst)
+	}
+	return in
+}
+
+func mkLoad(ip, addr uint64, src, dst uint8) *champtrace.Instruction {
+	in := mkALU(ip, []uint8{src}, dst)
+	in.AddSrcMem(addr)
+	return in
+}
+
+func mkStore(ip, addr uint64, src uint8) *champtrace.Instruction {
+	in := mkALU(ip, []uint8{src}, 0)
+	in.AddDestMem(addr)
+	return in
+}
+
+func mkCondBr(ip uint64, taken bool, srcs ...uint8) *champtrace.Instruction {
+	in := &champtrace.Instruction{IP: ip, IsBranch: true, Taken: taken}
+	in.AddSrcReg(champtrace.RegInstructionPointer)
+	if len(srcs) == 0 {
+		in.AddSrcReg(champtrace.RegFlags)
+	}
+	for _, s := range srcs {
+		in.AddSrcReg(s)
+	}
+	in.AddDestReg(champtrace.RegInstructionPointer)
+	return in
+}
+
+func run(t *testing.T, cfg Config, instrs []*champtrace.Instruction) Stats {
+	t.Helper()
+	return runW(t, cfg, instrs, 0)
+}
+
+// runW simulates with a warm-up region excluded from the statistics, hiding
+// the cold-cache transient in comparative tests.
+func runW(t *testing.T, cfg Config, instrs []*champtrace.Instruction, warmup uint64) Stats {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(champtrace.NewSliceSource(instrs), warmup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// straightLine builds n independent ALU instructions looping over a small
+// (4 KB) instruction footprint so the L1I warms after the first pass.
+func straightLine(n int) []*champtrace.Instruction {
+	out := make([]*champtrace.Instruction, n)
+	for i := range out {
+		out[i] = mkALU(0x400000+uint64(i%1024)*4, []uint8{10}, uint8(40+i%8))
+	}
+	return out
+}
+
+func TestAllInstructionsRetire(t *testing.T) {
+	instrs := straightLine(1000)
+	st := run(t, testConfig(), instrs)
+	if st.Instructions != 1000 {
+		t.Fatalf("retired %d instructions, want 1000", st.Instructions)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+}
+
+func TestIPCBoundedByWidth(t *testing.T) {
+	st := run(t, testConfig(), straightLine(5000))
+	if ipc := st.IPC(); ipc > float64(testConfig().RetireWidth) {
+		t.Fatalf("IPC %.2f exceeds retire width %d", ipc, testConfig().RetireWidth)
+	}
+}
+
+func TestIndependentBeatsDependent(t *testing.T) {
+	n := 5000
+	indep := straightLine(n)
+	dep := make([]*champtrace.Instruction, n)
+	for i := range dep {
+		// Every instruction reads the register the previous one wrote.
+		dep[i] = mkALU(0x400000+uint64(i%1024)*4, []uint8{40}, 40)
+	}
+	stI := runW(t, testConfig(), indep, 2000)
+	stD := runW(t, testConfig(), dep, 2000)
+	if stI.IPC() <= stD.IPC()*1.5 {
+		t.Fatalf("independent IPC %.2f should be well above dependent chain IPC %.2f", stI.IPC(), stD.IPC())
+	}
+	if stD.IPC() > 1.15 {
+		t.Fatalf("a serial dependency chain cannot exceed ~1 IPC, got %.2f", stD.IPC())
+	}
+}
+
+func TestPointerChaseSlowerThanStreaming(t *testing.T) {
+	n := 3000
+	// Streaming: independent loads, sequential addresses.
+	stream := make([]*champtrace.Instruction, n)
+	for i := range stream {
+		stream[i] = mkLoad(0x400000+uint64(i%1024)*4, 0x10000000+uint64(i)*64, 10, uint8(40+i%4))
+	}
+	// Pointer chase: each load's address register is the previous load's
+	// destination, with cache-hostile strides.
+	chase := make([]*champtrace.Instruction, n)
+	for i := range chase {
+		chase[i] = mkLoad(0x400000+uint64(i%1024)*4, 0x10000000+uint64(i*7919%4096)*4096, 40, 40)
+	}
+	stS := runW(t, testConfig(), stream, 500)
+	stC := runW(t, testConfig(), chase, 500)
+	if stS.IPC() < 2*stC.IPC() {
+		t.Fatalf("streaming IPC %.3f should dwarf pointer-chase IPC %.3f", stS.IPC(), stC.IPC())
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// Loads that hit a just-written address forward from the SQ and avoid
+	// a miss to DRAM: compare against loads to cold addresses.
+	n := 2000
+	fwd := make([]*champtrace.Instruction, 0, 2*n)
+	cold := make([]*champtrace.Instruction, 0, 2*n)
+	for i := 0; i < n; i++ {
+		addr := 0x20000000 + uint64(i)*4096 // cache-hostile stride
+		ip := 0x400000 + uint64(i%512)*8
+		fwd = append(fwd,
+			mkStore(ip, addr, 10),
+			mkLoad(ip+4, addr, 11, 41))
+		cold = append(cold,
+			mkStore(ip, addr, 10),
+			mkLoad(ip+4, addr+2048, 11, 41))
+	}
+	stF := runW(t, testConfig(), fwd, 500)
+	stC := runW(t, testConfig(), cold, 500)
+	if stF.IPC() <= stC.IPC() {
+		t.Fatalf("forwarded loads IPC %.3f should beat cold loads IPC %.3f", stF.IPC(), stC.IPC())
+	}
+}
+
+// mispredictStream builds a loop whose conditional branch is taken with
+// 50% pseudo-random outcomes — hard for any predictor.
+func randomBranches(n int, brSrcs ...uint8) []*champtrace.Instruction {
+	r := rand.New(rand.NewSource(5))
+	var out []*champtrace.Instruction
+	for i := 0; i < n; i++ {
+		base := 0x400000 + uint64(i%64)*32
+		// A load whose destination may feed the branch.
+		out = append(out, mkLoad(base, 0x30000000+uint64(r.Intn(1<<20))*64, 12, 50))
+		out = append(out, mkALU(base+4, []uint8{50}, 51))
+		out = append(out, mkCondBr(base+8, r.Intn(2) == 0, brSrcs...))
+		out = append(out, mkALU(base+12, []uint8{10}, 52))
+	}
+	return out
+}
+
+// TestBranchDependsOnLoadIsSlower is the central mechanism of the paper's
+// flag-reg/branch-regs results: a mispredicted branch that depends on a
+// long-latency load resolves late, exposing the full penalty; the same
+// branch with no producers resolves immediately after dispatch.
+func TestBranchDependsOnLoadIsSlower(t *testing.T) {
+	indep := randomBranches(3000)          // branch reads only FLAGS; nothing writes FLAGS
+	dep := randomBranches(3000, uint8(51)) // branch reads the load-fed register
+	stI := runW(t, testConfig(), indep, 1000)
+	stD := runW(t, testConfig(), dep, 1000)
+	if stD.IPC() >= stI.IPC() {
+		t.Fatalf("load-dependent branches IPC %.3f must be below independent branches IPC %.3f",
+			stD.IPC(), stI.IPC())
+	}
+	slowdown := stI.IPC() / stD.IPC()
+	if slowdown < 1.05 {
+		t.Fatalf("slowdown %.3f too small — misprediction resolution timing not modeled", slowdown)
+	}
+}
+
+func TestPerfectlyPredictableBranchesAreCheap(t *testing.T) {
+	mk := func(taken func(i int) bool) []*champtrace.Instruction {
+		var out []*champtrace.Instruction
+		for i := 0; i < 3000; i++ {
+			base := 0x400000 + uint64(i%16)*16
+			out = append(out, mkALU(base, []uint8{10}, 40))
+			out = append(out, mkCondBr(base+4, taken(i)))
+		}
+		return out
+	}
+	stAlways := runW(t, testConfig(), mk(func(i int) bool { return true }), 500)
+	r := rand.New(rand.NewSource(9))
+	stRandom := runW(t, testConfig(), mk(func(i int) bool { return r.Intn(2) == 0 }), 500)
+	if stAlways.IPC() <= stRandom.IPC() {
+		t.Fatalf("predictable branches IPC %.3f should beat random branches IPC %.3f",
+			stAlways.IPC(), stRandom.IPC())
+	}
+	if stAlways.BranchMPKI() > 20 {
+		t.Errorf("always-taken loop branch MPKI = %.1f, want near zero", stAlways.BranchMPKI())
+	}
+	if stRandom.DirMPKI() < 50 {
+		t.Errorf("random branch direction MPKI = %.1f, want ~250", stRandom.DirMPKI())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	instrs := randomBranches(2000, uint8(51))
+	a := run(t, testConfig(), instrs)
+	b := run(t, testConfig(), instrs)
+	if a != b {
+		t.Fatalf("two identical runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	instrs := straightLine(4000)
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(champtrace.NewSliceSource(instrs), 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions < 1900 || st.Instructions > 2100 {
+		t.Fatalf("measured %d instructions, want ~2000 (after warm-up)", st.Instructions)
+	}
+}
+
+func TestMaxInstructionsStopsRun(t *testing.T) {
+	instrs := straightLine(100000)
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(champtrace.NewSliceSource(instrs), 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions < 5000 || st.Instructions > 5100 {
+		t.Fatalf("measured %d instructions, want ~5000", st.Instructions)
+	}
+}
+
+func TestLargeICacheFootprintHurts(t *testing.T) {
+	// A loop over 16 lines vs a loop over 4096 lines (256 KB, beyond L1I+L2).
+	mk := func(lines int) []*champtrace.Instruction {
+		var out []*champtrace.Instruction
+		for i := 0; i < 20000; i++ {
+			ip := 0x400000 + uint64(i%lines)*64
+			out = append(out, mkALU(ip, []uint8{10}, 40))
+		}
+		return out
+	}
+	small := run(t, testConfig(), mk(16))
+	big := run(t, testConfig(), mk(16384))
+	if small.IPC() <= big.IPC() {
+		t.Fatalf("small footprint IPC %.3f should beat thrashing footprint IPC %.3f", small.IPC(), big.IPC())
+	}
+	if big.L1I.Misses == 0 {
+		t.Fatal("huge instruction footprint produced no L1I misses")
+	}
+}
+
+func TestInstructionPrefetcherHelps(t *testing.T) {
+	// Repeating 512-line instruction loop (32 KB exactly at L1I capacity
+	// boundary — with tags/thrash it misses) — next-line prefetching must
+	// recover most of the loss.
+	mk := func() []*champtrace.Instruction {
+		var out []*champtrace.Instruction
+		for i := 0; i < 60000; i++ {
+			ip := 0x400000 + uint64(i%1024)*64
+			out = append(out, mkALU(ip, []uint8{10}, 40))
+		}
+		return out
+	}
+	cfgNone := testConfig()
+	cfgNone.Decoupled = false
+	cfgNL := cfgNone
+	cfgNL.L1IPrefetcher = "next-line"
+	stNone := run(t, cfgNone, mk())
+	stNL := run(t, cfgNL, mk())
+	if stNL.IPC() <= stNone.IPC() {
+		t.Fatalf("next-line iprefetch IPC %.3f should beat none %.3f", stNL.IPC(), stNone.IPC())
+	}
+}
+
+func TestDecoupledFrontEndPrefetches(t *testing.T) {
+	// With FDIP, FTQ insertion prefetches upcoming lines, hiding L1I miss
+	// latency on a large sequential footprint.
+	mk := func() []*champtrace.Instruction {
+		var out []*champtrace.Instruction
+		for i := 0; i < 60000; i++ {
+			ip := 0x400000 + uint64(i%8192)*16
+			out = append(out, mkALU(ip, []uint8{10}, 40))
+		}
+		return out
+	}
+	coupled := testConfig()
+	coupled.Decoupled = false
+	decoupled := testConfig()
+	stC := run(t, coupled, mk())
+	stD := run(t, decoupled, mk())
+	if stD.IPC() <= stC.IPC() {
+		t.Fatalf("decoupled FE IPC %.3f should beat coupled %.3f on streaming code", stD.IPC(), stC.IPC())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := Config{}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted zero config")
+	}
+	cfg := testConfig()
+	cfg.SQSize, cfg.FTQSize, cfg.DecodeQueue = 0, 0, 0
+	cfg.BTBEntries, cfg.BTBWays, cfg.RASSize = 0, 0, 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected defaultable config: %v", err)
+	}
+	if cfg.SQSize == 0 || cfg.FTQSize == 0 || cfg.BTBEntries == 0 {
+		t.Error("Validate did not fill defaults")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+	cfg2 := testConfig()
+	cfg2.Predictor = "bogus"
+	if _, err := New(cfg2); err == nil {
+		t.Error("New accepted bogus predictor")
+	}
+	cfg3 := testConfig()
+	cfg3.L1IPrefetcher = "bogus"
+	if _, err := New(cfg3); err == nil {
+		t.Error("New accepted bogus iprefetcher")
+	}
+	cfg4 := testConfig()
+	cfg4.L1DPrefetcher = "bogus"
+	if _, err := New(cfg4); err == nil {
+		t.Error("New accepted bogus dprefetcher")
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{Instructions: 2000, Cycles: 1000, Mispredicts: 10, DirMispredicts: 6, TargetMispredicts: 5, ReturnMispredicts: 2}
+	if s.IPC() != 2.0 {
+		t.Errorf("IPC = %v", s.IPC())
+	}
+	if s.BranchMPKI() != 5.0 || s.DirMPKI() != 3.0 || s.TargetMPKI() != 2.5 || s.ReturnMPKI() != 1.0 {
+		t.Errorf("MPKIs = %v %v %v %v", s.BranchMPKI(), s.DirMPKI(), s.TargetMPKI(), s.ReturnMPKI())
+	}
+	var zero Stats
+	if zero.IPC() != 0 || zero.BranchMPKI() != 0 || zero.DirMPKI() != 0 || zero.TargetMPKI() != 0 || zero.ReturnMPKI() != 0 {
+		t.Error("zero stats should have zero derived metrics")
+	}
+	cs := CacheStat{Misses: 30}
+	if cs.MPKI(10000) != 3.0 || cs.MPKI(0) != 0 {
+		t.Error("CacheStat.MPKI wrong")
+	}
+}
+
+func TestBTBMissesReported(t *testing.T) {
+	// Many distinct taken branches on a cold BTB must register misses.
+	var instrs []*champtrace.Instruction
+	for i := 0; i < 400; i++ {
+		instrs = append(instrs, mkALU(0x400000+uint64(i)*64, []uint8{10}, 40))
+		br := mkCondBr(0x400000+uint64(i)*64+4, true)
+		instrs = append(instrs, br)
+	}
+	st := run(t, testConfig(), instrs)
+	if st.BTBMisses == 0 {
+		t.Fatalf("cold BTB recorded no misses: %+v", st)
+	}
+}
+
+func TestStoreWritesCountAtRetire(t *testing.T) {
+	var instrs []*champtrace.Instruction
+	for i := 0; i < 500; i++ {
+		instrs = append(instrs, mkStore(0x400000+uint64(i%256)*4, 0x10000000+uint64(i)*64, 10))
+	}
+	st := run(t, testConfig(), instrs)
+	if st.L1D.Accesses < 500 {
+		t.Fatalf("store retirement produced only %d L1D accesses", st.L1D.Accesses)
+	}
+	if st.Stores != 500 {
+		t.Fatalf("Stores = %d", st.Stores)
+	}
+}
+
+func TestMultiAddressLoadTouchesBothLines(t *testing.T) {
+	// A mem-footprint-style record with two source addresses accesses
+	// two distinct cachelines.
+	single := &champtrace.Instruction{IP: 0x400000}
+	single.AddSrcReg(10)
+	single.AddDestReg(40)
+	single.AddSrcMem(0x20000000)
+	double := &champtrace.Instruction{IP: 0x400000}
+	double.AddSrcReg(10)
+	double.AddDestReg(40)
+	double.AddSrcMem(0x20000000)
+	double.AddSrcMem(0x20000040)
+	mk := func(in *champtrace.Instruction) []*champtrace.Instruction {
+		var out []*champtrace.Instruction
+		for i := 0; i < 200; i++ {
+			c := *in
+			c.IP = 0x400000 + uint64(i%64)*4
+			c.SrcMem[0] = 0x20000000 + uint64(i)*4096
+			if c.SrcMem[1] != 0 {
+				c.SrcMem[1] = c.SrcMem[0] + 64
+			}
+			out = append(out, &c)
+		}
+		return out
+	}
+	stS := run(t, testConfig(), mk(single))
+	stD := run(t, testConfig(), mk(double))
+	if stD.L1D.Accesses <= stS.L1D.Accesses {
+		t.Fatalf("two-address loads accessed %d lines vs %d for one-address",
+			stD.L1D.Accesses, stS.L1D.Accesses)
+	}
+}
+
+func TestDecodeQueueBackpressure(t *testing.T) {
+	// A tiny decode queue must not deadlock or drop instructions.
+	cfg := testConfig()
+	cfg.DecodeQueue = 2
+	st := run(t, cfg, straightLine(3000))
+	if st.Instructions != 3000 {
+		t.Fatalf("retired %d of 3000 with tiny decode queue", st.Instructions)
+	}
+}
+
+func TestROBSizeOne(t *testing.T) {
+	// Degenerate ROB: strictly serial execution, still correct.
+	cfg := testConfig()
+	cfg.ROBSize = 1
+	st := run(t, cfg, straightLine(500))
+	if st.Instructions != 500 {
+		t.Fatalf("retired %d of 500 with ROB=1", st.Instructions)
+	}
+	if st.IPC() > 1.0 {
+		t.Fatalf("ROB=1 cannot exceed 1 IPC, got %.3f", st.IPC())
+	}
+}

@@ -1,0 +1,533 @@
+package cpu
+
+import (
+	"io"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/sim/btb"
+	"tracerebase/internal/sim/mem"
+)
+
+// uop is one in-flight instruction.
+type uop struct {
+	ip    uint64
+	seq   uint64
+	btype champtrace.BranchType
+	taken bool
+	// target is the actual next IP of a taken branch (trace truth).
+	target uint64
+
+	loadAddrs  []uint64
+	storeAddrs []uint64
+
+	// lineReady is the cycle the uop's icache line is available, set at
+	// FTQ insertion in decoupled mode (fetch-directed icache access).
+	lineReady uint64
+
+	srcRegs [champtrace.NumSrcRegs]uint8
+	dstRegs [champtrace.NumDestRegs]uint8
+	deps    [champtrace.NumSrcRegs]*uop
+
+	fetchLine   uint64
+	decodeReady uint64
+	dispatched  bool
+	issued      bool
+	completed   bool
+	complete    uint64 // cycle at which the result is available
+
+	// mispred marks a branch whose direction or target prediction was
+	// wrong: instruction supply stalls at this uop until it resolves.
+	mispred bool
+}
+
+type sqEntry struct {
+	addr  uint64 // 8-byte-aligned store address
+	ready uint64 // cycle the data can be forwarded
+	seq   uint64
+}
+
+// Pipeline is the simulated core.
+type Pipeline struct {
+	cfg  Config
+	pred directionPredictor
+	tp   targetPredictor
+	hier *mem.Hierarchy
+	tlbs *mem.TLBHierarchy
+	ipf  iprefetchHook
+
+	// Front end.
+	la        lookahead
+	ftq       []*uop
+	decq      []*uop
+	stalledOn *uop
+	curLine   uint64
+	curLineAt uint64 // cycle the current fetch line is available
+	// insertLine/insertLineAt implement the decoupled front-end's
+	// in-order icache pipeline: the FTQ issues one access per line as
+	// entries are enqueued, ahead of fetch.
+	insertLine   uint64
+	insertLineAt uint64
+
+	// Back end.
+	rob      []*uop
+	robHead  int
+	robCount int
+	// pending holds dispatched-but-not-issued uops in age order, so the
+	// scheduler scans only waiting instructions instead of the whole ROB.
+	pending []*uop
+	sq      []sqEntry
+	// regProducer tracks the most recent writer of each register id.
+	regProducer [256]*uop
+
+	cycle   uint64
+	seq     uint64
+	retired uint64
+
+	// stats for the measured region.
+	st            Stats
+	warmupCycles  uint64
+	warmupRetired uint64
+	measuring     bool
+}
+
+// Narrow interfaces so the pipeline file does not depend on concrete types
+// beyond what it exercises (and tests can substitute).
+type directionPredictor interface {
+	Name() string
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+}
+
+type targetPredictor interface {
+	Predict(pc uint64, btype champtrace.BranchType) (uint64, bool)
+	Resolve(pc uint64, btype champtrace.BranchType, taken bool, predTarget uint64, predKnown bool, actualTarget, fallthroughAddr uint64) bool
+	Stats() btb.TargetStats
+	ResetStats()
+}
+
+type iprefetchHook interface {
+	OnAccess(lineAddr uint64, hit bool) []uint64
+	OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64
+	OnFTQInsert(lineAddr uint64) []uint64
+}
+
+// lookahead wraps the trace source with a one-instruction buffer so each
+// branch's actual target (the next instruction's IP) is known when the
+// branch is processed — exactly how ChampSim's tracereader derives targets.
+type lookahead struct {
+	src  champtrace.Source
+	next *champtrace.Instruction
+	done bool
+}
+
+func (l *lookahead) init(src champtrace.Source) error {
+	l.src = src
+	in, err := src.Next()
+	if err == io.EOF {
+		l.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	l.next = in
+	return nil
+}
+
+// pop returns the next instruction and the IP that follows it in the trace
+// (0 at end of trace).
+func (l *lookahead) pop() (*champtrace.Instruction, uint64, error) {
+	if l.done || l.next == nil {
+		return nil, 0, io.EOF
+	}
+	cur := l.next
+	in, err := l.src.Next()
+	if err == io.EOF {
+		l.next = nil
+		l.done = true
+		return cur, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	l.next = in
+	return cur, in.IP, nil
+}
+
+// Run simulates the trace. Statistics cover instructions retired after the
+// first warmup instructions; the run ends when maxInstructions have retired
+// (0 = no limit) or the trace is exhausted and the pipeline drains.
+func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (Stats, error) {
+	if err := p.la.init(src); err != nil {
+		return Stats{}, err
+	}
+	p.measuring = warmup == 0
+	if p.measuring {
+		p.beginMeasurement()
+	}
+	for {
+		p.retire()
+		p.issue()
+		p.dispatch()
+		p.fetch()
+		p.bpuFill()
+		p.cycle++
+
+		if !p.measuring && p.retired >= warmup {
+			p.measuring = true
+			p.beginMeasurement()
+		}
+		if maxInstructions > 0 && p.retired >= maxInstructions {
+			break
+		}
+		if p.la.done && p.robCount == 0 && len(p.ftq) == 0 && len(p.decq) == 0 {
+			break
+		}
+	}
+	p.st.Instructions = p.retired - p.warmupRetired
+	p.st.Cycles = p.cycle - p.warmupCycles
+	p.collectCacheStats()
+	return p.st, nil
+}
+
+func (p *Pipeline) beginMeasurement() {
+	p.warmupCycles = p.cycle
+	p.warmupRetired = p.retired
+	// Preserve the measured-region counters only.
+	p.st = Stats{}
+	p.hier.ResetStats()
+	p.tp.ResetStats()
+	if p.tlbs != nil {
+		p.tlbs.ResetStats()
+	}
+}
+
+func (p *Pipeline) collectCacheStats() {
+	grab := func(c *mem.Cache) CacheStat {
+		s := c.Stats()
+		return CacheStat{Accesses: s.Accesses, Misses: s.Misses, UsefulPrefetches: s.UsefulPrefetches}
+	}
+	p.st.L1I = grab(p.hier.L1I)
+	p.st.L1D = grab(p.hier.L1D)
+	p.st.L2 = grab(p.hier.L2)
+	p.st.LLC = grab(p.hier.LLC)
+	if p.tlbs != nil {
+		p.st.ITLBMisses = p.tlbs.ITLB.Stats().Misses
+		p.st.DTLBMisses = p.tlbs.DTLB.Stats().Misses
+		p.st.STLBMisses = p.tlbs.STLB.Stats().Misses
+	}
+	p.st.BTBMisses = p.tp.Stats().BTBMisses
+}
+
+// ---- Retire ----
+
+func (p *Pipeline) retire() {
+	for n := 0; n < p.cfg.RetireWidth && p.robCount > 0; n++ {
+		u := p.rob[p.robHead]
+		if !u.completed || u.complete > p.cycle {
+			return
+		}
+		// Stores write the data cache at retirement; the latency is off
+		// the critical path (drained from the store buffer) but the
+		// access trains caches and prefetchers and counts in MPKI.
+		for _, a := range u.storeAddrs {
+			p.hier.L1D.AccessIP(a, u.ip, p.cycle, mem.Write)
+		}
+		p.rob[p.robHead] = nil
+		p.robHead = (p.robHead + 1) % len(p.rob)
+		p.robCount--
+		p.retired++
+	}
+}
+
+// ---- Issue / execute ----
+
+func (p *Pipeline) issue() {
+	issued := 0
+	keep := p.pending[:0]
+	for i, u := range p.pending {
+		if issued >= p.cfg.IssueWidth {
+			keep = append(keep, p.pending[i:]...)
+			break
+		}
+		if !p.depsReady(u) {
+			keep = append(keep, u)
+			continue
+		}
+		u.issued = true
+		issued++
+		p.execute(u)
+	}
+	p.pending = keep
+}
+
+func (p *Pipeline) depsReady(u *uop) bool {
+	for _, d := range u.deps {
+		if d != nil && (!d.completed || d.complete > p.cycle) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) execute(u *uop) {
+	switch {
+	case len(u.loadAddrs) > 0:
+		done := uint64(0)
+		for _, a := range u.loadAddrs {
+			var t uint64
+			if fwd, ok := p.forward(a, u.seq); ok {
+				t = max64(p.cycle, fwd) + p.cfg.StoreForwardLatency
+			} else {
+				start := p.cycle
+				if p.tlbs != nil {
+					start += p.tlbs.TranslateD(a)
+				}
+				t = p.hier.L1D.AccessIP(a, u.ip, start, mem.Read)
+			}
+			if t > done {
+				done = t
+			}
+		}
+		u.complete = done
+	case len(u.storeAddrs) > 0:
+		// Address generation; the write happens at retire.
+		u.complete = p.cycle + 1
+		for _, a := range u.storeAddrs {
+			p.pushStore(a, u.complete, u.seq)
+		}
+	default:
+		u.complete = p.cycle + 1
+	}
+	u.completed = true
+}
+
+func (p *Pipeline) pushStore(addr, ready, seq uint64) {
+	if len(p.sq) >= p.cfg.SQSize {
+		p.sq = p.sq[1:]
+	}
+	p.sq = append(p.sq, sqEntry{addr: addr &^ 7, ready: ready, seq: seq})
+}
+
+// forward finds the youngest older store to the same 8-byte-aligned address.
+func (p *Pipeline) forward(addr, seq uint64) (uint64, bool) {
+	key := addr &^ 7
+	for i := len(p.sq) - 1; i >= 0; i-- {
+		if p.sq[i].seq < seq && p.sq[i].addr == key {
+			return p.sq[i].ready, true
+		}
+	}
+	return 0, false
+}
+
+// ---- Dispatch ----
+
+func (p *Pipeline) dispatch() {
+	n := 0
+	for n < p.cfg.DispatchWidth && len(p.decq) > 0 && p.robCount < len(p.rob) {
+		u := p.decq[0]
+		if u.decodeReady > p.cycle {
+			return
+		}
+		p.decq = p.decq[1:]
+		// Register rename: link sources to their producers and claim
+		// destinations.
+		for i, r := range u.srcRegs {
+			if r != champtrace.RegInvalid {
+				u.deps[i] = p.regProducer[r]
+			}
+		}
+		for _, r := range u.dstRegs {
+			if r != champtrace.RegInvalid {
+				p.regProducer[r] = u
+			}
+		}
+		u.dispatched = true
+		p.rob[(p.robHead+p.robCount)%len(p.rob)] = u
+		p.robCount++
+		p.pending = append(p.pending, u)
+		n++
+	}
+}
+
+// ---- Fetch ----
+
+func (p *Pipeline) fetch() {
+	for n := 0; n < p.cfg.FetchWidth && len(p.ftq) > 0 && len(p.decq) < p.cfg.DecodeQueue; n++ {
+		u := p.ftq[0]
+		if p.cfg.Decoupled {
+			// The icache was accessed at FTQ insertion; fetch just
+			// waits for the line.
+			p.curLineAt = u.lineReady
+		} else if u.fetchLine != p.curLine {
+			// Coupled front-end: demand access at fetch.
+			p.curLine = u.fetchLine
+			p.curLineAt = p.accessICache(u.fetchLine)
+		}
+		if p.curLineAt > p.cycle {
+			return // line still in flight: in-order fetch stalls
+		}
+		p.ftq = p.ftq[1:]
+		u.decodeReady = p.cycle + p.cfg.DecodeLatency
+		p.decq = append(p.decq, u)
+	}
+}
+
+func (p *Pipeline) issueIPrefetches(addrs []uint64) {
+	for _, a := range addrs {
+		p.hier.L1I.Access(a, p.cycle, mem.Prefetch)
+	}
+}
+
+// accessICache performs one demand instruction fetch for a line, drives the
+// instruction prefetcher, and returns the cycle the line is consumable. The
+// L1I hit latency is hidden by the fetch pipeline depth, so resident lines
+// are consumable immediately.
+func (p *Pipeline) accessICache(line uint64) uint64 {
+	cycle := p.cycle
+	if p.tlbs != nil {
+		cycle += p.tlbs.TranslateI(line)
+	}
+	hit := p.hier.L1I.Contains(line)
+	done := p.hier.L1I.Access(line, cycle, mem.Fetch)
+	if hit {
+		done -= p.cfg.Hierarchy.L1I.Latency
+	}
+	if p.ipf != nil {
+		p.issueIPrefetches(p.ipf.OnAccess(line, hit))
+	}
+	return done
+}
+
+// ---- Branch prediction unit / FTQ fill ----
+
+func (p *Pipeline) bpuFill() {
+	// A mispredicted branch blocks instruction supply until it resolves;
+	// fetch then resumes after the redirect penalty.
+	if p.stalledOn != nil {
+		u := p.stalledOn
+		if !u.completed || u.complete+p.cfg.RedirectPenalty > p.cycle {
+			return
+		}
+		p.stalledOn = nil
+	}
+	budget := p.cfg.FTQSize - len(p.ftq)
+	if !p.cfg.Decoupled {
+		// Coupled front-end: the BPU only runs for the lines fetch is
+		// about to consume.
+		if b := p.cfg.FetchWidth - len(p.ftq); b < budget {
+			budget = b
+		}
+	}
+	for i := 0; i < budget; i++ {
+		in, nextIP, err := p.la.pop()
+		if err == io.EOF || in == nil {
+			return
+		}
+		u := p.newUop(in, nextIP)
+		if u.btype != champtrace.NotBranch {
+			p.processBranch(u)
+		}
+		p.ftq = append(p.ftq, u)
+		line := mem.LineAddr(u.ip)
+		if p.cfg.Decoupled {
+			// Fetch-directed instruction fetch: the FTQ accesses the
+			// L1I as entries are enqueued, ahead of fetch, so miss
+			// latency overlaps with the FTQ occupancy.
+			if line != p.insertLine {
+				p.insertLine = line
+				p.insertLineAt = p.accessICache(line)
+			}
+			u.lineReady = p.insertLineAt
+		}
+		if p.ipf != nil {
+			p.issueIPrefetches(p.ipf.OnFTQInsert(line))
+		}
+		if u.mispred {
+			p.stalledOn = u
+			return
+		}
+	}
+}
+
+func (p *Pipeline) newUop(in *champtrace.Instruction, nextIP uint64) *uop {
+	p.seq++
+	u := &uop{
+		ip:        in.IP,
+		seq:       p.seq,
+		btype:     champtrace.Classify(in, p.cfg.Rules),
+		taken:     in.IsBranch && in.Taken,
+		srcRegs:   in.SrcRegs,
+		dstRegs:   in.DestRegs,
+		fetchLine: mem.LineAddr(in.IP),
+	}
+	if u.taken {
+		u.target = nextIP
+	}
+	for _, a := range in.SrcMem {
+		if a != 0 {
+			u.loadAddrs = append(u.loadAddrs, a)
+		}
+	}
+	for _, a := range in.DestMem {
+		if a != 0 {
+			u.storeAddrs = append(u.storeAddrs, a)
+		}
+	}
+	if len(u.loadAddrs) > 0 {
+		p.st.Loads++
+	}
+	if len(u.storeAddrs) > 0 {
+		p.st.Stores++
+	}
+	return u
+}
+
+// processBranch runs the direction and target predictors and decides
+// whether the branch stalls instruction supply.
+func (p *Pipeline) processBranch(u *uop) {
+	p.st.Branches++
+	if u.taken {
+		p.st.TakenBranches++
+	}
+
+	dirMispred := false
+	if u.btype == champtrace.BranchConditional {
+		p.st.CondBranches++
+		predTaken := p.pred.Predict(u.ip)
+		p.pred.Update(u.ip, u.taken)
+		dirMispred = predTaken != u.taken
+	}
+
+	predTarget, predKnown := p.tp.Predict(u.ip, u.btype)
+	retAddr := u.ip + 4 // sequential address a call's matching return lands on
+	targetCorrect := p.tp.Resolve(u.ip, u.btype, u.taken, predTarget, predKnown, u.target, retAddr)
+
+	if u.btype == champtrace.BranchReturn {
+		p.st.Returns++
+		if u.taken && !targetCorrect {
+			p.st.ReturnMispredicts++
+		}
+	}
+	if dirMispred {
+		p.st.DirMispredicts++
+	}
+	if u.taken && !targetCorrect {
+		p.st.TargetMispredicts++
+	}
+	if dirMispred || (u.taken && !targetCorrect) {
+		p.st.Mispredicts++
+		u.mispred = true
+	}
+
+	if p.ipf != nil && u.taken {
+		p.issueIPrefetches(p.ipf.OnBranch(u.ip, u.target, u.btype))
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

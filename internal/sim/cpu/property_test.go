@@ -1,0 +1,176 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracerebase/internal/champtrace"
+)
+
+// randomStream builds a structurally coherent random ChampSim stream: PCs
+// flow sequentially except after taken branches, whose targets are the next
+// instruction's IP (maintained by construction, like real converted
+// traces).
+func randomStream(r *rand.Rand, n int) []*champtrace.Instruction {
+	out := make([]*champtrace.Instruction, 0, n)
+	pc := uint64(0x400000)
+	for i := 0; i < n; i++ {
+		roll := r.Float64()
+		switch {
+		case roll < 0.15: // load
+			in := &champtrace.Instruction{IP: pc}
+			in.AddSrcReg(uint8(10 + r.Intn(8)))
+			in.AddDestReg(uint8(30 + r.Intn(8)))
+			in.AddSrcMem(0x10000000 + uint64(r.Intn(1<<18))*8)
+			if r.Intn(10) == 0 {
+				in.AddSrcMem(0x20000000 + uint64(r.Intn(1<<18))*64)
+			}
+			out = append(out, in)
+			pc += 4
+		case roll < 0.22: // store
+			in := &champtrace.Instruction{IP: pc}
+			in.AddSrcReg(uint8(30 + r.Intn(8)))
+			in.AddDestMem(0x30000000 + uint64(r.Intn(1<<18))*8)
+			out = append(out, in)
+			pc += 4
+		case roll < 0.35: // conditional branch
+			taken := r.Intn(2) == 0
+			in := mkCondBr(pc, taken)
+			out = append(out, in)
+			if taken {
+				// Jump somewhere nearby, forward or back.
+				delta := int64(r.Intn(64)) - 32
+				npc := int64(pc) + delta*4
+				if npc < 0x400000 {
+					npc = 0x400000
+				}
+				pc = uint64(npc)
+			} else {
+				pc += 4
+			}
+		default: // ALU
+			in := mkALU(pc, []uint8{uint8(30 + r.Intn(8))}, uint8(30+r.Intn(8)))
+			out = append(out, in)
+			pc += 4
+		}
+	}
+	return out
+}
+
+// TestQuickAllRetire: for any coherent stream, every instruction retires,
+// cycles advance, and IPC stays within machine width.
+func TestQuickAllRetire(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 500 + r.Intn(2000)
+		stream := randomStream(r, n)
+		p, err := New(testConfig())
+		if err != nil {
+			return false
+		}
+		st, err := p.Run(champtrace.NewSliceSource(stream), 0, 0)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if st.Instructions != uint64(n) {
+			t.Logf("retired %d of %d", st.Instructions, n)
+			return false
+		}
+		if st.Cycles == 0 {
+			return false
+		}
+		if st.IPC() > float64(testConfig().RetireWidth) {
+			t.Logf("IPC %v over width", st.IPC())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterministicPipeline: identical streams and configs produce
+// identical statistics.
+func TestQuickDeterministicPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stream := randomStream(r, 1500)
+		run := func() Stats {
+			p, _ := New(testConfig())
+			st, _ := p.Run(champtrace.NewSliceSource(stream), 200, 0)
+			return st
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMispredictsBounded: mispredictions never exceed the number of
+// branches, and target mispredictions never exceed taken branches.
+func TestQuickMispredictsBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stream := randomStream(r, 2000)
+		p, err := New(testConfig())
+		if err != nil {
+			return false
+		}
+		st, err := p.Run(champtrace.NewSliceSource(stream), 0, 0)
+		if err != nil {
+			return false
+		}
+		if st.DirMispredicts > st.CondBranches {
+			t.Logf("dir mispredicts %d > cond %d", st.DirMispredicts, st.CondBranches)
+			return false
+		}
+		if st.TargetMispredicts > st.TakenBranches {
+			t.Logf("target mispredicts %d > taken %d", st.TargetMispredicts, st.TakenBranches)
+			return false
+		}
+		if st.Mispredicts > st.DirMispredicts+st.TargetMispredicts {
+			t.Logf("union exceeds sum")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWarmupConsistency: warmup never changes the total retired count,
+// only the measured window.
+func TestQuickWarmupConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stream := randomStream(r, 3000)
+		p1, _ := New(testConfig())
+		full, err := p1.Run(champtrace.NewSliceSource(stream), 0, 0)
+		if err != nil {
+			return false
+		}
+		p2, _ := New(testConfig())
+		warm, err := p2.Run(champtrace.NewSliceSource(stream), 1000, 0)
+		if err != nil {
+			return false
+		}
+		if full.Instructions != 3000 {
+			return false
+		}
+		// The measured region excludes roughly the warmup (boundary is
+		// quantized to a cycle).
+		if warm.Instructions > full.Instructions-900 || warm.Instructions < full.Instructions-1200 {
+			t.Logf("warm window %d of %d", warm.Instructions, full.Instructions)
+			return false
+		}
+		return warm.Cycles < full.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

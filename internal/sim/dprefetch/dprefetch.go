@@ -1,0 +1,212 @@
+// Package dprefetch implements the data prefetchers attached to the L1D and
+// L2 caches. The paper's configuration (§4) models an ip-stride prefetcher
+// at the L1D and a next-line prefetcher at the L2, mimicking Icelake.
+package dprefetch
+
+import (
+	"fmt"
+
+	"tracerebase/internal/sim/mem"
+)
+
+// New constructs a data prefetcher by name: "none", "next-line",
+// "ip-stride", or "stream". "none" returns nil, which callers attach as no
+// prefetcher.
+func New(name string) (mem.Prefetcher, error) {
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "next-line":
+		return NewNextLine(1), nil
+	case "ip-stride":
+		return NewIPStride(256, 4), nil
+	case "stream":
+		return NewStream(64, 4), nil
+	}
+	return nil, fmt.Errorf("dprefetch: unknown prefetcher %q", name)
+}
+
+// NextLine prefetches the next Degree sequential lines on every demand
+// miss.
+type NextLine struct {
+	degree int
+}
+
+// NewNextLine returns a next-line prefetcher with the given degree.
+func NewNextLine(degree int) *NextLine {
+	if degree < 1 {
+		degree = 1
+	}
+	return &NextLine{degree: degree}
+}
+
+// Name implements mem.Prefetcher.
+func (p *NextLine) Name() string { return "next-line" }
+
+// OnAccess implements mem.Prefetcher.
+func (p *NextLine) OnAccess(addr, ip uint64, hit bool) []uint64 {
+	if hit {
+		return nil
+	}
+	out := make([]uint64, p.degree)
+	for i := range out {
+		out[i] = addr + uint64(i+1)*mem.LineSize
+	}
+	return out
+}
+
+// ipEntry tracks the last address and detected stride for one load PC.
+type ipEntry struct {
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+	valid    bool
+}
+
+// IPStride is a per-instruction-pointer stride prefetcher: it detects a
+// constant stride between successive addresses of the same load PC and,
+// once confident, prefetches Degree strides ahead.
+type IPStride struct {
+	table  []ipEntry
+	mask   uint64
+	degree int
+}
+
+// NewIPStride builds an ip-stride prefetcher with the given table size
+// (power of two) and degree.
+func NewIPStride(entries, degree int) *IPStride {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("dprefetch: ip-stride entries must be a power of two")
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &IPStride{table: make([]ipEntry, entries), mask: uint64(entries - 1), degree: degree}
+}
+
+// Name implements mem.Prefetcher.
+func (p *IPStride) Name() string { return "ip-stride" }
+
+// OnAccess implements mem.Prefetcher. It trains on every demand access
+// (hit or miss) and issues prefetches once the stride is confirmed twice.
+func (p *IPStride) OnAccess(addr, ip uint64, hit bool) []uint64 {
+	if ip == 0 {
+		return nil
+	}
+	e := &p.table[(ip>>2)&p.mask]
+	tag := ip >> 2
+	if !e.valid || e.tag != tag {
+		*e = ipEntry{tag: tag, lastAddr: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 1
+	}
+	e.lastAddr = addr
+	if e.conf < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	next := int64(addr)
+	for i := 0; i < p.degree; i++ {
+		next += e.stride
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}
+
+// streamEntry tracks one detected sequential stream.
+type streamEntry struct {
+	lastLine uint64
+	// dir is +1 (ascending), -1 (descending), or 0 (undetected).
+	dir   int
+	conf  uint8
+	valid bool
+}
+
+// Stream is a classic stream buffer-style prefetcher: it detects
+// monotonically advancing cacheline streams (either direction) and, once
+// confident, prefetches Degree lines ahead of the demand stream. Unlike
+// IPStride it is PC-agnostic, so interleaved actors walking one array
+// still train it.
+type Stream struct {
+	table  []streamEntry
+	mask   uint64
+	degree int
+}
+
+// NewStream builds a stream prefetcher with the given table size (power of
+// two) and degree.
+func NewStream(entries, degree int) *Stream {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("dprefetch: stream entries must be a power of two")
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &Stream{table: make([]streamEntry, entries), mask: uint64(entries - 1), degree: degree}
+}
+
+// Name implements mem.Prefetcher.
+func (p *Stream) Name() string { return "stream" }
+
+// OnAccess implements mem.Prefetcher: streams are tracked per 4 KB region.
+func (p *Stream) OnAccess(addr, ip uint64, hit bool) []uint64 {
+	line := addr / mem.LineSize
+	region := addr >> 12
+	e := &p.table[region&p.mask]
+	if !e.valid || absDelta(line, e.lastLine) > 16 {
+		*e = streamEntry{lastLine: line, valid: true}
+		return nil
+	}
+	dir := 0
+	switch {
+	case line > e.lastLine:
+		dir = 1
+	case line < e.lastLine:
+		dir = -1
+	default:
+		return nil
+	}
+	if dir == e.dir {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.dir = dir
+		e.conf = 1
+	}
+	e.lastLine = line
+	if e.conf < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		next := int64(line) + int64(dir*i)
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next)*mem.LineSize)
+	}
+	return out
+}
+
+func absDelta(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

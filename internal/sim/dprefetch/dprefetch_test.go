@@ -1,0 +1,190 @@
+package dprefetch
+
+import (
+	"testing"
+
+	"tracerebase/internal/sim/mem"
+)
+
+func TestNew(t *testing.T) {
+	if p, err := New("none"); err != nil || p != nil {
+		t.Errorf("New(none) = %v, %v", p, err)
+	}
+	if p, err := New(""); err != nil || p != nil {
+		t.Errorf("New(\"\") = %v, %v", p, err)
+	}
+	for _, name := range []string{"next-line", "ip-stride"} {
+		p, err := New(name)
+		if err != nil || p == nil || p.Name() != name {
+			t.Errorf("New(%s) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("New accepted bogus prefetcher")
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine(2)
+	if got := p.OnAccess(0x1000, 0, true); got != nil {
+		t.Errorf("next-line prefetched on hit: %v", got)
+	}
+	got := p.OnAccess(0x1000, 0, false)
+	if len(got) != 2 || got[0] != 0x1040 || got[1] != 0x1080 {
+		t.Errorf("next-line miss prefetch = %v", got)
+	}
+	if NewNextLine(0).degree != 1 {
+		t.Error("degree floor not applied")
+	}
+}
+
+func TestIPStrideDetectsStride(t *testing.T) {
+	p := NewIPStride(64, 2)
+	ip := uint64(0x400100)
+	const stride = 256
+	var last []uint64
+	for i := 0; i < 6; i++ {
+		last = p.OnAccess(uint64(0x10000+i*stride), ip, false)
+	}
+	if len(last) != 2 {
+		t.Fatalf("confident stride issued %d prefetches, want 2", len(last))
+	}
+	base := uint64(0x10000 + 5*stride)
+	if last[0] != base+stride || last[1] != base+2*stride {
+		t.Errorf("prefetch targets = %#x, %#x", last[0], last[1])
+	}
+}
+
+func TestIPStrideNeedsConfidence(t *testing.T) {
+	p := NewIPStride(64, 2)
+	ip := uint64(0x400100)
+	// First two accesses establish the entry and the first stride
+	// observation; no prefetch yet.
+	if got := p.OnAccess(0x10000, ip, false); got != nil {
+		t.Errorf("prefetch after first access: %v", got)
+	}
+	if got := p.OnAccess(0x10100, ip, false); got != nil {
+		t.Errorf("prefetch after single stride observation: %v", got)
+	}
+	// Stride change resets confidence.
+	p.OnAccess(0x10200, ip, false) // conf=2 → prefetches
+	if got := p.OnAccess(0x20000, ip, false); got != nil {
+		t.Errorf("prefetch immediately after stride change: %v", got)
+	}
+}
+
+func TestIPStrideIgnoresZeroIP(t *testing.T) {
+	p := NewIPStride(64, 2)
+	for i := 0; i < 5; i++ {
+		if got := p.OnAccess(uint64(0x1000+i*64), 0, false); got != nil {
+			t.Fatalf("prefetched with ip=0: %v", got)
+		}
+	}
+}
+
+func TestIPStrideDistinctIPs(t *testing.T) {
+	p := NewIPStride(64, 1)
+	// Two interleaved streams with different strides must both train.
+	var a, b []uint64
+	for i := 0; i < 6; i++ {
+		a = p.OnAccess(uint64(0x10000+i*64), 0x400100, false)
+		b = p.OnAccess(uint64(0x80000+i*4096), 0x400104, false)
+	}
+	if len(a) != 1 || a[0] != 0x10000+5*64+64 {
+		t.Errorf("stream A prefetch = %v", a)
+	}
+	if len(b) != 1 || b[0] != 0x80000+5*4096+4096 {
+		t.Errorf("stream B prefetch = %v", b)
+	}
+}
+
+func TestIPStrideValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIPStride accepted non-power-of-two size")
+		}
+	}()
+	NewIPStride(3, 1)
+}
+
+// Integration: an ip-stride prefetcher attached to a cache turns a strided
+// stream into hits.
+func TestIPStrideOnCache(t *testing.T) {
+	dram := mem.NewDRAM(200, 10, 8)
+	c := mem.NewCache(mem.Config{Name: "L1D", Sets: 64, Ways: 8, Latency: 4, MSHRs: 16}, dram)
+	p := NewIPStride(256, 4)
+	c.SetPrefetcher(p)
+	ip := uint64(0x400100)
+	cycle := uint64(0)
+	for i := 0; i < 200; i++ {
+		c.AccessIP(uint64(0x100000+i*mem.LineSize), ip, cycle, mem.Read)
+		cycle += 500
+	}
+	st := c.Stats()
+	if st.UsefulPrefetches < 150 {
+		t.Errorf("useful prefetches = %d of %d accesses; ip-stride ineffective", st.UsefulPrefetches, st.Accesses)
+	}
+}
+
+func TestStreamDetectsBothDirections(t *testing.T) {
+	p := NewStream(64, 2)
+	// Ascending stream in one region.
+	var up []uint64
+	for i := 0; i < 6; i++ {
+		up = p.OnAccess(0x10000+uint64(i)*mem.LineSize, 0, false)
+	}
+	if len(up) != 2 || up[0] != 0x10000+6*mem.LineSize {
+		t.Errorf("ascending prefetches = %#v", up)
+	}
+	// Descending stream in another region.
+	var down []uint64
+	for i := 0; i < 6; i++ {
+		down = p.OnAccess(0x40000-uint64(i)*mem.LineSize, 0, false)
+	}
+	if len(down) != 2 || down[0] != 0x40000-6*mem.LineSize {
+		t.Errorf("descending prefetches = %#v", down)
+	}
+}
+
+func TestStreamIgnoresRandom(t *testing.T) {
+	p := NewStream(64, 2)
+	issued := 0
+	// Jumps beyond the tracking window reset the entry.
+	for i := 0; i < 50; i++ {
+		addr := uint64(0x100000 + (i*37)%17*4096*3)
+		issued += len(p.OnAccess(addr, 0, false))
+	}
+	if issued > 6 {
+		t.Errorf("stream issued %d prefetches on a random pattern", issued)
+	}
+}
+
+func TestStreamPCAgnostic(t *testing.T) {
+	// Two PCs interleave over one array: IPStride sees stride 128 per PC
+	// after its warmup, but Stream locks on immediately as one stream.
+	p := NewStream(64, 1)
+	var last []uint64
+	for i := 0; i < 8; i++ {
+		ip := uint64(0x400100 + (i%2)*4)
+		last = p.OnAccess(0x20000+uint64(i)*mem.LineSize, ip, false)
+	}
+	if len(last) != 1 {
+		t.Fatalf("interleaved actors defeated the stream prefetcher: %v", last)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStream accepted non-power-of-two size")
+		}
+	}()
+	NewStream(3, 1)
+}
+
+func TestNewStreamRegistry(t *testing.T) {
+	p, err := New("stream")
+	if err != nil || p == nil || p.Name() != "stream" {
+		t.Fatalf("New(stream) = %v, %v", p, err)
+	}
+}

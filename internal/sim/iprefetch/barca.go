@@ -1,0 +1,101 @@
+package iprefetch
+
+import "tracerebase/internal/champtrace"
+
+// Barca is Barça, the Branch Agnostic Region Searching Algorithm (Jiménez
+// et al.). Instead of following individual branches, it tracks instruction
+// footprints at REGION granularity (512 B = 8 lines here): when fetch
+// enters a region, the recorded footprint of that region — and the region
+// most often entered next — are prefetched wholesale.
+type Barca struct {
+	Base
+	regions    map[uint64]*barcaRegion
+	maxRegions int
+	curRegion  uint64
+}
+
+type barcaRegion struct {
+	// footprint marks the lines of the region that were fetched.
+	footprint uint16
+	// nextRegion is the region fetch moved to afterwards.
+	nextRegion uint64
+}
+
+const barcaRegionShift = 10 // 1 KB regions, 16 lines each
+
+// NewBarca returns a Barça prefetcher.
+func NewBarca() *Barca {
+	return &Barca{regions: make(map[uint64]*barcaRegion, 4096), maxRegions: 4096}
+}
+
+// Name implements Prefetcher.
+func (p *Barca) Name() string { return "barca" }
+
+func regionOf(lineAddr uint64) uint64 { return lineAddr >> barcaRegionShift }
+
+// OnAccess implements Prefetcher.
+func (p *Barca) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	reg := regionOf(lineAddr)
+	lineInReg := (lineAddr >> 6) & 15
+
+	r, ok := p.regions[reg]
+	if !ok {
+		if len(p.regions) >= p.maxRegions {
+			// Table full: clear it wholesale — a deterministic global reset
+			// (cheap and rare) stands in for hardware index eviction, where
+			// per-entry map deletion would be iteration-order dependent and
+			// break run-to-run determinism.
+			clear(p.regions)
+		}
+		r = &barcaRegion{}
+		p.regions[reg] = r
+	}
+	r.footprint |= 1 << lineInReg
+
+	var out []uint64
+	if reg != p.curRegion {
+		// Region transition: link the old region to the new one and
+		// search (prefetch) the new region's recorded footprint plus
+		// its successor region.
+		if old, ok := p.regions[p.curRegion]; ok && p.curRegion != 0 {
+			old.nextRegion = reg
+		}
+		p.curRegion = reg
+		out = p.searchRegion(reg, lineAddr)
+		if r.nextRegion != 0 && r.nextRegion != reg {
+			out = append(out, p.searchRegion(r.nextRegion, 0)...)
+		}
+	} else if !hit {
+		out = append(out, lineAddr+LineSize)
+	}
+	return out
+}
+
+// searchRegion returns the footprint lines of the region, skipping the line
+// that triggered the search.
+func (p *Barca) searchRegion(reg uint64, trigger uint64) []uint64 {
+	r, ok := p.regions[reg]
+	if !ok {
+		return nil
+	}
+	base := reg << barcaRegionShift
+	var out []uint64
+	for b := uint64(0); b < 16; b++ {
+		line := base + b*LineSize
+		if line != trigger && r.footprint&(1<<b) != 0 {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// OnBranch implements Prefetcher: a taken branch into a new region kicks
+// off the region search early, branch-agnostically — the type of branch is
+// irrelevant, only the region transition matters.
+func (p *Barca) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+	treg := regionOf(target &^ uint64(LineSize-1))
+	if treg == regionOf(pc&^uint64(LineSize-1)) {
+		return nil
+	}
+	return p.searchRegion(treg, 0)
+}

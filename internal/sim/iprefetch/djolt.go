@@ -1,0 +1,123 @@
+package iprefetch
+
+import "tracerebase/internal/champtrace"
+
+// DJOLT is the Distant Jolt Prefetcher (Nakamura et al., IPC-1 runner-up).
+// It predicts far ahead of fetch by keying prefetches on a signature of the
+// recent CALL/RETURN history: deep in a call chain, the signature uniquely
+// identifies the code region about to execute, so the lines that missed
+// under this signature last time are prefetched "from a distance".
+type DJOLT struct {
+	Base
+	// callHist is the sliding window of recent call/return/distant-jump
+	// PCs whose hash forms the signature. A windowed signature (rather
+	// than a cumulative one) is what lets the same call chain re-produce
+	// the same signature on every traversal.
+	callHist [4]uint64
+	callPos  int
+	// longRange maps a signature to the miss lines observed under it.
+	longRange map[uint64]*djoltEntry
+	maxSigs   int
+	// sigHistory delays training so lines are associated with the
+	// signature active a few calls BEFORE they miss.
+	sigHistory []uint64
+	sigPos     int
+	sigLag     int
+}
+
+type djoltEntry struct {
+	lines [8]uint64
+	next  int
+}
+
+// NewDJOLT returns a D-JOLT prefetcher.
+func NewDJOLT() *DJOLT {
+	return &DJOLT{
+		longRange:  make(map[uint64]*djoltEntry, 4096),
+		maxSigs:    4096,
+		sigHistory: make([]uint64, 8),
+		sigLag:     2,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *DJOLT) Name() string { return "djolt" }
+
+// OnBranch implements Prefetcher: calls and returns advance the signature
+// and trigger the long-range prefetches recorded under the new signature.
+func (p *DJOLT) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+	switch btype {
+	case champtrace.BranchDirectCall, champtrace.BranchIndirectCall, champtrace.BranchReturn:
+	default:
+		// Distant-jump component: large displacement jumps also jolt.
+		if diff(pc, target) < 1<<14 {
+			return nil
+		}
+	}
+	p.callHist[p.callPos] = pc >> 2
+	p.callPos = (p.callPos + 1) % len(p.callHist)
+	sig := uint64(0)
+	for i := 0; i < len(p.callHist); i++ {
+		v := p.callHist[(p.callPos+i)%len(p.callHist)]
+		sig = ((sig << 9) | (sig >> 55)) ^ v
+	}
+	p.sigHistory[p.sigPos] = sig
+	p.sigPos = (p.sigPos + 1) % len(p.sigHistory)
+
+	var out []uint64
+	if e, ok := p.longRange[sig]; ok {
+		for _, l := range e.lines {
+			if l != 0 {
+				out = append(out, l)
+			}
+		}
+	}
+	// Always cover the jump target itself.
+	line := target &^ uint64(LineSize-1)
+	out = append(out, line, line+LineSize)
+	return out
+}
+
+// OnAccess implements Prefetcher: misses train the long-range table under a
+// LAGGED signature — the one active sigLag call-events ago — so that next
+// time the prefetch fires early enough to hide the full latency.
+func (p *DJOLT) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	if hit {
+		return nil
+	}
+	lagged := p.sigHistory[(p.sigPos-p.sigLag+2*len(p.sigHistory))%len(p.sigHistory)]
+	if lagged != 0 {
+		p.train(lagged, lineAddr)
+	}
+	// Small sequential component.
+	return []uint64{lineAddr + LineSize}
+}
+
+func (p *DJOLT) train(sig, line uint64) {
+	e, ok := p.longRange[sig]
+	if !ok {
+		if len(p.longRange) >= p.maxSigs {
+			// Table full: clear it wholesale — a deterministic global reset
+			// (cheap and rare) stands in for hardware index eviction, where
+			// per-entry map deletion would be iteration-order dependent and
+			// break run-to-run determinism.
+			clear(p.longRange)
+		}
+		e = &djoltEntry{}
+		p.longRange[sig] = e
+	}
+	for _, l := range e.lines {
+		if l == line {
+			return
+		}
+	}
+	e.lines[e.next] = line
+	e.next = (e.next + 1) % len(e.lines)
+}
+
+func diff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

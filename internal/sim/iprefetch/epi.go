@@ -1,0 +1,97 @@
+package iprefetch
+
+import "tracerebase/internal/champtrace"
+
+// EPI is the Entangling Instruction Prefetcher (Ros & Jimborean, IPC-1
+// winner). The insight: to hide the full miss latency, a missing line must
+// be prefetched when a line fetched sufficiently EARLIER — the "source" —
+// is accessed. The prefetcher therefore entangles each missing line with
+// the line that was fetched `distance` accesses before it, and on every
+// access to a source line prefetches its entangled destinations.
+type EPI struct {
+	Base
+	// history is a ring of the most recent demand-fetched lines.
+	history []uint64
+	pos     int
+	// distance is how far back in the fetch stream the source is taken.
+	distance int
+	// table maps a source line to up to entangleWays destination lines.
+	table map[uint64]*epiEntry
+	// maxEntries bounds the table like a real storage budget.
+	maxEntries int
+}
+
+type epiEntry struct {
+	dst  [4]uint64
+	next int
+}
+
+// NewEPI returns an entangling prefetcher with contest-like parameters.
+func NewEPI() *EPI {
+	return &EPI{
+		history:    make([]uint64, 64),
+		distance:   24,
+		table:      make(map[uint64]*epiEntry, 8192),
+		maxEntries: 8192,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *EPI) Name() string { return "epi" }
+
+// OnAccess implements Prefetcher.
+func (p *EPI) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	var out []uint64
+	// Acting as a source: prefetch everything entangled with this line.
+	if e, ok := p.table[lineAddr]; ok {
+		for _, d := range e.dst {
+			if d != 0 && d != lineAddr {
+				out = append(out, d)
+			}
+		}
+	}
+	if !hit {
+		// Entangle this miss with the line fetched `distance` ago.
+		src := p.history[(p.pos-p.distance+len(p.history)*2)%len(p.history)]
+		if src != 0 && src != lineAddr {
+			p.entangle(src, lineAddr)
+		}
+		// Sequential fallback keeps straight-line code flowing.
+		out = append(out, lineAddr+LineSize, lineAddr+2*LineSize)
+	}
+	p.history[p.pos] = lineAddr
+	p.pos = (p.pos + 1) % len(p.history)
+	return out
+}
+
+func (p *EPI) entangle(src, dst uint64) {
+	e, ok := p.table[src]
+	if !ok {
+		if len(p.table) >= p.maxEntries {
+			// Table full: clear it wholesale — a deterministic global reset
+			// (cheap and rare) stands in for hardware index eviction, where
+			// per-entry map deletion would be iteration-order dependent and
+			// break run-to-run determinism.
+			clear(p.table)
+		}
+		e = &epiEntry{}
+		p.table[src] = e
+	}
+	for _, d := range e.dst {
+		if d == dst {
+			return
+		}
+	}
+	e.dst[e.next] = dst
+	e.next = (e.next + 1) % len(e.dst)
+}
+
+// OnBranch implements Prefetcher: taken branches to distant targets warm
+// the target's neighbourhood.
+func (p *EPI) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+	if target/LineSize == pc/LineSize {
+		return nil
+	}
+	line := target &^ uint64(LineSize-1)
+	return []uint64{line, line + LineSize}
+}

@@ -1,0 +1,96 @@
+package iprefetch
+
+// FNLMMA is Seznec's FNL+MMA (Footprint Next Line + Multiple Miss Ahead).
+// FNL learns, per line, whether the sequentially NEXT line is worth
+// prefetching (a footprint bit with hysteresis) instead of blindly fetching
+// it. MMA chains misses: each miss records itself as the successor of the
+// previous miss, and on a miss the recorded chain is followed several
+// entries ahead so the prefetcher runs ahead of the miss stream.
+type FNLMMA struct {
+	Base
+	// fnl holds 2-bit worthiness counters for "line+1 follows line".
+	fnl     []uint8
+	fnlMask uint64
+	// mma maps a miss line to the next miss line observed after it.
+	mma     map[uint64]uint64
+	maxMMA  int
+	lastHit uint64 // previous accessed line (for FNL training)
+	// lastMiss is the previous miss line (for MMA training).
+	lastMiss uint64
+	// ahead is how many chain steps MMA follows.
+	ahead int
+}
+
+// NewFNLMMA returns an FNL+MMA prefetcher. FNL starts with every line
+// deemed worthy — next-line prefetching is the default, and training
+// DISABLES it where the next line never follows — matching the design's
+// footprint-gating intent.
+func NewFNLMMA() *FNLMMA {
+	p := &FNLMMA{
+		fnl:     make([]uint8, 1<<14),
+		fnlMask: 1<<14 - 1,
+		mma:     make(map[uint64]uint64, 8192),
+		maxMMA:  8192,
+		ahead:   3,
+	}
+	for i := range p.fnl {
+		p.fnl[i] = 2
+	}
+	return p
+}
+
+// Name implements Prefetcher.
+func (p *FNLMMA) Name() string { return "fnl-mma" }
+
+func (p *FNLMMA) fnlIdx(line uint64) uint64 { return (line / LineSize) & p.fnlMask }
+
+// OnAccess implements Prefetcher.
+func (p *FNLMMA) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	var out []uint64
+
+	// FNL: train the footprint bit of the PREVIOUS line if this access is
+	// its sequential successor; prefetch our own successor when worthy.
+	if p.lastHit != 0 {
+		i := p.fnlIdx(p.lastHit)
+		if lineAddr == p.lastHit+LineSize {
+			if p.fnl[i] < 3 {
+				p.fnl[i]++
+			}
+		} else if p.fnl[i] > 0 {
+			p.fnl[i]--
+		}
+	}
+	p.lastHit = lineAddr
+	if p.fnl[p.fnlIdx(lineAddr)] >= 2 {
+		out = append(out, lineAddr+LineSize)
+		// Fully-confirmed streams look one line further.
+		if p.fnl[p.fnlIdx(lineAddr+LineSize)] == 3 {
+			out = append(out, lineAddr+2*LineSize)
+		}
+	}
+
+	if !hit {
+		// MMA: train successor link and follow the chain ahead.
+		if p.lastMiss != 0 && p.lastMiss != lineAddr {
+			if len(p.mma) >= p.maxMMA {
+				// Table full: clear it wholesale — a deterministic global reset
+				// (cheap and rare) stands in for hardware index eviction, where
+				// per-entry map deletion would be iteration-order dependent and
+				// break run-to-run determinism.
+				clear(p.mma)
+			}
+			p.mma[p.lastMiss] = lineAddr
+		}
+		p.lastMiss = lineAddr
+		cur := lineAddr
+		for i := 0; i < p.ahead; i++ {
+			next, ok := p.mma[cur]
+			if !ok || next == cur {
+				break
+			}
+			out = append(out, next)
+			cur = next
+		}
+	}
+	return out
+}

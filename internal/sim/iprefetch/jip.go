@@ -1,0 +1,103 @@
+package iprefetch
+
+import "tracerebase/internal/champtrace"
+
+// JIP is Run-Jump-Run's "bouquet of instruction pointer jumpers" (Gupta,
+// Kalani & Panda). Instruction fetch alternates RUNs of sequential lines
+// with JUMPs to discontinuous lines. JIP records, per line, the jump target
+// that followed it and the run length after the jump, so that on reaching a
+// line it can prefetch the whole upcoming run plus the next jump target.
+type JIP struct {
+	Base
+	table    map[uint64]*jipEntry
+	maxLines int
+	lastLine uint64
+	// jumpFrom is the line that initiated the current run (the source of
+	// the last discontinuity); its entry accumulates the run length.
+	jumpFrom uint64
+	runLen   int
+}
+
+type jipEntry struct {
+	// jumpTo is the discontinuous line that followed this line.
+	jumpTo uint64
+	// runLen is the sequential run length observed after jumpTo.
+	runLen int
+}
+
+// NewJIP returns a JIP prefetcher.
+func NewJIP() *JIP {
+	return &JIP{table: make(map[uint64]*jipEntry, 8192), maxLines: 8192}
+}
+
+// Name implements Prefetcher.
+func (p *JIP) Name() string { return "jip" }
+
+// OnAccess implements Prefetcher.
+func (p *JIP) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	var out []uint64
+
+	if p.lastLine != 0 {
+		if lineAddr == p.lastLine+LineSize {
+			// Sequential step: extend the run credited to the line
+			// whose jump started it.
+			p.runLen++
+			if e, ok := p.table[p.jumpFrom]; ok && e.runLen < p.runLen {
+				e.runLen = p.runLen
+			}
+		} else if lineAddr != p.lastLine {
+			// Discontinuity: record the jump on the line we left.
+			p.train(p.lastLine, lineAddr)
+			p.jumpFrom = p.lastLine
+			p.runLen = 0
+		}
+	}
+	p.lastLine = lineAddr
+
+	// Prefetch the recorded jump target and its run.
+	if e, ok := p.table[lineAddr]; ok && e.jumpTo != 0 {
+		out = append(out, e.jumpTo)
+		run := e.runLen
+		if run > 4 {
+			run = 4
+		}
+		for i := 1; i <= run; i++ {
+			out = append(out, e.jumpTo+uint64(i)*LineSize)
+		}
+	}
+	if !hit {
+		out = append(out, lineAddr+LineSize)
+	}
+	return out
+}
+
+func (p *JIP) train(from, to uint64) {
+	e, ok := p.table[from]
+	if !ok {
+		if len(p.table) >= p.maxLines {
+			// Table full: clear it wholesale — a deterministic global reset
+			// (cheap and rare) stands in for hardware index eviction, where
+			// per-entry map deletion would be iteration-order dependent and
+			// break run-to-run determinism.
+			clear(p.table)
+		}
+		e = &jipEntry{}
+		p.table[from] = e
+	}
+	if e.jumpTo != to {
+		e.jumpTo = to
+		e.runLen = 0
+	}
+}
+
+// OnBranch implements Prefetcher: jumper pointers are refreshed from the
+// retired branch stream, which sees the true control flow even when fetch
+// stalls hide discontinuities from OnAccess.
+func (p *JIP) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+	from := pc &^ uint64(LineSize-1)
+	to := target &^ uint64(LineSize-1)
+	if from != to {
+		p.train(from, to)
+	}
+	return nil
+}

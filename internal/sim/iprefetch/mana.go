@@ -1,0 +1,90 @@
+package iprefetch
+
+// MANA (Ansari et al.) records the miss stream as spatial regions chained
+// by successor pointers: each "MANA record" holds a trigger line, a small
+// spatial footprint around it, and a pointer to the next record. On a miss
+// the chain is walked a few records ahead, prefetching each record's
+// footprint — amortizing metadata while still covering discontinuities.
+type MANA struct {
+	Base
+	records  map[uint64]*manaRecord
+	maxRecs  int
+	lastMiss uint64
+	depth    int
+}
+
+type manaRecord struct {
+	// footprint marks which of the 4 lines after the trigger were also
+	// fetched while the record was live.
+	footprint uint8
+	// next points to the next record's trigger line.
+	next uint64
+}
+
+// NewMANA returns a MANA prefetcher.
+func NewMANA() *MANA {
+	return &MANA{records: make(map[uint64]*manaRecord, 8192), maxRecs: 8192, depth: 3}
+}
+
+// Name implements Prefetcher.
+func (p *MANA) Name() string { return "mana" }
+
+// OnAccess implements Prefetcher.
+func (p *MANA) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	// Spatial training: accesses near the previous miss extend its
+	// footprint.
+	if p.lastMiss != 0 && lineAddr > p.lastMiss {
+		if d := (lineAddr - p.lastMiss) / LineSize; d >= 1 && d <= 4 {
+			if r, ok := p.records[p.lastMiss]; ok {
+				r.footprint |= 1 << (d - 1)
+			}
+		}
+	}
+	if hit {
+		return nil
+	}
+
+	// Chain training: the previous miss's record points at this one.
+	if p.lastMiss != 0 && p.lastMiss != lineAddr {
+		if r, ok := p.records[p.lastMiss]; ok {
+			r.next = lineAddr
+		}
+	}
+	if _, ok := p.records[lineAddr]; !ok {
+		if len(p.records) >= p.maxRecs {
+			// Table full: clear it wholesale — a deterministic global reset
+			// (cheap and rare) stands in for hardware index eviction, where
+			// per-entry map deletion would be iteration-order dependent and
+			// break run-to-run determinism.
+			clear(p.records)
+		}
+		p.records[lineAddr] = &manaRecord{}
+	}
+	p.lastMiss = lineAddr
+
+	// Walk the chain: prefetch each record's trigger and footprint. A
+	// cold miss with no recorded successor falls back to the next line
+	// (a fresh record's implicit spatial footprint).
+	var out []uint64
+	cur := lineAddr
+	for step := 0; step < p.depth; step++ {
+		r, ok := p.records[cur]
+		if !ok {
+			break
+		}
+		if step == 0 && r.next == 0 && r.footprint == 0 {
+			out = append(out, lineAddr+LineSize)
+		}
+		for b := uint64(0); b < 4; b++ {
+			if r.footprint&(1<<b) != 0 {
+				out = append(out, cur+(b+1)*LineSize)
+			}
+		}
+		if r.next == 0 || r.next == cur {
+			break
+		}
+		out = append(out, r.next)
+		cur = r.next
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package iprefetch
+
+// PIPS (Michaud) prefetches with "probabilistic scouts": a Markov model of
+// line-to-line transitions with frequency counters. On every access a scout
+// starts from the current line and repeatedly moves to the most probable
+// successor, prefetching along the way; the walk stops when the transition
+// probability becomes too low (the scout "dies").
+type PIPS struct {
+	Base
+	table    map[uint64]*pipsEntry
+	maxLines int
+	lastLine uint64
+	depth    int
+}
+
+type pipsEntry struct {
+	succ  [2]uint64
+	count [2]uint8
+}
+
+// NewPIPS returns a PIPS prefetcher.
+func NewPIPS() *PIPS {
+	return &PIPS{table: make(map[uint64]*pipsEntry, 8192), maxLines: 8192, depth: 3}
+}
+
+// Name implements Prefetcher.
+func (p *PIPS) Name() string { return "pips" }
+
+// OnAccess implements Prefetcher.
+func (p *PIPS) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	if p.lastLine != 0 && p.lastLine != lineAddr {
+		p.train(p.lastLine, lineAddr)
+	}
+	p.lastLine = lineAddr
+
+	// Scout walk: follow the strongest successor while it stays
+	// sufficiently probable.
+	var out []uint64
+	cur := lineAddr
+	for step := 0; step < p.depth; step++ {
+		e, ok := p.table[cur]
+		if !ok {
+			break
+		}
+		best, bestCount, total := uint64(0), uint8(0), 0
+		for i, s := range e.succ {
+			total += int(e.count[i])
+			if s != 0 && e.count[i] > bestCount {
+				best, bestCount = s, e.count[i]
+			}
+		}
+		// The scout survives while the best successor has at least 2/3
+		// of the observed transitions and some evidence.
+		if best == 0 || bestCount < 2 || int(bestCount)*3 < total*2 {
+			break
+		}
+		out = append(out, best)
+		cur = best
+	}
+	if !hit {
+		out = append(out, lineAddr+LineSize)
+	}
+	return out
+}
+
+func (p *PIPS) train(from, to uint64) {
+	e, ok := p.table[from]
+	if !ok {
+		if len(p.table) >= p.maxLines {
+			// Table full: clear it wholesale — a deterministic global reset
+			// (cheap and rare) stands in for hardware index eviction, where
+			// per-entry map deletion would be iteration-order dependent and
+			// break run-to-run determinism.
+			clear(p.table)
+		}
+		e = &pipsEntry{}
+		p.table[from] = e
+	}
+	// Bump an existing successor...
+	for i, s := range e.succ {
+		if s == to {
+			if e.count[i] < 15 {
+				e.count[i]++
+			} else {
+				// Periodic halving keeps counters adaptive.
+				e.count[0] >>= 1
+				e.count[1] >>= 1
+				e.count[i]++
+			}
+			return
+		}
+	}
+	// ...or replace the weaker slot.
+	weak := 0
+	if e.count[1] < e.count[0] {
+		weak = 1
+	}
+	if e.count[weak] <= 1 {
+		e.succ[weak] = to
+		e.count[weak] = 1
+	} else {
+		e.count[weak]--
+	}
+}

@@ -1,0 +1,66 @@
+package iprefetch
+
+// TAP is the Temporal Ancestry Prefetcher (Gober et al.). It keeps the
+// global stream of instruction misses in a history buffer; on a miss it
+// finds the PREVIOUS occurrence of the same line (its "ancestor") and
+// replays the misses that followed it last time — a classic temporal
+// streaming scheme applied to instruction fetch.
+type TAP struct {
+	Base
+	// ghb is the ring of recent miss lines.
+	ghb []uint64
+	pos int
+	// index maps a line to its most recent position in the buffer.
+	index map[uint64]int
+	// replay is how many successors are prefetched per miss.
+	replay int
+}
+
+// NewTAP returns a TAP prefetcher.
+func NewTAP() *TAP {
+	return &TAP{
+		ghb:    make([]uint64, 4096),
+		index:  make(map[uint64]int, 4096),
+		replay: 3,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *TAP) Name() string { return "tap" }
+
+// OnAccess implements Prefetcher.
+func (p *TAP) OnAccess(lineAddr uint64, hit bool) []uint64 {
+	if hit {
+		return nil
+	}
+	var out []uint64
+	if prev, ok := p.index[lineAddr]; ok {
+		// Replay the successors of the ancestor occurrence, stopping
+		// at the write position (entries beyond it are stale).
+		for i := 1; i <= p.replay; i++ {
+			idx := (prev + i) % len(p.ghb)
+			if idx == p.pos {
+				break
+			}
+			if l := p.ghb[idx]; l != 0 && l != lineAddr {
+				out = append(out, l)
+			}
+		}
+	} else {
+		// Cold line: fall back to sequential.
+		out = append(out, lineAddr+LineSize)
+	}
+
+	// Record this miss.
+	if old := p.ghb[p.pos]; old != 0 {
+		// The slot is being overwritten; drop a stale index entry
+		// that still points here.
+		if pos, ok := p.index[old]; ok && pos == p.pos {
+			delete(p.index, old)
+		}
+	}
+	p.ghb[p.pos] = lineAddr
+	p.index[lineAddr] = p.pos
+	p.pos = (p.pos + 1) % len(p.ghb)
+	return out
+}

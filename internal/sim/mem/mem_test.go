@@ -1,0 +1,327 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// flat is a constant-latency backing level for unit tests.
+type flat struct {
+	latency  uint64
+	accesses int
+}
+
+func (f *flat) Access(addr uint64, cycle uint64, kind AccessKind) uint64 {
+	f.accesses++
+	return cycle + f.latency
+}
+
+func testCache(sets, ways int, next Level) *Cache {
+	return NewCache(Config{Name: "T", Sets: sets, Ways: ways, Latency: 2, MSHRs: 4}, next)
+}
+
+func TestHitMissBasics(t *testing.T) {
+	back := &flat{latency: 100}
+	c := testCache(4, 2, back)
+
+	// Cold miss.
+	done := c.Access(0x1000, 0, Read)
+	if done != 2+100 {
+		t.Errorf("miss latency = %d, want 102 (2 lookup + 100 fill)", done)
+	}
+	st := c.Stats()
+	if st.Accesses != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats after miss: %+v", st)
+	}
+
+	// Hit after the fill completes.
+	done = c.Access(0x1000, 200, Read)
+	if done != 202 {
+		t.Errorf("hit latency = %d, want 202", done)
+	}
+	st = c.Stats()
+	if st.Hits != 1 {
+		t.Errorf("stats after hit: %+v", st)
+	}
+
+	// Same line, different offset — still a hit.
+	if c.Access(0x103f, 300, Read) != 302 {
+		t.Error("offset within line missed")
+	}
+}
+
+func TestHitUnderFill(t *testing.T) {
+	back := &flat{latency: 100}
+	c := testCache(4, 2, back)
+	first := c.Access(0x1000, 0, Read) // fill completes at 102
+	// A second access to the same line at cycle 10 merges into the fill:
+	// data at fill completion + hit latency, counted as a merged miss.
+	second := c.Access(0x1000, 10, Read)
+	if second != first+2 {
+		t.Errorf("merged access done at %d, want %d", second, first+2)
+	}
+	st := c.Stats()
+	if st.MergedMisses != 1 {
+		t.Errorf("MergedMisses = %d, want 1", st.MergedMisses)
+	}
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (second access merged)", st.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	back := &flat{latency: 10}
+	c := testCache(1, 2, back) // one set, two ways
+	c.Access(0xA000, 0, Read)
+	c.Access(0xB000, 100, Read)
+	c.Access(0xA000, 200, Read) // refresh A
+	c.Access(0xC000, 300, Read) // evicts B (LRU)
+	if !c.Contains(0xA000) || !c.Contains(0xC000) {
+		t.Error("expected A and C resident")
+	}
+	if c.Contains(0xB000) {
+		t.Error("B should have been evicted as LRU")
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	back := &flat{latency: 1000}
+	c := NewCache(Config{Name: "T", Sets: 16, Ways: 2, Latency: 1, MSHRs: 2}, back)
+	d1 := c.Access(0x0000, 0, Read)
+	d2 := c.Access(0x4000, 0, Read)
+	// Third concurrent miss must wait for an MSHR: it cannot start before
+	// the earliest outstanding fill (d1) completes.
+	d3 := c.Access(0x8000, 0, Read)
+	if d3 < d1+1000 {
+		t.Errorf("third miss done at %d, want >= %d (MSHR stall)", d3, d1+1000)
+	}
+	_ = d2
+	// After fills expire, misses are unconstrained again.
+	d4 := c.Access(0xC000, 5000, Read)
+	if d4 != 5000+1+1000 {
+		t.Errorf("post-drain miss done at %d, want 6001", d4)
+	}
+}
+
+func TestPrefetchSemantics(t *testing.T) {
+	back := &flat{latency: 100}
+	c := testCache(16, 2, back)
+	// Prefetch does not count as a demand access.
+	c.Access(0x2000, 0, Prefetch)
+	st := c.Stats()
+	if st.Accesses != 0 || st.Misses != 0 || st.PrefetchFills != 1 {
+		t.Errorf("prefetch accounting wrong: %+v", st)
+	}
+	// A later demand hit on the prefetched line is useful.
+	c.Access(0x2000, 500, Read)
+	st = c.Stats()
+	if st.UsefulPrefetches != 1 || st.Hits != 1 {
+		t.Errorf("useful-prefetch accounting wrong: %+v", st)
+	}
+	// Second demand access: the useful counter must not double-count.
+	c.Access(0x2000, 600, Read)
+	if c.Stats().UsefulPrefetches != 1 {
+		t.Error("useful prefetch double-counted")
+	}
+}
+
+// recordingPF prefetches the next line on every demand miss.
+type recordingPF struct{ issued []uint64 }
+
+func (p *recordingPF) Name() string { return "test-nl" }
+func (p *recordingPF) OnAccess(addr, ip uint64, hit bool) []uint64 {
+	if hit {
+		return nil
+	}
+	p.issued = append(p.issued, addr+LineSize)
+	return []uint64{addr + LineSize}
+}
+
+func TestPrefetcherHook(t *testing.T) {
+	back := &flat{latency: 100}
+	c := testCache(16, 2, back)
+	pf := &recordingPF{}
+	c.SetPrefetcher(pf)
+	c.Access(0x3000, 0, Read) // miss → prefetch 0x3040
+	if len(pf.issued) != 1 || pf.issued[0] != 0x3040 {
+		t.Fatalf("prefetcher saw %v", pf.issued)
+	}
+	if !c.Contains(0x3040) {
+		t.Error("prefetched line not resident")
+	}
+	if c.Stats().PrefetchIssued != 1 {
+		t.Errorf("PrefetchIssued = %d", c.Stats().PrefetchIssued)
+	}
+	// Demand access to the prefetched line: hit, no new prefetch issued
+	// for hits by this policy.
+	before := len(pf.issued)
+	c.Access(0x3040, 1000, Read)
+	if len(pf.issued) != before {
+		t.Error("prefetcher invoked with wrong hit flag")
+	}
+}
+
+func TestWriteMiss(t *testing.T) {
+	back := &flat{latency: 50}
+	c := testCache(4, 2, back)
+	c.Access(0x5000, 0, Write)
+	st := c.Stats()
+	if st.WriteAccesses != 1 || st.WriteMiss != 1 {
+		t.Errorf("write stats: %+v", st)
+	}
+	c.Access(0x5000, 100, Write)
+	st = c.Stats()
+	if st.WriteMiss != 1 || st.Hits != 1 {
+		t.Errorf("write hit stats: %+v", st)
+	}
+}
+
+func TestDRAMBankContention(t *testing.T) {
+	d := NewDRAM(200, 50, 2)
+	// Two requests to the same bank serialize by the service time.
+	a := d.Access(0x0000, 0, Read)
+	b := d.Access(0x0080, 0, Read) // lines 0 and 2 → both bank 0
+	if a != 200 {
+		t.Errorf("first access done at %d", a)
+	}
+	if b != 250 {
+		t.Errorf("same-bank access done at %d, want 250", b)
+	}
+	// Different bank is unaffected.
+	cAddr := d.Access(0x0040, 0, Read) // line 1 → bank 1
+	if cAddr != 200 {
+		t.Errorf("other-bank access done at %d, want 200", cAddr)
+	}
+	if d.Accesses() != 3 {
+		t.Errorf("Accesses = %d", d.Accesses())
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// A data read misses all the way to DRAM the first time.
+	done := h.L1D.Access(0x7000, 0, Read)
+	if done < 200 {
+		t.Errorf("cold L1D access resolved too fast: %d", done)
+	}
+	if h.DRAM.Accesses() != 1 {
+		t.Errorf("DRAM accesses = %d, want 1", h.DRAM.Accesses())
+	}
+	// The same line is now resident at every level.
+	if !h.L1D.Contains(0x7000) || !h.L2.Contains(0x7000) || !h.LLC.Contains(0x7000) {
+		t.Error("fill did not populate all levels")
+	}
+	// A subsequent access is an L1D hit and far faster.
+	warm := h.L1D.Access(0x7000, 100000, Read)
+	if warm != 100000+h.L1D.Config().Latency {
+		t.Errorf("warm hit done at %d", warm)
+	}
+	// An instruction fetch to a different line reaches DRAM through L1I.
+	h.L1I.Access(0x9000, 0, Fetch)
+	if h.DRAM.Accesses() != 2 {
+		t.Errorf("DRAM accesses = %d, want 2", h.DRAM.Accesses())
+	}
+	h.ResetStats()
+	if h.L1D.Stats().Accesses != 0 || h.L1I.Stats().Accesses != 0 {
+		t.Error("ResetStats left counters")
+	}
+}
+
+// Property: access completion time is never before the request cycle plus
+// the hit latency, and never decreases when the request cycle increases.
+func TestQuickLatencyMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		back := &flat{latency: uint64(r.Intn(300) + 1)}
+		c := testCache(16, 4, back)
+		cycle := uint64(0)
+		for i := 0; i < 200; i++ {
+			addr := uint64(r.Intn(64)) * LineSize
+			cycle += uint64(r.Intn(20))
+			done := c.Access(addr, cycle, Read)
+			if done < cycle+c.Config().Latency {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a single set and W ways, the W most recently used distinct
+// lines are always resident.
+func TestQuickLRUResidency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const ways = 4
+		c := testCache(1, ways, &flat{latency: 10})
+		var recent []uint64
+		cycle := uint64(0)
+		for i := 0; i < 300; i++ {
+			addr := uint64(r.Intn(16)) * LineSize
+			cycle += 100 // let fills complete so timing never reorders
+			c.Access(addr, cycle, Read)
+			// Track MRU-distinct ordering.
+			for j, a := range recent {
+				if a == addr {
+					recent = append(recent[:j], recent[j+1:]...)
+					break
+				}
+			}
+			recent = append(recent, addr)
+			if len(recent) > ways {
+				recent = recent[len(recent)-ways:]
+			}
+			for _, a := range recent {
+				if !c.Contains(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	back := &flat{latency: 1}
+	for _, bad := range []Config{
+		{Sets: 0, Ways: 1},
+		{Sets: 3, Ways: 1},
+		{Sets: 4, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache accepted bad config %+v", bad)
+				}
+			}()
+			NewCache(bad, back)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewDRAM accepted 3 banks")
+			}
+		}()
+		NewDRAM(100, 10, 3)
+	}()
+	if got := (Config{Sets: 64, Ways: 8}).SizeKB(); got != 32 {
+		t.Errorf("SizeKB = %d, want 32", got)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x", LineAddr(0x1234))
+	}
+	if LineAddr(0x1240) != 0x1240 {
+		t.Errorf("LineAddr aligned = %#x", LineAddr(0x1240))
+	}
+}

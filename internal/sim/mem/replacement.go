@@ -1,0 +1,163 @@
+package mem
+
+// Replacement policies. ChampSim ships LRU plus the Cache Replacement
+// Championship policies; the simulated LLC can run LRU (default), SRRIP, or
+// DRRIP (Jaleel et al.), selected per cache. Thrash-prone workloads — the
+// huge-footprint server traces — are where RRIP-family policies diverge
+// from LRU.
+
+// Replacement decides victims within a set and observes hits and fills.
+type Replacement interface {
+	// Name identifies the policy.
+	Name() string
+	// Hit notes a demand hit on way.
+	Hit(set, way int)
+	// Fill notes line installation into way (prefetch reports pf=true).
+	Fill(set, way int, pf bool)
+	// Victim picks the way to evict among ways valid lines; invalid ways
+	// are chosen by the cache before consulting the policy.
+	Victim(set int) int
+}
+
+// NewReplacement constructs a policy by name ("lru", "srrip", "drrip") for
+// a cache of the given geometry.
+func NewReplacement(name string, sets, ways int) (Replacement, bool) {
+	switch name {
+	case "lru", "":
+		return nil, true // nil = the cache's built-in LRU
+	case "srrip":
+		return NewSRRIP(sets, ways), true
+	case "drrip":
+		return NewDRRIP(sets, ways), true
+	}
+	return nil, false
+}
+
+// rripMax is the re-reference interval ceiling (2-bit RRPV).
+const rripMax = 3
+
+// SRRIP is Static RRIP: lines insert with a long re-reference prediction
+// (rripMax-1) and promote to 0 on hit; victims are lines with RRPV==max,
+// aging the set until one exists.
+type SRRIP struct {
+	rrpv [][]uint8
+}
+
+// NewSRRIP builds an SRRIP policy.
+func NewSRRIP(sets, ways int) *SRRIP {
+	s := &SRRIP{rrpv: make([][]uint8, sets)}
+	for i := range s.rrpv {
+		s.rrpv[i] = make([]uint8, ways)
+		for j := range s.rrpv[i] {
+			s.rrpv[i][j] = rripMax
+		}
+	}
+	return s
+}
+
+// Name implements Replacement.
+func (s *SRRIP) Name() string { return "srrip" }
+
+// Hit implements Replacement.
+func (s *SRRIP) Hit(set, way int) { s.rrpv[set][way] = 0 }
+
+// Fill implements Replacement: long re-reference interval on insertion —
+// streaming lines age out before disturbing the working set.
+func (s *SRRIP) Fill(set, way int, pf bool) {
+	v := uint8(rripMax - 1)
+	if pf {
+		v = rripMax // prefetches are the most speculative
+	}
+	s.rrpv[set][way] = v
+}
+
+// Victim implements Replacement.
+func (s *SRRIP) Victim(set int) int {
+	row := s.rrpv[set]
+	for {
+		for i, v := range row {
+			if v == rripMax {
+				return i
+			}
+		}
+		for i := range row {
+			row[i]++
+		}
+	}
+}
+
+// DRRIP is Dynamic RRIP: set dueling between SRRIP insertion and bimodal
+// (mostly-distant) insertion, with follower sets using the winner.
+type DRRIP struct {
+	srrip *SRRIP
+	// psel is the policy selector: positive favours bimodal insertion.
+	psel int
+	// leaderMask distinguishes dueling leader sets.
+	setsBits uint
+	brc      uint32 // bimodal throttle counter
+}
+
+// NewDRRIP builds a DRRIP policy.
+func NewDRRIP(sets, ways int) *DRRIP {
+	bits := uint(0)
+	for s := sets; s > 1; s >>= 1 {
+		bits++
+	}
+	return &DRRIP{srrip: NewSRRIP(sets, ways), setsBits: bits}
+}
+
+// Name implements Replacement.
+func (d *DRRIP) Name() string { return "drrip" }
+
+// leader returns +1 for SRRIP leader sets, -1 for bimodal leaders, 0 for
+// followers (simple low-bit constituency).
+func (d *DRRIP) leader(set int) int {
+	switch set & 31 {
+	case 0:
+		return +1
+	case 1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Hit implements Replacement.
+func (d *DRRIP) Hit(set, way int) {
+	d.srrip.Hit(set, way)
+	// Misses in leader sets train psel at fill time; hits need no
+	// bookkeeping beyond promotion.
+}
+
+// Fill implements Replacement.
+func (d *DRRIP) Fill(set, way int, pf bool) {
+	useBimodal := false
+	switch d.leader(set) {
+	case +1: // SRRIP leader
+		if d.psel > -512 {
+			d.psel--
+		}
+	case -1: // bimodal leader
+		useBimodal = true
+		if d.psel < 511 {
+			d.psel++
+		}
+	default:
+		useBimodal = d.psel > 0
+	}
+	if useBimodal {
+		// Bimodal RRIP: insert distant almost always; near 1/32 of
+		// the time.
+		d.brc++
+		if d.brc%32 == 0 {
+			d.srrip.rrpv[set][way] = rripMax - 1
+		} else {
+			d.srrip.rrpv[set][way] = rripMax
+		}
+		return
+	}
+	d.srrip.Fill(set, way, pf)
+}
+
+// Victim implements Replacement.
+func (d *DRRIP) Victim(set int) int { return d.srrip.Victim(set) }

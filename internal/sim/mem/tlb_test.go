@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Sets: 4, Ways: 2, Latency: 1})
+	addr := uint64(0x400123)
+	if tlb.Lookup(addr) {
+		t.Fatal("cold TLB hit")
+	}
+	tlb.Insert(addr)
+	if !tlb.Lookup(addr) {
+		t.Fatal("inserted page missed")
+	}
+	// Same page, different offset.
+	if !tlb.Lookup(addr + 100) {
+		t.Fatal("same-page offset missed")
+	}
+	// Different page.
+	if tlb.Lookup(addr + PageSize) {
+		t.Fatal("next page hit without insert")
+	}
+	st := tlb.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	tlb.ResetStats()
+	if tlb.Stats() != (TLBStats{}) {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "T", Sets: 1, Ways: 2, Latency: 1})
+	a, b, c := uint64(0), uint64(PageSize), uint64(2*PageSize)
+	tlb.Insert(a)
+	tlb.Insert(b)
+	tlb.Lookup(a) // refresh a
+	tlb.Insert(c) // evicts b
+	if !tlb.Lookup(a) || !tlb.Lookup(c) {
+		t.Error("expected a and c resident")
+	}
+	if tlb.Lookup(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestTLBValidation(t *testing.T) {
+	for _, cfg := range []TLBConfig{
+		{Sets: 0, Ways: 1},
+		{Sets: 3, Ways: 1},
+		{Sets: 4, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTLB accepted %+v", cfg)
+				}
+			}()
+			NewTLB(cfg)
+		}()
+	}
+}
+
+func TestTLBHierarchyLatencies(t *testing.T) {
+	h := NewTLBHierarchy(DefaultTLBConfig())
+	addr := uint64(0x7000000)
+	// Cold: ITLB miss + STLB miss -> STLB latency + walk.
+	want := h.STLB.Config().Latency + 120
+	if got := h.TranslateI(addr); got != want {
+		t.Errorf("cold translation = %d, want %d", got, want)
+	}
+	// Warm: ITLB hit -> free.
+	if got := h.TranslateI(addr); got != 0 {
+		t.Errorf("warm translation = %d, want 0", got)
+	}
+	// DTLB cold but STLB warm (shared): only STLB latency.
+	if got := h.TranslateD(addr); got != h.STLB.Config().Latency {
+		t.Errorf("DTLB-miss/STLB-hit translation = %d, want %d", got, h.STLB.Config().Latency)
+	}
+	// DTLB now warm.
+	if got := h.TranslateD(addr); got != 0 {
+		t.Errorf("warm data translation = %d, want 0", got)
+	}
+	if h.ITLB.Stats().Misses != 1 || h.DTLB.Stats().Misses != 1 || h.STLB.Stats().Misses != 1 {
+		t.Errorf("miss counts: I=%d D=%d S=%d", h.ITLB.Stats().Misses, h.DTLB.Stats().Misses, h.STLB.Stats().Misses)
+	}
+	h.ResetStats()
+	if h.ITLB.Stats().Accesses != 0 || h.STLB.Stats().Accesses != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+// Property: translation latency is 0 for recently translated pages and the
+// most recently used W distinct pages per set always hit.
+func TestQuickTLBResidency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tlb := NewTLB(TLBConfig{Name: "T", Sets: 1, Ways: 4, Latency: 1})
+		var recent []uint64
+		for i := 0; i < 300; i++ {
+			page := uint64(r.Intn(12)) * PageSize
+			if !tlb.Lookup(page) {
+				tlb.Insert(page)
+			}
+			for j, p := range recent {
+				if p == page {
+					recent = append(recent[:j], recent[j+1:]...)
+					break
+				}
+			}
+			recent = append(recent, page)
+			if len(recent) > 4 {
+				recent = recent[len(recent)-4:]
+			}
+			for _, p := range recent {
+				if !tlb.Lookup(p) {
+					return false
+				}
+				// Lookup reorders recency among residents; keep the
+				// model aligned by treating this as a use.
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small numeric helpers shared by the
+// experiment harness: geometric means, percentage deltas, and MPKI
+// normalization.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Geomean returns the geometric mean of xs. It returns 0 for an empty
+// slice and panics if any value is non-positive (IPCs and speedups are
+// strictly positive by construction).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: Geomean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// PercentDelta returns 100*(new-old)/old.
+func PercentDelta(oldV, newV float64) float64 {
+	return 100 * (newV - oldV) / oldV
+}
+
+// MPKI normalizes an event count to misses-per-kilo-instruction.
+func MPKI(events, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(events) / float64(instructions)
+}
+
+// SortDescending returns a copy of xs sorted from highest to lowest.
+func SortDescending(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// CountAbove returns how many values exceed the threshold.
+func CountAbove(xs []float64, threshold float64) int {
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// CountBelow returns how many values are under the threshold.
+func CountBelow(xs []float64, threshold float64) int {
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Max returns the maximum of xs, 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

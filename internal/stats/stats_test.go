@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{4}); !almost(g, 4) {
+		t.Errorf("Geomean([4]) = %v", g)
+	}
+	if g := Geomean([]float64{1, 4}); !almost(g, 2) {
+		t.Errorf("Geomean([1,4]) = %v, want 2", g)
+	}
+	if g := Geomean([]float64{2, 2, 2}); !almost(g, 2) {
+		t.Errorf("Geomean constant = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean accepted non-positive value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: the geomean is scale-equivariant — Geomean(k*xs) = k*Geomean(xs).
+func TestGeomeanScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20) + 1
+		xs := make([]float64, n)
+		scaled := make([]float64, n)
+		k := r.Float64()*9 + 1
+		for i := range xs {
+			xs[i] = r.Float64()*10 + 0.1
+			scaled[i] = xs[i] * k
+		}
+		return math.Abs(Geomean(scaled)-k*Geomean(xs)) < 1e-6*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); !almost(m, 2) {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestPercentDelta(t *testing.T) {
+	if d := PercentDelta(2, 2.1); !almost(d, 5) {
+		t.Errorf("PercentDelta(2, 2.1) = %v, want 5", d)
+	}
+	if d := PercentDelta(2, 1.9); !almost(d, -5) {
+		t.Errorf("PercentDelta(2, 1.9) = %v, want -5", d)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if m := MPKI(50, 100000); !almost(m, 0.5) {
+		t.Errorf("MPKI = %v, want 0.5", m)
+	}
+	if m := MPKI(10, 0); m != 0 {
+		t.Errorf("MPKI with zero instructions = %v", m)
+	}
+}
+
+func TestSortAndCounts(t *testing.T) {
+	xs := []float64{3, -7, 5, 0, -2}
+	sorted := SortDescending(xs)
+	want := []float64{5, 3, 0, -2, -7}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("SortDescending = %v", sorted)
+		}
+	}
+	if xs[0] != 3 {
+		t.Error("SortDescending mutated its argument")
+	}
+	if n := CountAbove(xs, 0); n != 2 {
+		t.Errorf("CountAbove = %d, want 2", n)
+	}
+	if n := CountBelow(xs, 0); n != 2 {
+		t.Errorf("CountBelow = %d, want 2", n)
+	}
+	if Max(xs) != 5 || Min(xs) != -7 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("Max/Min of nil should be 0")
+	}
+}

@@ -1,0 +1,438 @@
+package synth
+
+import (
+	"math/rand"
+
+	"tracerebase/internal/cvp"
+)
+
+// Memory layout constants of the synthetic programs.
+const (
+	codeBase = 0x0000000000400000
+	dataBase = 0x0000000010000000
+	// funcPad separates function bodies so icache conflicts are natural.
+	funcPad = 64
+)
+
+// Architectural register allocation of the generator:
+// 0..7 scratch/data, 8..15 address bases, 16..23 chase pointers,
+// 24..29 loop counters (short dependency chains feeding most compares),
+// 30 link register, 32..47 FP. SP (31) is untouched.
+const (
+	lrReg      = 30
+	counterLo  = 24
+	numCounter = 6
+)
+
+// counterReg returns the loop-counter register of function entry.
+func counterReg(entry uint64) uint8 {
+	return counterLo + uint8((entry>>8)%numCounter)
+}
+
+// siteKind is the static role of one instruction slot.
+type siteKind uint8
+
+const (
+	siteALU siteKind = iota
+	siteLoad
+	siteStore
+	siteCond
+	siteCall
+)
+
+// generator executes a synthetic program skeleton and emits CVP-1 records.
+type generator struct {
+	p   Profile
+	r   *rand.Rand
+	out []*cvp.Instruction
+	n   int // budget
+
+	regs [cvp.NumRegs]uint64
+	// callStack holds return addresses so call/return pairs align.
+	callStack []uint64
+	// strideState and chaseState are per-site memory progress.
+	strideState map[uint64]uint64
+	chaseState  map[uint64]uint64
+	baseUses    map[uint64]uint64
+	// strideBase tracks each writeback site's private pointer stream.
+	strideBase map[uint64]uint64
+	// dispatchCount rotates polymorphic call targets.
+	dispatchCount map[uint64]int
+	// lastLoadReg is the destination of the most recent load, feeding
+	// data-dependent branches.
+	lastLoadReg uint8
+	haveLoad    bool
+}
+
+// Generate produces n instructions of the profile's trace. The result is
+// deterministic in (Profile, n).
+func (p Profile) Generate(n int) ([]*cvp.Instruction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		p:             p,
+		r:             rand.New(rand.NewSource(p.Seed)),
+		out:           make([]*cvp.Instruction, 0, n+16),
+		n:             n,
+		strideState:   map[uint64]uint64{},
+		chaseState:    map[uint64]uint64{},
+		baseUses:      map[uint64]uint64{},
+		strideBase:    map[uint64]uint64{},
+		dispatchCount: map[uint64]int{},
+	}
+	for i := range g.regs {
+		g.regs[i] = dataBase + uint64(i)*4096
+	}
+	root := 0
+	for len(g.out) < n {
+		g.execFunc(root%p.NumFuncs, 0)
+		root++
+	}
+	g.out = g.out[:n]
+	return g.out, nil
+}
+
+// splitmix64 is the per-site static personality hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (g *generator) hash(pc uint64, salt uint64) uint64 {
+	return splitmix64(pc ^ uint64(g.p.Seed)*0x9e3779b97f4a7c15 ^ salt*0xd1b54a32d192ed03)
+}
+
+// hfrac maps a hash to [0,1).
+func hfrac(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+func (g *generator) funcEntry(f int) uint64 {
+	return codeBase + uint64(f)*(uint64(g.p.FuncBodySites)*4+funcPad)
+}
+
+// siteKindAt derives the fixed role of a site from its PC. The last two
+// sites are reserved for the loop backedge.
+func (g *generator) siteKindAt(pc uint64) siteKind {
+	x := hfrac(g.hash(pc, 1))
+	p := &g.p
+	switch {
+	case x < p.LoadFrac:
+		return siteLoad
+	case x < p.LoadFrac+p.StoreFrac:
+		return siteStore
+	case x < p.LoadFrac+p.StoreFrac+p.CondFrac:
+		return siteCond
+	case x < p.LoadFrac+p.StoreFrac+p.CondFrac+p.CallFrac:
+		return siteCall
+	default:
+		return siteALU
+	}
+}
+
+func (g *generator) emit(in *cvp.Instruction) {
+	for i, d := range in.DstRegs {
+		g.regs[d] = in.DstValues[i]
+	}
+	g.out = append(g.out, in)
+}
+
+func (g *generator) full() bool { return len(g.out) >= g.n }
+
+// execFunc runs one invocation of function f's body loop and returns after
+// emitting the RET (unless the budget ran out).
+func (g *generator) execFunc(f, depth int) {
+	entry := g.funcEntry(f)
+	// Loop trip counts are stable per function (real loops mostly run a
+	// fixed number of iterations), with occasional variation so the exit
+	// is not perfectly predictable.
+	iters := 1 + int(g.hash(entry, 40)%uint64(2*g.p.LoopIterations))
+	if g.r.Float64() < 0.1 {
+		iters += g.r.Intn(3) - 1
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	body := g.p.FuncBodySites - 3 // last three slots: inc+cmp+branch
+	ctr := counterReg(entry)
+	for it := 0; it < iters && !g.full(); it++ {
+		site := 0
+		for site < body && !g.full() {
+			pc := entry + uint64(site)*4
+			switch g.siteKindAt(pc) {
+			case siteLoad:
+				g.emitLoad(pc)
+				site++
+			case siteStore:
+				g.emitStore(pc)
+				site++
+			case siteCond:
+				site += g.emitCond(pc, site, body)
+			case siteCall:
+				g.emitCall(pc, depth)
+				site++
+			default:
+				g.emitALU(pc)
+				site++
+			}
+		}
+		if g.full() {
+			return
+		}
+		// Backedge: counter increment, flag-setting compare, conditional
+		// branch back to the entry — the canonical loop structure. The
+		// counter chain is one ALU deep, so the backedge resolves right
+		// after dispatch; only data-dependent branches inherit memory
+		// latency.
+		incPC := entry + uint64(body)*4
+		g.emit(&cvp.Instruction{
+			PC: incPC, Class: cvp.ClassALU,
+			SrcRegs: []uint8{ctr}, DstRegs: []uint8{ctr},
+			// The counter counts THIS invocation's iterations, like a
+			// real loop induction variable: its per-PC value sequence
+			// is 1,2,...,iters, repeating — the bread and butter of
+			// stride and FCM value predictors.
+			DstValues: []uint64{uint64(it) + 1},
+		})
+		if g.full() {
+			return
+		}
+		g.emit(&cvp.Instruction{
+			PC: incPC + 4, Class: cvp.ClassALU,
+			SrcRegs: []uint8{ctr},
+		})
+		if g.full() {
+			return
+		}
+		taken := it < iters-1
+		brPC := incPC + 8
+		br := &cvp.Instruction{PC: brPC, Class: cvp.ClassCondBranch, Taken: taken}
+		if taken {
+			br.Target = entry
+		}
+		g.emit(br)
+	}
+	if g.full() || len(g.callStack) == 0 {
+		return
+	}
+	// RET: unconditional indirect reading X30, writing nothing. It sits
+	// one slot past the backedge branch, on the function's fallthrough
+	// path.
+	retPC := entry + uint64(g.p.FuncBodySites)*4
+	retAddr := g.callStack[len(g.callStack)-1]
+	g.callStack = g.callStack[:len(g.callStack)-1]
+	g.emit(&cvp.Instruction{
+		PC: retPC, Class: cvp.ClassUncondIndirect, Taken: true, Target: retAddr,
+		SrcRegs: []uint8{lrReg},
+	})
+}
+
+func (g *generator) emitALU(pc uint64) {
+	h := g.hash(pc, 2)
+	fp := hfrac(g.hash(pc, 3)) < g.p.FPFrac
+	if fp {
+		d := uint8(32 + h%12)
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassFP,
+			SrcRegs:   []uint8{uint8(32 + (h>>8)%16), uint8(32 + (h>>16)%16)},
+			DstRegs:   []uint8{d},
+			DstValues: []uint64{g.r.Uint64()},
+		})
+		return
+	}
+	// Sources avoid X0 almost always: in real code the X0 the original
+	// converter pads onto memory instructions is rarely live-in to
+	// nearby ALU work, which is why the paper finds mem-regs nearly
+	// performance-neutral. A small residue keeps the effect nonzero.
+	s1 := uint8(1 + (h>>8)%7)
+	if (h>>40)%1024 == 0 {
+		s1 = 0
+	}
+	d := uint8(1 + h%3)
+	// A quarter of ALU sites produce per-site constants (immediates,
+	// address formation), like real code — the values value predictors
+	// live on.
+	val := g.regs[s1] + h%97
+	if (h>>24)%4 == 0 {
+		val = h >> 16
+	}
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cvp.ClassALU,
+		SrcRegs:   []uint8{s1, uint8(1 + (h>>16)%3)},
+		DstRegs:   []uint8{d},
+		DstValues: []uint64{val},
+	})
+}
+
+// emitCmp emits a flag-setting compare: an ALU (or FP) instruction with NO
+// destination register — the instructions the flag-reg improvement targets.
+// If onLoad, one operand is the most recent load's destination.
+func (g *generator) emitCmp(pc uint64, salt uint64) {
+	h := g.hash(pc, 4+salt)
+	// Compares mostly test loop counters and other short-chain values;
+	// only the BranchOnLoadFrac share tests freshly loaded data (those
+	// are the branches whose mispredictions the flag-reg improvement
+	// exposes on the memory critical path).
+	a := counterLo + uint8(h%numCounter)
+	if g.haveLoad && hfrac(g.hash(pc, 5)) < g.p.BranchOnLoadFrac {
+		a = g.lastLoadReg
+	}
+	cls := cvp.ClassALU
+	if hfrac(g.hash(pc, 6)) < g.p.FPFrac {
+		cls = cvp.ClassFP
+		a = uint8(32 + h%16)
+	}
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cls,
+		SrcRegs: []uint8{a, counterLo + uint8((h>>16)%numCounter)},
+	})
+}
+
+// emitCond emits a conditional branch site (two slots for the flag-based
+// form: CMP then B.cond; one slot for cb(n)z). Returns slots consumed. A
+// taken branch skips ahead, so the skipped sites are not emitted.
+func (g *generator) emitCond(pc uint64, site, body int) int {
+	h := g.hash(pc, 7)
+	skip := 1 + int(h%4)
+
+	// A taken branch skips ahead within the body; the landing site must
+	// be a real site index (or exactly `body`, the backedge compare).
+	// Single-slot forms land at site+skip+1; the flag form (CMP + B.cond)
+	// lands at site+skip+2.
+	if maxSkip := body - site - 1; skip > maxSkip {
+		skip = maxSkip
+	}
+	if skip < 1 {
+		g.emitALU(pc)
+		return 1
+	}
+
+	// A slice of "conditional" sites are in fact unconditional direct
+	// jumps (B #imm), giving the BTB and direct-jump path realistic
+	// traffic.
+	if hfrac(g.hash(pc, 17)) < 0.08 {
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassUncondDirect, Taken: true,
+			Target: pc + uint64(skip+1)*4,
+		})
+		return skip + 1
+	}
+
+	// Outcome: biased sites are highly predictable; the rest follow a
+	// random coin with the profile's taken probability.
+	var taken bool
+	if hfrac(g.hash(pc, 8)) < g.p.BranchBias {
+		bias := hfrac(g.hash(pc, 9)) < 0.5
+		taken = bias
+		if g.r.Float64() < 0.003 {
+			taken = !taken
+		}
+	} else {
+		taken = g.r.Float64() < g.p.RandomTakenProb
+	}
+
+	if hfrac(g.hash(pc, 10)) < g.p.CondRegFrac {
+		// cb(n)z style: the branch itself carries a register source —
+		// a counter-like value, or loaded data for the
+		// BranchOnLoadFrac share.
+		src := counterLo + uint8(h%numCounter)
+		if g.haveLoad && hfrac(g.hash(pc, 11)) < g.p.BranchOnLoadFrac {
+			src = g.lastLoadReg
+		}
+		br := &cvp.Instruction{PC: pc, Class: cvp.ClassCondBranch, Taken: taken, SrcRegs: []uint8{src}}
+		if taken {
+			br.Target = pc + uint64(skip+1)*4
+		}
+		g.emit(br)
+		if taken {
+			return skip + 1
+		}
+		return 1
+	}
+
+	// Flag-based: CMP at pc, branch at pc+4. The branch occupies one
+	// extra slot, shrinking the allowed skip by one.
+	if skip > body-site-2 {
+		skip = body - site - 2
+	}
+	if skip < 1 {
+		g.emitALU(pc)
+		return 1
+	}
+	g.emitCmp(pc, 12)
+	if g.full() {
+		return 2
+	}
+	brPC := pc + 4
+	br := &cvp.Instruction{PC: brPC, Class: cvp.ClassCondBranch, Taken: taken}
+	if taken {
+		br.Target = brPC + uint64(skip+1)*4
+	}
+	g.emit(br)
+	if taken {
+		return skip + 2
+	}
+	return 2
+}
+
+func (g *generator) emitCall(pc uint64, depth int) {
+	if depth >= g.p.CallDepth {
+		g.emitALU(pc)
+		return
+	}
+	h := g.hash(pc, 13)
+	indirect := hfrac(g.hash(pc, 14)) < g.p.IndirectCallFrac
+
+	// Choose the callee from the current phase: programs execute within a
+	// hot subset of their functions that drifts over time, which is what
+	// lets predictors warm up while the full footprint still thrashes the
+	// instruction cache. Direct sites are monomorphic within a phase;
+	// indirect sites rotate over DispatchTargets callees.
+	window := uint64(256)
+	if uint64(g.p.NumFuncs) < window {
+		window = uint64(g.p.NumFuncs)
+	}
+	phase := uint64(len(g.out)/30000) * 37
+	callee := int((phase + h%window) % uint64(g.p.NumFuncs))
+	if indirect && g.p.DispatchTargets > 1 {
+		rot := g.dispatchCount[pc]
+		g.dispatchCount[pc] = rot + 1
+		callee = int((phase + (h+uint64(rot%g.p.DispatchTargets)*0x61c88647)%window) % uint64(g.p.NumFuncs))
+	}
+	target := g.funcEntry(callee)
+	retAddr := pc + 4
+
+	if !indirect {
+		// BL: direct call writing the link register.
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassUncondDirect, Taken: true, Target: target,
+			DstRegs: []uint8{lrReg}, DstValues: []uint64{retAddr},
+		})
+	} else if hfrac(g.hash(pc, 15)) < g.p.BlrX30Frac {
+		// BLR X30: reads AND writes the link register — the branch the
+		// original converter misclassifies as a return (§3.2.1).
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassUncondIndirect, Taken: true, Target: target,
+			SrcRegs: []uint8{lrReg},
+			DstRegs: []uint8{lrReg}, DstValues: []uint64{retAddr},
+		})
+	} else {
+		// BLR Xn, with the target register produced by a preceding
+		// vtable-style load part of the time (feeding branch-regs).
+		n := uint8(16 + h%8)
+		if hfrac(g.hash(pc, 16)) < g.p.BranchOnLoadFrac {
+			n = g.lastLoadReg
+			if !g.haveLoad {
+				n = uint8(16 + h%8)
+			}
+		}
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassUncondIndirect, Taken: true, Target: target,
+			SrcRegs: []uint8{n},
+			DstRegs: []uint8{lrReg}, DstValues: []uint64{retAddr},
+		})
+	}
+	g.callStack = append(g.callStack, retAddr)
+	g.execFunc(callee, depth+1)
+}

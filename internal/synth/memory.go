@@ -1,0 +1,273 @@
+package synth
+
+import "tracerebase/internal/cvp"
+
+// Memory-site emission: loads and stores with every addressing flavour the
+// converter has to handle. The generator maintains real register values so
+// the converter's addressing-mode inference operates on the same signals it
+// would see in a genuine CVP-1 trace.
+
+// dataAddr clamps an offset into the data footprint, 8-byte aligned.
+func (g *generator) dataAddr(off uint64) uint64 {
+	return dataBase + (off % g.p.DataFootprint &^ 7)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// baseProgress returns the current value of the site's private pointer
+// stream, re-anchoring when the next step would leave the footprint. The
+// stream state is recorded under the site's PC; imm is the per-step
+// increment the caller will apply.
+func (g *generator) baseProgress(pc, h, imm uint64) uint64 {
+	cur, ok := g.strideBase[pc]
+	if !ok || cur < dataBase || cur+imm+imm >= dataBase+g.p.DataFootprint {
+		uses := g.baseUses[pc]
+		g.baseUses[pc] = uses + 1
+		cur = g.dataAddr(splitmix64(h ^ uint64(uses)*0x9e3779b97f4a7c15))
+	}
+	g.strideBase[pc] = cur + imm
+	return cur
+}
+
+func (g *generator) emitLoad(pc uint64) {
+	h := g.hash(pc, 20)
+	x := hfrac(g.hash(pc, 21))
+	p := &g.p
+	switch {
+	case x < p.BaseUpdateFrac:
+		g.emitBaseUpdateLoad(pc, h)
+	case x < p.BaseUpdateFrac+p.LoadPairFrac:
+		g.emitLoadPair(pc, h)
+	case x < p.BaseUpdateFrac+p.LoadPairFrac+p.PrefetchFrac:
+		g.emitPrefetchLoad(pc, h)
+	case x < p.BaseUpdateFrac+p.LoadPairFrac+p.PrefetchFrac+p.ChaseFrac:
+		g.emitChaseLoad(pc, h)
+	default:
+		g.emitPlainLoad(pc, h)
+	}
+}
+
+// emitPlainLoad is LDR Xd, [Xb, #imm]: strided or random address. A fifth
+// of plain-load sites read a fixed location (globals, spilled locals) —
+// cache-resident and value-predictable, as in real code.
+func (g *generator) emitPlainLoad(pc, h uint64) {
+	base := uint8(8 + h%8)
+	dst := uint8(4 + h>>8%4)
+	var addr uint64
+	if (h>>32)%5 == 0 {
+		addr = g.dataAddr(h)
+	} else {
+		addr = g.loadAddress(pc, h)
+	}
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: addr, MemSize: 8,
+		SrcRegs:   []uint8{base},
+		DstRegs:   []uint8{dst},
+		DstValues: []uint64{splitmix64(addr)},
+	})
+	g.lastLoadReg, g.haveLoad = dst, true
+}
+
+// hotSetBytes bounds the region most random accesses fall in, modeling the
+// temporal locality real workloads have: ~L2-sized hot data with a cold
+// tail across the full footprint.
+const hotSetBytes = 48 << 10
+
+// loadAddress picks a strided or random address, optionally offset to cross
+// a cacheline boundary. Random addresses have strong locality: most land in
+// a hot subset of the footprint, a minority anywhere.
+func (g *generator) loadAddress(pc, h uint64) uint64 {
+	var addr uint64
+	if hfrac(g.hash(pc, 22)) < g.p.StrideFrac {
+		// Strided streams sweep a bounded window repeatedly (an array
+		// traversed every outer iteration), so lower cache levels see
+		// reuse instead of an infinite stream.
+		// Sites within the same 1 KB of code share a stream (a loop
+		// walks one array from several instructions), which keeps the
+		// trace's compulsory-miss footprint realistic at short trace
+		// lengths.
+		streamKey := pc >> 10
+		hs := splitmix64(streamKey ^ uint64(g.p.Seed))
+		stride := []uint64{8, 8, 8, 16}[hs>>16%4]
+		window := min64(8<<10, g.p.DataFootprint)
+		cur := g.strideState[streamKey]
+		g.strideState[streamKey] = (cur + stride) % window
+		addr = g.dataAddr(hs%g.p.DataFootprint + cur)
+	} else if x := g.r.Float64(); x < 0.78 {
+		hot := min64(g.p.DataFootprint, hotSetBytes)
+		addr = dataBase + (g.r.Uint64() % hot &^ 7)
+	} else if x < 0.98 {
+		// Mid-tier working set: larger than the L2, comfortably within LLC reach,
+		// so the hierarchy's levels each earn distinct hit rates.
+		mid := min64(g.p.DataFootprint, 768<<10)
+		addr = dataBase + (g.r.Uint64() % mid &^ 7)
+	} else {
+		addr = g.dataAddr(g.r.Uint64())
+	}
+	if hfrac(g.hash(pc, 23)) < g.p.CrossLineFrac {
+		addr = (addr &^ 63) + 60 // an 8-byte access here straddles lines
+	}
+	return addr
+}
+
+// emitBaseUpdateLoad is LDR Xd, [Xb, #imm]! or LDR Xd, [Xb], #imm: the base
+// register is both source and destination, and the trace's output value
+// relates to the effective address exactly as the real ISA dictates.
+func (g *generator) emitBaseUpdateLoad(pc, h uint64) {
+	base := uint8(8 + h%8)
+	// The data destination is an FP/SIMD register (LDR Dd, [Xb], #imm is
+	// the common writeback form in real loops). Nothing else writes that
+	// class, so the ORIGINAL converter's dst-as-src approximation lands on
+	// a long-completed producer — matching the paper's finding that
+	// mem-regs is performance-neutral on real traces.
+	dst := uint8(48 + h>>8%16)
+	imm := []uint64{8, 8, 16, 16}[h>>16%4]
+	pre := hfrac(g.hash(pc, 24)) < g.p.PreIndexFrac
+
+	// Each site walks its own pointer: real compilers keep a loop's base
+	// register live on its own stream. When another site clobbered the
+	// shared architectural register since our last use, an address-setup
+	// MOV restores this site's progression — keeping the per-PC value
+	// sequence strided (the induction pattern value predictors capture)
+	// and the converter's register tracker coherent.
+	cur := g.baseProgress(pc, h, imm)
+	if g.regs[base] != cur {
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassALU,
+			DstRegs: []uint8{base}, DstValues: []uint64{cur},
+		})
+		if g.full() {
+			return
+		}
+	}
+
+	oldBase := g.regs[base]
+	newBase := oldBase + imm
+	eff := oldBase
+	if pre {
+		eff = newBase
+	}
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: eff, MemSize: 8,
+		SrcRegs:   []uint8{base},
+		DstRegs:   []uint8{dst, base},
+		DstValues: []uint64{splitmix64(eff), newBase},
+	})
+	g.lastLoadReg, g.haveLoad = dst, true
+}
+
+// emitLoadPair is LDP Xd1, Xd2, [Xb]: two destinations, no writeback. A
+// slice of pairs reuses the base register as the second destination
+// (LDP X1, X0, [X0]) — the ambiguous case §3.1 opens with.
+func (g *generator) emitLoadPair(pc, h uint64) {
+	base := uint8(8 + h%8)
+	d1 := uint8(48 + h>>8%16)
+	d2 := uint8(48 + h>>16%16)
+	if d1 == d2 {
+		d2 = 48 + (d2-48+1)%16
+	}
+	if hfrac(g.hash(pc, 25)) < 0.1 {
+		d2 = base // the LDP X1,X0,[X0] look-alike
+	}
+	addr := g.loadAddress(pc, h)
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: addr, MemSize: 8,
+		SrcRegs:   []uint8{base},
+		DstRegs:   []uint8{d1, d2},
+		DstValues: []uint64{splitmix64(addr), splitmix64(addr + 8)},
+	})
+	g.lastLoadReg, g.haveLoad = d1, true
+}
+
+// emitPrefetchLoad is PRFM: a load with no destination register.
+func (g *generator) emitPrefetchLoad(pc, h uint64) {
+	base := uint8(8 + h%8)
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: g.loadAddress(pc, h), MemSize: 8,
+		SrcRegs: []uint8{base},
+	})
+}
+
+// emitChaseLoad walks a pointer chain: each load's address is the previous
+// load's value, so execution serializes on memory latency. Distinct source
+// and destination registers keep the inference from mistaking the chain for
+// base updates.
+func (g *generator) emitChaseLoad(pc, h uint64) {
+	a := uint8(16 + h%4)
+	b := uint8(20 + h%4)
+	// Chains wander inside a region scaled to the footprint: small
+	// working sets chase within cache, huge ones (the gcc_002/003
+	// regime) chase straight to DRAM.
+	region := g.p.DataFootprint / 4
+	if region < 256<<10 {
+		region = min64(256<<10, g.p.DataFootprint)
+	}
+	cur, ok := g.chaseState[pc]
+	if !ok {
+		cur = g.dataAddr(h)
+	}
+	next := dataBase + (splitmix64(cur) % region &^ 7)
+	g.chaseState[pc] = next
+	g.emit(&cvp.Instruction{
+		PC: pc, Class: cvp.ClassLoad, EffAddr: cur, MemSize: 8,
+		SrcRegs:   []uint8{a},
+		DstRegs:   []uint8{b},
+		DstValues: []uint64{next},
+	})
+	// Move the pointer back into the address register with an ALU, so the
+	// next chase load depends on this one through a register chain.
+	if g.full() {
+		return
+	}
+	g.emit(&cvp.Instruction{
+		PC: pc + 4, Class: cvp.ClassALU,
+		SrcRegs: []uint8{b}, DstRegs: []uint8{a}, DstValues: []uint64{next},
+	})
+	g.lastLoadReg, g.haveLoad = b, true
+}
+
+func (g *generator) emitStore(pc uint64) {
+	h := g.hash(pc, 30)
+	x := hfrac(g.hash(pc, 31))
+	base := uint8(8 + h%8)
+	data := uint8(1 + h>>8%7)
+	switch {
+	case x < g.p.ZVAFrac:
+		// DC ZVA: 64-byte zeroing store, naturally aligned.
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassStore,
+			EffAddr: g.loadAddress(pc, h) &^ 63, MemSize: 64,
+			SrcRegs: []uint8{base},
+		})
+	case x < g.p.ZVAFrac+g.p.BaseUpdateFrac:
+		// STR Xd, [Xb], #imm: store with post-index writeback — the
+		// base register is the store's only destination.
+		imm := []uint64{8, 16, 32}[h>>16%3]
+		if g.regs[base] < dataBase || g.regs[base]+imm >= dataBase+g.p.DataFootprint {
+			g.emit(&cvp.Instruction{
+				PC: pc, Class: cvp.ClassALU,
+				DstRegs: []uint8{base}, DstValues: []uint64{g.dataAddr(h)},
+			})
+			if g.full() {
+				return
+			}
+		}
+		oldBase := g.regs[base]
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassStore, EffAddr: oldBase, MemSize: 8,
+			SrcRegs:   []uint8{data, base},
+			DstRegs:   []uint8{base},
+			DstValues: []uint64{oldBase + imm},
+		})
+	default:
+		g.emit(&cvp.Instruction{
+			PC: pc, Class: cvp.ClassStore, EffAddr: g.loadAddress(pc, h), MemSize: 8,
+			SrcRegs: []uint8{data, base},
+		})
+	}
+}

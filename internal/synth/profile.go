@@ -1,0 +1,145 @@
+// Package synth generates synthetic CVP-1 traces standing in for the
+// proprietary Qualcomm workloads (135 public + 2013 secret traces, ~500 GB).
+//
+// The generator is a program-skeleton interpreter: it lays out a synthetic
+// program (functions, loop bodies, call sites, branch sites with fixed
+// per-PC personalities), then executes it with a deterministic PRNG,
+// maintaining an explicit call stack (so call/return pairs align like real
+// code) and architectural register values (so the converter's
+// addressing-mode inference sees consistent base-register arithmetic).
+// Every conversion path studied in the paper is exercised: pre/post-index
+// base updates, load pairs, prefetch loads, flag-setting compares with no
+// destination, cb(n)z-style conditionals with register sources, BLR-X30
+// indirect calls (the call-stack bug trigger), DC ZVA stores, and
+// cacheline-crossing accesses.
+package synth
+
+import "fmt"
+
+// Category is a CVP-1 workload class.
+type Category string
+
+// The four CVP-1 workload categories.
+const (
+	ComputeInt Category = "compute_int"
+	ComputeFP  Category = "compute_fp"
+	Crypto     Category = "crypto"
+	Server     Category = "srv"
+)
+
+// Profile parameterizes one synthetic trace. All fractions are in [0,1].
+type Profile struct {
+	// Name is the trace name (e.g. "compute_int_17").
+	Name string
+	// Category is the workload class.
+	Category Category
+	// Seed drives all generation; the same profile always produces the
+	// same trace.
+	Seed int64
+
+	// NumFuncs and FuncBodySites control the instruction footprint: the
+	// program has NumFuncs functions of FuncBodySites instruction slots
+	// each (4 bytes per slot).
+	NumFuncs      int
+	FuncBodySites int
+	// LoopIterations is the mean iteration count of each function's
+	// body loop.
+	LoopIterations int
+	// CallDepth caps recursion into callees.
+	CallDepth int
+
+	// LoadFrac and StoreFrac are the fractions of body sites that are
+	// loads and stores; CondFrac the fraction that are conditional
+	// branches; CallFrac the fraction that are call sites. FPFrac makes
+	// ALU sites FP operations instead.
+	LoadFrac, StoreFrac, CondFrac, CallFrac, FPFrac float64
+
+	// BranchBias is the probability a conditional site is strongly
+	// biased (predictable); the rest are data-dependent random with
+	// RandomTakenProb.
+	BranchBias      float64
+	RandomTakenProb float64
+	// CondRegFrac is the fraction of conditional sites that are
+	// cb(n)z-style (carry a register source in the CVP trace) rather
+	// than flag-based.
+	CondRegFrac float64
+	// BranchOnLoadFrac is the fraction of conditional sites whose
+	// compared value comes from a recent load (exposing the paper's
+	// load→branch dependency effect).
+	BranchOnLoadFrac float64
+
+	// IndirectCallFrac is the fraction of call sites that are indirect;
+	// BlrX30Frac is the fraction of indirect call sites that read AND
+	// write X30 — the §3.2.1 misclassification trigger.
+	IndirectCallFrac float64
+	BlrX30Frac       float64
+	// DispatchTargets is the number of distinct targets of each
+	// indirect call site (1 = monomorphic).
+	DispatchTargets int
+
+	// BaseUpdateFrac is the fraction of load/store sites using pre- or
+	// post-indexing writeback; PreIndexFrac splits them.
+	BaseUpdateFrac float64
+	PreIndexFrac   float64
+	// LoadPairFrac is the fraction of load sites that are LDP (two
+	// destinations, no writeback); PrefetchFrac the fraction that are
+	// software prefetches (no destination).
+	LoadPairFrac, PrefetchFrac float64
+	// ChaseFrac is the fraction of load sites that pointer-chase (each
+	// address depends on the previous load's value).
+	ChaseFrac float64
+	// StrideFrac is the fraction of load sites streaming with a fixed
+	// stride (prefetchable); the rest are random within the footprint.
+	StrideFrac float64
+	// CrossLineFrac is the fraction of memory sites whose address is
+	// offset to straddle a cacheline boundary.
+	CrossLineFrac float64
+	// ZVAFrac is the fraction of store sites that are DC ZVA 64-byte
+	// zeroing stores.
+	ZVAFrac float64
+	// DataFootprint is the data working set in bytes.
+	DataFootprint uint64
+}
+
+// Validate reports the first structurally invalid field.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("synth: profile needs a name")
+	}
+	if p.NumFuncs <= 0 || p.FuncBodySites < 8 {
+		return fmt.Errorf("synth: %s: program too small (%d funcs x %d sites)", p.Name, p.NumFuncs, p.FuncBodySites)
+	}
+	if p.LoopIterations <= 0 || p.CallDepth < 1 {
+		return fmt.Errorf("synth: %s: bad loop/depth", p.Name)
+	}
+	for _, f := range []struct {
+		n string
+		v float64
+	}{
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac}, {"CondFrac", p.CondFrac},
+		{"CallFrac", p.CallFrac}, {"FPFrac", p.FPFrac}, {"BranchBias", p.BranchBias},
+		{"RandomTakenProb", p.RandomTakenProb}, {"CondRegFrac", p.CondRegFrac},
+		{"BranchOnLoadFrac", p.BranchOnLoadFrac}, {"IndirectCallFrac", p.IndirectCallFrac},
+		{"BlrX30Frac", p.BlrX30Frac}, {"BaseUpdateFrac", p.BaseUpdateFrac},
+		{"PreIndexFrac", p.PreIndexFrac}, {"LoadPairFrac", p.LoadPairFrac},
+		{"PrefetchFrac", p.PrefetchFrac}, {"ChaseFrac", p.ChaseFrac},
+		{"StrideFrac", p.StrideFrac}, {"CrossLineFrac", p.CrossLineFrac}, {"ZVAFrac", p.ZVAFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("synth: %s: %s = %v out of [0,1]", p.Name, f.n, f.v)
+		}
+	}
+	if s := p.LoadFrac + p.StoreFrac + p.CondFrac + p.CallFrac; s > 0.95 {
+		return fmt.Errorf("synth: %s: site fractions sum to %v, leaving no ALU work", p.Name, s)
+	}
+	if p.DataFootprint == 0 {
+		return fmt.Errorf("synth: %s: zero data footprint", p.Name)
+	}
+	if p.DispatchTargets <= 0 {
+		return fmt.Errorf("synth: %s: DispatchTargets must be positive", p.Name)
+	}
+	return nil
+}
+
+// FootprintBytes returns the static code footprint of the program.
+func (p *Profile) FootprintBytes() int { return p.NumFuncs * p.FuncBodySites * 4 }

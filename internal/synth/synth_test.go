@@ -1,0 +1,425 @@
+package synth
+
+import (
+	"testing"
+
+	"tracerebase/internal/cvp"
+)
+
+func testProfile() Profile {
+	p := PublicProfile(ComputeInt, 7)
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := testProfile()
+	a, err := p.Generate(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].PC != b[i].PC || a[i].Class != b[i].Class || a[i].Taken != b[i].Taken || a[i].EffAddr != b[i].EffAddr {
+			t.Fatalf("instr %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGeneratedInstructionsValid(t *testing.T) {
+	for _, cat := range []Category{ComputeInt, ComputeFP, Crypto, Server} {
+		p := PublicProfile(cat, 3)
+		instrs, err := p.Generate(20000)
+		if err != nil {
+			t.Fatalf("%s: %v", cat, err)
+		}
+		for i, in := range instrs {
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s instr %d: %v (%+v)", cat, i, err, in)
+			}
+		}
+	}
+}
+
+// TestControlFlowConsistency checks the fundamental trace invariant the
+// simulator relies on: a taken branch's target is the next instruction's
+// PC, and a not-taken conditional falls through to PC+4.
+func TestControlFlowConsistency(t *testing.T) {
+	for _, cat := range []Category{ComputeInt, Server} {
+		p := PublicProfile(cat, 11)
+		instrs, err := p.Generate(30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		violations := 0
+		for i := 0; i+1 < len(instrs); i++ {
+			in, next := instrs[i], instrs[i+1]
+			if !in.Class.IsBranch() {
+				continue
+			}
+			if in.Taken {
+				if next.PC != in.Target {
+					violations++
+				}
+			} else if next.PC != in.PC+4 {
+				violations++
+			}
+		}
+		// The only allowed discontinuities are top-level root-function
+		// transitions (after a suppressed top-level RET), which are not
+		// branch records at all — so branches themselves must be
+		// perfectly consistent.
+		if violations != 0 {
+			t.Errorf("%s: %d control-flow violations", cat, violations)
+		}
+	}
+}
+
+// TestCallReturnAlignment: every RET's target must be the instruction after
+// some earlier call — the property that makes the RAS work.
+func TestCallReturnAlignment(t *testing.T) {
+	p := PublicProfile(Server, 8) // servers have plenty of calls
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callSites := map[uint64]bool{}
+	rets, aligned := 0, 0
+	for _, in := range instrs {
+		if in.Class == cvp.ClassUncondDirect && in.WritesReg(lrReg) ||
+			in.Class == cvp.ClassUncondIndirect && in.WritesReg(lrReg) {
+			callSites[in.PC+4] = true
+		}
+		if in.Class == cvp.ClassUncondIndirect && in.ReadsReg(lrReg) && len(in.DstRegs) == 0 {
+			rets++
+			if callSites[in.Target] {
+				aligned++
+			}
+		}
+	}
+	if rets == 0 {
+		t.Fatal("no returns generated")
+	}
+	if aligned != rets {
+		t.Errorf("%d of %d returns target a call fallthrough", aligned, rets)
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	p := testProfile()
+	instrs, err := p.Generate(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores, conds, branches, memNoDst, multiDst, flagCmps int
+	for _, in := range instrs {
+		switch {
+		case in.IsLoad():
+			loads++
+			if len(in.DstRegs) == 0 {
+				memNoDst++
+			}
+			if len(in.DstRegs) >= 2 {
+				multiDst++
+			}
+		case in.IsStore():
+			stores++
+			if len(in.DstRegs) == 0 {
+				memNoDst++
+			}
+		case in.Class == cvp.ClassCondBranch:
+			conds++
+		case in.Class == cvp.ClassALU && len(in.DstRegs) == 0:
+			flagCmps++
+		}
+		if in.Class.IsBranch() {
+			branches++
+		}
+	}
+	n := len(instrs)
+	frac := func(c int) float64 { return float64(c) / float64(n) }
+	if frac(loads) < 0.08 || frac(loads) > 0.45 {
+		t.Errorf("load fraction %.3f out of plausible range", frac(loads))
+	}
+	if frac(conds) < 0.04 || frac(conds) > 0.35 {
+		t.Errorf("conditional fraction %.3f out of plausible range", frac(conds))
+	}
+	if memNoDst == 0 {
+		t.Error("no memory instructions without destinations (needed by mem-regs)")
+	}
+	if multiDst == 0 {
+		t.Error("no multi-destination loads (needed by mem-regs/base-update)")
+	}
+	if flagCmps == 0 {
+		t.Error("no flag-setting compares (needed by flag-reg)")
+	}
+}
+
+func TestBaseUpdateValuesConsistent(t *testing.T) {
+	p := testProfile()
+	p.BaseUpdateFrac = 0.5
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track register values exactly like the converter does and verify
+	// that base-update loads obey the ISA: pre-index writes EA to the
+	// base; post-index writes EA+imm.
+	var regs [cvp.NumRegs]uint64
+	var known [cvp.NumRegs]bool
+	baseUpdates := 0
+	for i, in := range instrs {
+		if in.IsLoad() {
+			for j, d := range in.DstRegs {
+				if !in.ReadsReg(d) || d >= 32 {
+					continue
+				}
+				nv := in.DstValues[j]
+				if nv == in.EffAddr {
+					baseUpdates++ // pre-index
+				} else if known[d] && regs[d] == in.EffAddr && nv-in.EffAddr <= 64 {
+					baseUpdates++ // post-index
+				} else if known[d] && regs[d] == in.EffAddr {
+					t.Fatalf("instr %d: writeback value %#x unrelated to EA %#x", i, nv, in.EffAddr)
+				}
+			}
+		}
+		for j, d := range in.DstRegs {
+			regs[d], known[d] = in.DstValues[j], true
+		}
+	}
+	if baseUpdates == 0 {
+		t.Fatal("no base-update loads generated at BaseUpdateFrac=0.5")
+	}
+}
+
+func TestPublicSuite(t *testing.T) {
+	suite := PublicSuite()
+	if len(suite) != 135 {
+		t.Fatalf("public suite has %d traces, want 135", len(suite))
+	}
+	names := map[string]bool{}
+	blr := 0
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate trace name %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.BlrX30Frac > 0 {
+			blr++
+		}
+	}
+	// Names the paper references must exist.
+	for _, want := range []string{"compute_int_46", "compute_int_23", "srv_3", "srv_62"} {
+		if _, ok := FindPublic(want); !ok {
+			t.Errorf("paper-cited trace %s missing from suite", want)
+		}
+	}
+	if _, ok := FindPublic("nope"); ok {
+		t.Error("FindPublic found a nonexistent trace")
+	}
+	if blr < 8 || blr > 20 {
+		t.Errorf("call-stack bug subset has %d traces, want ~13 (Fig. 5 affects a subset)", blr)
+	}
+}
+
+func TestIPC1SuiteTable(t *testing.T) {
+	suite := IPC1Suite()
+	if len(suite) != 50 {
+		t.Fatalf("IPC-1 suite has %d traces, want 50", len(suite))
+	}
+	// Spot-check the Table 2 mapping.
+	checks := map[string]string{
+		"client_001":         "secret_int_294",
+		"server_001":         "secret_srv160",
+		"server_039":         "secret_srv154",
+		"spec_gcc_002":       "secret_int_345",
+		"spec_x264_001":      "secret_int_919",
+		"spec_perlbench_001": "secret_int_116",
+	}
+	for name, cvpName := range checks {
+		tr, ok := FindIPC1(name)
+		if !ok {
+			t.Errorf("trace %s missing", name)
+			continue
+		}
+		if tr.CVPName != cvpName {
+			t.Errorf("%s maps to %s, want %s", name, tr.CVPName, cvpName)
+		}
+		if err := tr.Profile.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, ok := FindIPC1("nope"); ok {
+		t.Error("FindIPC1 found a nonexistent trace")
+	}
+	// server_001 must be in the call-stack bug subset (its target MPKI
+	// drops 78% with the fix, per §4.3).
+	tr, _ := FindIPC1("server_001")
+	if tr.Profile.BlrX30Frac < 0.5 {
+		t.Errorf("server_001 BlrX30Frac = %v, want the strongest bug trigger", tr.Profile.BlrX30Frac)
+	}
+}
+
+func TestCategoryCharacter(t *testing.T) {
+	// Server traces must have much larger code footprints than crypto.
+	srv := PublicProfile(Server, 4)
+	cr := PublicProfile(Crypto, 4)
+	if srv.FootprintBytes() < 3*cr.FootprintBytes() {
+		t.Errorf("server footprint %d should dwarf crypto %d", srv.FootprintBytes(), cr.FootprintBytes())
+	}
+	// FP traces actually generate FP instructions.
+	fp := PublicProfile(ComputeFP, 2)
+	instrs, err := fp.Generate(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfp := 0
+	for _, in := range instrs {
+		if in.Class == cvp.ClassFP {
+			nfp++
+		}
+	}
+	if float64(nfp)/float64(len(instrs)) < 0.1 {
+		t.Errorf("compute_fp generated only %d FP instructions in %d", nfp, len(instrs))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := testProfile()
+	bad := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.NumFuncs = 0 },
+		func(p *Profile) { p.FuncBodySites = 2 },
+		func(p *Profile) { p.LoopIterations = 0 },
+		func(p *Profile) { p.LoadFrac = 1.5 },
+		func(p *Profile) { p.BranchBias = -0.1 },
+		func(p *Profile) { p.LoadFrac, p.StoreFrac, p.CondFrac, p.CallFrac = 0.4, 0.3, 0.2, 0.1 },
+		func(p *Profile) { p.DataFootprint = 0 },
+		func(p *Profile) { p.DispatchTargets = 0 },
+	}
+	for i, mutate := range bad {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, p)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good profile rejected: %v", err)
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	var p Profile
+	if _, err := p.Generate(100); err == nil {
+		t.Fatal("Generate accepted zero profile")
+	}
+}
+
+// TestValueRealism checks the properties the value-prediction harness and
+// the converter's inference both rely on: per-site constants exist, loop
+// counters produce periodic small values, and writeback base streams are
+// strided per site.
+func TestValueRealism(t *testing.T) {
+	p := PublicProfile(ComputeInt, 6)
+	p.BaseUpdateFrac = 0.2
+	instrs, err := p.Generate(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPC := map[uint64][]uint64{}
+	basePC := map[uint64][]uint64{}
+	for _, in := range instrs {
+		if in.Class == cvp.ClassALU && len(in.DstValues) == 1 {
+			perPC[in.PC] = append(perPC[in.PC], in.DstValues[0])
+		}
+		if in.IsLoad() && len(in.DstRegs) == 2 && in.ReadsReg(in.DstRegs[1]) {
+			basePC[in.PC] = append(basePC[in.PC], in.DstValues[1])
+		}
+	}
+	// Some ALU sites must be constant producers.
+	constSites, aluSites := 0, 0
+	for _, vals := range perPC {
+		if len(vals) < 4 {
+			continue
+		}
+		aluSites++
+		same := true
+		for _, v := range vals[1:] {
+			if v != vals[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			constSites++
+		}
+	}
+	if aluSites == 0 || constSites == 0 {
+		t.Fatalf("constant ALU sites: %d of %d", constSites, aluSites)
+	}
+	// Writeback base streams must be strided per site (modulo re-anchors).
+	stridedDeltas, totalDeltas := 0, 0
+	for _, vals := range basePC {
+		for i := 2; i < len(vals); i++ {
+			totalDeltas++
+			if vals[i]-vals[i-1] == vals[i-1]-vals[i-2] {
+				stridedDeltas++
+			}
+		}
+	}
+	if totalDeltas == 0 {
+		t.Fatal("no writeback base streams observed")
+	}
+	if float64(stridedDeltas)/float64(totalDeltas) < 0.8 {
+		t.Errorf("only %d/%d base-stream deltas strided", stridedDeltas, totalDeltas)
+	}
+}
+
+// TestLoopCounterValues: backedge increments count the invocation's
+// iterations, restarting at 1 — the induction pattern.
+func TestLoopCounterValues(t *testing.T) {
+	p := PublicProfile(Crypto, 1)
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find increment sites: ALU with dst==src in the counter range.
+	restarts, ones := 0, 0
+	perPC := map[uint64]uint64{}
+	for _, in := range instrs {
+		if in.Class != cvp.ClassALU || len(in.DstRegs) != 1 || len(in.SrcRegs) != 1 {
+			continue
+		}
+		d := in.DstRegs[0]
+		if d != in.SrcRegs[0] || d < 24 || d > 29 {
+			continue
+		}
+		v := in.DstValues[0]
+		if prev, ok := perPC[in.PC]; ok && v <= prev {
+			restarts++
+			if v == 1 {
+				ones++
+			}
+		}
+		perPC[in.PC] = v
+	}
+	if restarts == 0 {
+		t.Fatal("no loop-counter restarts observed")
+	}
+	// Re-entrant (recursive) invocations interleave two counter
+	// sequences at one site, so not every descent restarts at 1 — but
+	// the majority must.
+	if ones*2 < restarts {
+		t.Errorf("only %d of %d counter restarts began at 1", ones, restarts)
+	}
+}

@@ -1,0 +1,27 @@
+package vp_test
+
+import (
+	"fmt"
+
+	"tracerebase/internal/vp"
+)
+
+// ExamplePredictor trains a stride predictor on a loop induction variable —
+// the value pattern the CVP-1 traces are full of (base-update address
+// streams advance the same way).
+func ExamplePredictor() {
+	p, err := vp.New("stride")
+	if err != nil {
+		panic(err)
+	}
+	var ctx vp.Context
+	pc := uint64(0x400100)
+	// Train: the site produces 100, 108, 116, ...
+	for i := 0; i < 8; i++ {
+		p.Update(pc, ctx, uint64(100+8*i))
+	}
+	val, confident := p.Predict(pc, ctx)
+	fmt.Printf("prediction: %d (confident: %v)\n", val, confident)
+	// Output:
+	// prediction: 164 (confident: true)
+}

@@ -1,0 +1,123 @@
+package vp
+
+import (
+	"fmt"
+	"io"
+
+	"tracerebase/internal/cvp"
+)
+
+// Result is a CVP-1-style evaluation of one predictor over one trace.
+type Result struct {
+	Predictor string
+	// Eligible counts value-producing instructions (at least one
+	// destination register with a recorded value).
+	Eligible uint64
+	// Predicted counts confident predictions; Correct those that matched.
+	Predicted, Correct uint64
+	// LoadEligible/LoadPredicted/LoadCorrect break out loads, the class
+	// CVP-1 weighted most heavily (predicting a load breaks the memory
+	// latency chain).
+	LoadEligible, LoadPredicted, LoadCorrect uint64
+}
+
+// Coverage returns confident predictions over eligible instructions.
+func (r Result) Coverage() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Predicted) / float64(r.Eligible)
+}
+
+// Accuracy returns correct predictions over confident predictions.
+func (r Result) Accuracy() float64 {
+	if r.Predicted == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Predicted)
+}
+
+// Score is a CVP-style single figure of merit: correct predictions reward,
+// confident mispredictions cost a squash-like penalty.
+func (r Result) Score() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	wrong := float64(r.Predicted - r.Correct)
+	return (float64(r.Correct) - 5*wrong) / float64(r.Eligible)
+}
+
+// Evaluate drives a predictor over a CVP-1 trace: for every eligible
+// instruction it asks for a prediction of the FIRST destination value, then
+// trains with the truth, maintaining branch/path context like the CVP-1
+// infrastructure did.
+func Evaluate(src cvp.Source, p Predictor) (Result, error) {
+	res := Result{Predictor: p.Name()}
+	var ctx Context
+	for {
+		in, err := src.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		// Every recorded destination value is a prediction target; the
+		// CVP-1 traces carry them all (base-update loads, load pairs).
+		// Each destination slot gets its own predictor entry by salting
+		// the PC with the slot index.
+		isLoad := in.IsLoad()
+		for slot, actual := range in.DstValues {
+			res.Eligible++
+			if isLoad {
+				res.LoadEligible++
+			}
+			// Mix the slot through a full-width constant so it reaches
+			// the low index bits every predictor masks on.
+			slotPC := in.PC ^ uint64(slot)*0x9e3779b97f4a7c15
+			pred, confident := p.Predict(slotPC, ctx)
+			if confident {
+				res.Predicted++
+				if isLoad {
+					res.LoadPredicted++
+				}
+				if pred == actual {
+					res.Correct++
+					if isLoad {
+						res.LoadCorrect++
+					}
+				}
+			}
+			p.Update(slotPC, ctx, actual)
+		}
+		// Maintain context exactly once per instruction.
+		if in.Class == cvp.ClassCondBranch {
+			bit := uint64(0)
+			if in.Taken {
+				bit = 1
+			}
+			ctx.BranchHist = ctx.BranchHist<<1 | bit
+		}
+		if in.Class.IsBranch() && in.Taken {
+			ctx.PathHist = (ctx.PathHist << 3) ^ (in.Target >> 2) ^ (ctx.PathHist >> 61)
+		}
+	}
+}
+
+// EvaluateAll runs every registered predictor over the same in-memory
+// trace, returning results in Names() order.
+func EvaluateAll(instrs []*cvp.Instruction) ([]Result, error) {
+	var out []Result
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Evaluate(cvp.NewSliceSource(instrs), p)
+		if err != nil {
+			return nil, fmt.Errorf("vp: evaluate %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+// Package vp implements value prediction in the style of the first
+// Championship Value Prediction (CVP-1) — the competition the traces this
+// repository revolves around were released for. The CVP-1 record format
+// carries the 64-bit values written to each destination register precisely
+// so that predictors like these can be trained and scored on real industry
+// workloads (§1: "They embed output register values, allowing studies that
+// rely on actual program values").
+//
+// Four classic predictors are provided — last-value, stride, order-2 FCM,
+// and a VTAGE-like tagged predictor — together with a championship-style
+// evaluation harness reporting coverage and accuracy per instruction class.
+package vp
+
+import "fmt"
+
+// Context carries the global execution context a predictor may hash into
+// its indices, maintained by the evaluation harness.
+type Context struct {
+	// BranchHist is the recent conditional branch outcome history.
+	BranchHist uint64
+	// PathHist is a hash of recent instruction addresses.
+	PathHist uint64
+}
+
+// Predictor predicts the 64-bit result of the next execution of the
+// instruction at a PC. Predictions only count when the predictor is
+// confident — mispredicting with confidence would squash the pipeline, so
+// CVP-1 rewards knowing when not to predict.
+type Predictor interface {
+	// Name identifies the predictor.
+	Name() string
+	// Predict returns the predicted value and whether the predictor is
+	// confident enough to use it.
+	Predict(pc uint64, ctx Context) (uint64, bool)
+	// Update trains the predictor with the actual produced value.
+	Update(pc uint64, ctx Context, actual uint64)
+}
+
+// New constructs a predictor by name: "last-value", "stride", "fcm", or
+// "vtage".
+func New(name string) (Predictor, error) {
+	switch name {
+	case "last-value":
+		return NewLastValue(14), nil
+	case "stride":
+		return NewStride(14), nil
+	case "fcm":
+		return NewFCM(12, 14), nil
+	case "vtage":
+		return NewVTAGE(DefaultVTAGEConfig()), nil
+	}
+	return nil, fmt.Errorf("vp: unknown predictor %q", name)
+}
+
+// Names lists the available predictors.
+func Names() []string { return []string{"last-value", "stride", "fcm", "vtage"} }
+
+// confidence is a saturating counter; predictions are used at >= confMin.
+type confidence uint8
+
+const (
+	confMax confidence = 7
+	confMin confidence = 4
+)
+
+func (c confidence) confident() bool { return c >= confMin }
+
+func (c confidence) up() confidence {
+	if c < confMax {
+		return c + 1
+	}
+	return c
+}
+
+// down resets on a wrong value: CVP-style aggressive loss of confidence.
+func (c confidence) down() confidence { return 0 }
+
+// LastValue predicts the value produced last time by the same PC.
+type LastValue struct {
+	vals []uint64
+	conf []confidence
+	mask uint64
+}
+
+// NewLastValue builds a last-value predictor with 2^bits entries.
+func NewLastValue(bits int) *LastValue {
+	n := 1 << bits
+	return &LastValue{vals: make([]uint64, n), conf: make([]confidence, n), mask: uint64(n - 1)}
+}
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+func (p *LastValue) idx(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict(pc uint64, ctx Context) (uint64, bool) {
+	i := p.idx(pc)
+	return p.vals[i], p.conf[i].confident()
+}
+
+// Update implements Predictor.
+func (p *LastValue) Update(pc uint64, ctx Context, actual uint64) {
+	i := p.idx(pc)
+	if p.vals[i] == actual {
+		p.conf[i] = p.conf[i].up()
+	} else {
+		p.vals[i] = actual
+		p.conf[i] = p.conf[i].down()
+	}
+}
+
+// Stride predicts last value + the last observed delta — the workhorse for
+// induction variables and base-update address streams.
+type Stride struct {
+	vals    []uint64
+	strides []uint64
+	conf    []confidence
+	mask    uint64
+}
+
+// NewStride builds a stride predictor with 2^bits entries.
+func NewStride(bits int) *Stride {
+	n := 1 << bits
+	return &Stride{
+		vals:    make([]uint64, n),
+		strides: make([]uint64, n),
+		conf:    make([]confidence, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Name implements Predictor.
+func (p *Stride) Name() string { return "stride" }
+
+func (p *Stride) idx(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict implements Predictor.
+func (p *Stride) Predict(pc uint64, ctx Context) (uint64, bool) {
+	i := p.idx(pc)
+	return p.vals[i] + p.strides[i], p.conf[i].confident()
+}
+
+// Update implements Predictor.
+func (p *Stride) Update(pc uint64, ctx Context, actual uint64) {
+	i := p.idx(pc)
+	stride := actual - p.vals[i]
+	if stride == p.strides[i] {
+		p.conf[i] = p.conf[i].up()
+	} else {
+		p.strides[i] = stride
+		p.conf[i] = p.conf[i].down()
+	}
+	p.vals[i] = actual
+}
+
+// FCM is an order-2 finite context method predictor: a first-level table
+// records each PC's recent value history signature; a second-level table
+// maps the signature to the next value. It captures repeating value
+// SEQUENCES that defeat last-value and stride.
+type FCM struct {
+	hist     []uint64 // per-PC value-history signature
+	histMask uint64
+	vals     []uint64
+	conf     []confidence
+	valMask  uint64
+}
+
+// NewFCM builds an FCM with 2^histBits level-1 and 2^valBits level-2
+// entries.
+func NewFCM(histBits, valBits int) *FCM {
+	return &FCM{
+		hist:     make([]uint64, 1<<histBits),
+		histMask: uint64(1<<histBits) - 1,
+		vals:     make([]uint64, 1<<valBits),
+		conf:     make([]confidence, 1<<valBits),
+		valMask:  uint64(1<<valBits) - 1,
+	}
+}
+
+// Name implements Predictor.
+func (p *FCM) Name() string { return "fcm" }
+
+func (p *FCM) l1(pc uint64) uint64 { return (pc >> 2) & p.histMask }
+
+func (p *FCM) l2(sig uint64) uint64 { return (sig ^ sig>>17) & p.valMask }
+
+// Predict implements Predictor.
+func (p *FCM) Predict(pc uint64, ctx Context) (uint64, bool) {
+	sig := p.hist[p.l1(pc)]
+	i := p.l2(sig)
+	return p.vals[i], p.conf[i].confident()
+}
+
+// Update implements Predictor.
+func (p *FCM) Update(pc uint64, ctx Context, actual uint64) {
+	h := p.l1(pc)
+	sig := p.hist[h]
+	i := p.l2(sig)
+	if p.vals[i] == actual {
+		p.conf[i] = p.conf[i].up()
+	} else {
+		p.vals[i] = actual
+		p.conf[i] = p.conf[i].down()
+	}
+	// Shift the value's hash into the per-PC history signature. The
+	// signature is a bounded window (the last four values in 16-bit
+	// digests), so repeating sequences produce repeating signatures.
+	p.hist[h] = sig<<16 | (mix(actual) & 0xffff)
+}
+
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	return v ^ v>>29
+}

@@ -1,0 +1,297 @@
+package vp
+
+import (
+	"math/rand"
+	"testing"
+
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/synth"
+)
+
+// train feeds a (pc, value) stream and returns coverage and accuracy over
+// the final quarter (the trained regime).
+func train(p Predictor, n int, gen func(i int) (uint64, uint64)) (coverage, accuracy float64) {
+	var ctx Context
+	predicted, correct, eligible := 0, 0, 0
+	for i := 0; i < n; i++ {
+		pc, v := gen(i)
+		pred, conf := p.Predict(pc, ctx)
+		if i >= 3*n/4 {
+			eligible++
+			if conf {
+				predicted++
+				if pred == v {
+					correct++
+				}
+			}
+		}
+		p.Update(pc, ctx, v)
+	}
+	if predicted == 0 {
+		return float64(predicted) / float64(eligible), 0
+	}
+	return float64(predicted) / float64(eligible), float64(correct) / float64(predicted)
+}
+
+func all(t *testing.T) []Predictor {
+	t.Helper()
+	var ps []Predictor
+	for _, n := range Names() {
+		p, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Errorf("Name = %q want %q", p.Name(), n)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("accepted bogus predictor")
+	}
+}
+
+// A constant value must be near-perfectly predicted by every predictor.
+func TestConstantValue(t *testing.T) {
+	for _, p := range all(t) {
+		cov, acc := train(p, 4000, func(i int) (uint64, uint64) { return 0x400100, 42 })
+		if cov < 0.95 || acc < 0.99 {
+			t.Errorf("%s: constant coverage %.2f accuracy %.2f", p.Name(), cov, acc)
+		}
+	}
+}
+
+// A strided value (loop counter, walked pointer) defeats last-value but is
+// exact for stride and learnable by FCM only if the sequence repeats —
+// which an unbounded counter does not.
+func TestStridedValue(t *testing.T) {
+	gen := func(i int) (uint64, uint64) { return 0x400200, uint64(0x10000 + i*8) }
+	s, _ := New("stride")
+	cov, acc := train(s, 4000, gen)
+	if cov < 0.95 || acc < 0.99 {
+		t.Errorf("stride: coverage %.2f accuracy %.2f on strided stream", cov, acc)
+	}
+	lv, _ := New("last-value")
+	cov, _ = train(lv, 4000, gen)
+	if cov > 0.1 {
+		t.Errorf("last-value: coverage %.2f on strided stream — confidence gate broken", cov)
+	}
+}
+
+// A short repeating value SEQUENCE (state machine output) defeats both
+// last-value and stride but is exactly what FCM's context captures.
+func TestRepeatingSequence(t *testing.T) {
+	seq := []uint64{7, 7, 123, 9, 9, 55}
+	gen := func(i int) (uint64, uint64) { return 0x400300, seq[i%len(seq)] }
+	f, _ := New("fcm")
+	cov, acc := train(f, 6000, gen)
+	if cov < 0.9 || acc < 0.95 {
+		t.Errorf("fcm: coverage %.2f accuracy %.2f on periodic sequence", cov, acc)
+	}
+	s, _ := New("stride")
+	if _, acc := train(s, 6000, gen); acc > 0.9 {
+		t.Errorf("stride accuracy %.2f on aperiodic-stride sequence — too good", acc)
+	}
+}
+
+// A value correlated with branch history (different value per path) is
+// VTAGE's home turf.
+func TestPathCorrelatedValue(t *testing.T) {
+	v, _ := New("vtage")
+	var ctx Context
+	r := rand.New(rand.NewSource(4))
+	predicted, correct, eligible := 0, 0, 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		// A conditional branch decides which value the next
+		// instruction produces.
+		taken := r.Intn(2) == 0
+		ctx.BranchHist = ctx.BranchHist << 1
+		if taken {
+			ctx.BranchHist |= 1
+		}
+		val := uint64(111)
+		if taken {
+			val = 999
+		}
+		pred, conf := v.Predict(0x400400, ctx)
+		if i > 3*n/4 {
+			eligible++
+			if conf {
+				predicted++
+				if pred == val {
+					correct++
+				}
+			}
+		}
+		v.Update(0x400400, ctx, val)
+	}
+	cov := float64(predicted) / float64(eligible)
+	acc := float64(correct) / float64(max(predicted, 1))
+	if cov < 0.5 || acc < 0.9 {
+		t.Errorf("vtage: coverage %.2f accuracy %.2f on path-correlated value", cov, acc)
+	}
+	// Last-value cannot exceed ~50% accuracy here no matter what.
+	lv, _ := New("last-value")
+	predicted, correct = 0, 0
+	r = rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		taken := r.Intn(2) == 0
+		val := uint64(111)
+		if taken {
+			val = 999
+		}
+		if pred, conf := lv.Predict(0x400400, ctx); conf && i > 3*n/4 {
+			predicted++
+			if pred == val {
+				correct++
+			}
+		}
+		lv.Update(0x400400, ctx, val)
+	}
+	if predicted > 0 && float64(correct)/float64(predicted) > 0.75 {
+		t.Errorf("last-value suspiciously good on random path values: %d/%d", correct, predicted)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Confidence gating: after a burst of mispredictions the predictor must
+// stop predicting until retrained.
+func TestConfidenceGate(t *testing.T) {
+	p, _ := New("last-value")
+	var ctx Context
+	for i := 0; i < 100; i++ {
+		p.Update(0x100, ctx, 5)
+	}
+	if _, conf := p.Predict(0x100, ctx); !conf {
+		t.Fatal("not confident after 100 confirmations")
+	}
+	p.Update(0x100, ctx, 6) // one wrong value
+	if _, conf := p.Predict(0x100, ctx); conf {
+		t.Fatal("still confident right after a misprediction")
+	}
+}
+
+// TestEvaluateOnSyntheticTrace runs the full harness over a synthetic CVP-1
+// trace: the stride predictor should profit from base-update address
+// streams, and every predictor must keep high accuracy (the confidence
+// gate's job).
+func TestEvaluateOnSyntheticTrace(t *testing.T) {
+	p := synth.PublicProfile(synth.ComputeInt, 6)
+	p.BaseUpdateFrac = 0.3
+	instrs, err := p.Generate(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := EvaluateAll(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Names()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Predictor] = r
+		if r.Eligible == 0 {
+			t.Fatalf("%s: no eligible instructions", r.Predictor)
+		}
+		if r.Predicted > 0 && r.Accuracy() < 0.75 {
+			t.Errorf("%s: accuracy %.2f below the confidence gate's promise", r.Predictor, r.Accuracy())
+		}
+		if r.LoadEligible == 0 {
+			t.Errorf("%s: no eligible loads", r.Predictor)
+		}
+	}
+	if byName["stride"].Coverage() <= byName["last-value"].Coverage() {
+		t.Errorf("stride coverage %.3f should beat last-value %.3f on base-update streams",
+			byName["stride"].Coverage(), byName["last-value"].Coverage())
+	}
+}
+
+func TestResultDerived(t *testing.T) {
+	r := Result{Eligible: 100, Predicted: 50, Correct: 45}
+	if r.Coverage() != 0.5 || r.Accuracy() != 0.9 {
+		t.Errorf("coverage %v accuracy %v", r.Coverage(), r.Accuracy())
+	}
+	if s := r.Score(); s != (45.0-5*5)/100 {
+		t.Errorf("score %v", s)
+	}
+	var zero Result
+	if zero.Coverage() != 0 || zero.Accuracy() != 0 || zero.Score() != 0 {
+		t.Error("zero result derived metrics should be 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := synth.PublicProfile(synth.Crypto, 3)
+	instrs, err := p.Generate(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EvaluateAll(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateAll(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: results differ between runs", a[i].Predictor)
+		}
+	}
+}
+
+func TestEvaluateEligibility(t *testing.T) {
+	// Only instructions with destination values are eligible.
+	instrs := []*cvp.Instruction{
+		{PC: 0x10, Class: cvp.ClassALU, DstRegs: []uint8{1}, DstValues: []uint64{5}},
+		{PC: 0x14, Class: cvp.ClassALU}, // compare: no dst
+		{PC: 0x18, Class: cvp.ClassCondBranch, Taken: true, Target: 0x10},
+		{PC: 0x10, Class: cvp.ClassALU, DstRegs: []uint8{1}, DstValues: []uint64{5}},
+	}
+	p, _ := New("last-value")
+	r, err := Evaluate(cvp.NewSliceSource(instrs), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Eligible != 2 {
+		t.Fatalf("eligible = %d, want 2", r.Eligible)
+	}
+}
+
+// TestVTAGEAllocationPressure drives many path-varying values through a
+// tiny VTAGE: useful-bit decay must keep allocation alive without panics.
+func TestVTAGEAllocationPressure(t *testing.T) {
+	v := NewVTAGE(VTAGEConfig{BaseBits: 5, TableBits: 4, TagBits: 6, HistLengths: []int{2, 4}})
+	r := rand.New(rand.NewSource(17))
+	var ctx Context
+	for i := 0; i < 20000; i++ {
+		ctx.BranchHist = ctx.BranchHist<<1 | uint64(r.Intn(2))
+		ctx.PathHist = ctx.PathHist<<3 ^ uint64(r.Intn(1024))
+		pc := uint64(0x1000 + r.Intn(256)*4)
+		v.Predict(pc, ctx)
+		v.Update(pc, ctx, uint64(r.Intn(8)))
+	}
+	// Still trains a constant cleanly afterwards.
+	ctx = Context{}
+	for i := 0; i < 40; i++ {
+		v.Predict(0x9000, ctx)
+		v.Update(0x9000, ctx, 77)
+	}
+	if val, conf := v.Predict(0x9000, ctx); !conf || val != 77 {
+		t.Fatalf("post-churn constant: %d, %v", val, conf)
+	}
+}

@@ -1,0 +1,142 @@
+package vp
+
+// VTAGE (after Perais & Seznec, the CVP-1 organizer's own design):
+// a last-value base table backed by tagged components indexed with
+// geometrically longer branch histories. Control-flow-correlated values —
+// the same PC producing different values on different paths — land in the
+// history-indexed components, while path-invariant values stay in the base.
+
+// VTAGEConfig parameterizes the predictor.
+type VTAGEConfig struct {
+	// BaseBits is log2 of the last-value base table.
+	BaseBits int
+	// TableBits is log2 of each tagged component.
+	TableBits int
+	// TagBits is the partial tag width.
+	TagBits int
+	// HistLengths are the branch-history lengths, shortest first.
+	HistLengths []int
+}
+
+// DefaultVTAGEConfig returns a modest six-component configuration.
+func DefaultVTAGEConfig() VTAGEConfig {
+	return VTAGEConfig{
+		BaseBits:    14,
+		TableBits:   12,
+		TagBits:     11,
+		HistLengths: []int{2, 4, 8, 16, 32, 64},
+	}
+}
+
+type vtageEntry struct {
+	tag    uint16
+	value  uint64
+	conf   confidence
+	useful uint8
+}
+
+// VTAGE is the tagged geometric value predictor.
+type VTAGE struct {
+	cfg    VTAGEConfig
+	base   *LastValue
+	tables [][]vtageEntry
+	// scratch between Predict and Update
+	provider    int
+	providerIdx uint64
+}
+
+// NewVTAGE builds a VTAGE predictor.
+func NewVTAGE(cfg VTAGEConfig) *VTAGE {
+	v := &VTAGE{
+		cfg:    cfg,
+		base:   NewLastValue(cfg.BaseBits),
+		tables: make([][]vtageEntry, len(cfg.HistLengths)),
+	}
+	for i := range v.tables {
+		v.tables[i] = make([]vtageEntry, 1<<cfg.TableBits)
+	}
+	return v
+}
+
+// Name implements Predictor.
+func (v *VTAGE) Name() string { return "vtage" }
+
+func (v *VTAGE) index(pc uint64, ctx Context, table int) uint64 {
+	h := foldBits(ctx.BranchHist, v.cfg.HistLengths[table], v.cfg.TableBits)
+	ph := foldBits(ctx.PathHist, v.cfg.HistLengths[table], v.cfg.TableBits)
+	return ((pc >> 2) ^ h ^ (ph << 1)) & (uint64(1<<v.cfg.TableBits) - 1)
+}
+
+func (v *VTAGE) tag(pc uint64, ctx Context, table int) uint16 {
+	h := foldBits(ctx.BranchHist, v.cfg.HistLengths[table], v.cfg.TagBits)
+	return uint16(((pc >> 2) ^ (pc >> 13) ^ (h << 2)) & (uint64(1<<v.cfg.TagBits) - 1))
+}
+
+// foldBits XOR-folds the low histLen bits of h down to width bits.
+func foldBits(h uint64, histLen, width int) uint64 {
+	if histLen < 64 {
+		h &= (1 << uint(histLen)) - 1
+	}
+	out := uint64(0)
+	for h != 0 {
+		out ^= h & ((1 << uint(width)) - 1)
+		h >>= uint(width)
+	}
+	return out
+}
+
+// Predict implements Predictor.
+func (v *VTAGE) Predict(pc uint64, ctx Context) (uint64, bool) {
+	v.provider = -1
+	for i := len(v.tables) - 1; i >= 0; i-- {
+		idx := v.index(pc, ctx, i)
+		e := &v.tables[i][idx]
+		if e.tag == v.tag(pc, ctx, i) {
+			v.provider = i
+			v.providerIdx = idx
+			return e.value, e.conf.confident()
+		}
+	}
+	return v.base.Predict(pc, ctx)
+}
+
+// Update implements Predictor.
+func (v *VTAGE) Update(pc uint64, ctx Context, actual uint64) {
+	if v.provider >= 0 {
+		e := &v.tables[v.provider][v.providerIdx]
+		if e.value == actual {
+			e.conf = e.conf.up()
+			if e.useful < 3 {
+				e.useful++
+			}
+		} else {
+			e.value = actual
+			e.conf = e.conf.down()
+			if e.useful > 0 {
+				e.useful--
+			}
+			// The base captures path-invariant values; allocate a
+			// longer-history component for this path.
+			v.allocate(pc, ctx, actual, v.provider+1)
+		}
+	} else {
+		// Train the base; on base misprediction try a tagged component
+		// (the value may be path-correlated).
+		if bv, conf := v.base.Predict(pc, ctx); conf && bv != actual {
+			v.allocate(pc, ctx, actual, 0)
+		}
+	}
+	v.base.Update(pc, ctx, actual)
+}
+
+func (v *VTAGE) allocate(pc uint64, ctx Context, actual uint64, from int) {
+	for i := from; i < len(v.tables); i++ {
+		idx := v.index(pc, ctx, i)
+		e := &v.tables[i][idx]
+		if e.useful == 0 {
+			*e = vtageEntry{tag: v.tag(pc, ctx, i), value: actual}
+			return
+		}
+		e.useful--
+	}
+}

@@ -1,0 +1,122 @@
+package tracerebase
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
+)
+
+// TestArtifactWorkflow exercises the complete artifact pipeline through the
+// file formats: synthesize a CVP-1 trace, store it gzip-compressed exactly
+// as the originals were distributed, convert it file-to-file with the
+// improved converter, and simulate the converted trace — asserting the
+// round-tripped results equal the in-memory path.
+func TestArtifactWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	profile := synth.PublicProfile(synth.ComputeInt, 9)
+	instrs, err := profile.Generate(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Write the CVP-1 trace, gzip-compressed.
+	cvpPath := filepath.Join(dir, profile.Name+".cvp.gz")
+	f, err := os.Create(cvpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	cw := cvp.NewWriter(zw)
+	for _, in := range instrs {
+		if err := cw.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Convert file-to-file with all improvements.
+	in, err := os.Open(cvpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	reader, closer, err := cvp.OpenReader(cvpPath, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	champPath := filepath.Join(dir, profile.Name+".champsim")
+	out, err := os.Create(champPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := champtrace.NewWriter(out)
+	fileStats, err := core.ConvertStream(reader, w, core.OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. The file must be the strict 64-byte format.
+	fi, err := os.Stat(champPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(fileStats.Out)*champtrace.RecordSize {
+		t.Fatalf("file is %d bytes for %d records", fi.Size(), fileStats.Out)
+	}
+
+	// 4. Simulate from the file and from memory: identical stats.
+	cf, err := os.Open(champPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	creader, ccloser, err := champtrace.OpenReader(champPath, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ccloser.Close()
+	fromFile, err := sim.Run(creader, sim.ConfigDevelop(champtrace.RulesPatched), 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memRecs, memStats, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memStats != fileStats {
+		t.Fatalf("conversion stats diverge:\nfile %+v\nmem  %+v", fileStats, memStats)
+	}
+	fromMem, err := sim.Run(champtrace.NewSliceSource(memRecs), sim.ConfigDevelop(champtrace.RulesPatched), 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile != fromMem {
+		t.Fatalf("simulation stats diverge:\nfile %+v\nmem  %+v", fromFile, fromMem)
+	}
+	if fromFile.Instructions == 0 || fromFile.IPC() <= 0 {
+		t.Fatalf("degenerate simulation: %+v", fromFile)
+	}
+}
