@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test test-race bench-smoke bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent layers: the (trace, variant) sweep work queue
+# and the pooled streaming converter it drives.
+test-race:
+	$(GO) test -race ./internal/experiments ./internal/core
+
+# A fast allocation check of the hot convert+simulate path: the streaming
+# source must stay well below the materializing baseline.
+bench-smoke:
+	$(GO) test -run xxx -bench 'ConvertSimulate|SweepStreaming' -benchtime 3x .
+
+bench:
+	$(GO) test -bench . -benchmem .

@@ -271,6 +271,90 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.SetBytes(int64(len(recs)))
 }
 
+// BenchmarkTraceGenerationStreaming measures the pull-based generator
+// emitting into one recycled slab — the allocation-free counterpart of
+// BenchmarkTraceGeneration.
+func BenchmarkTraceGenerationStreaming(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	slab := cvp.MakeBatch(cvp.DefaultBatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Stream(20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := s.NextBatch(slab); err != nil {
+				break
+			}
+		}
+		s.Close()
+	}
+	b.SetBytes(20000)
+}
+
+// BenchmarkConvertSimulateMaterialized is the pre-streaming convert+simulate
+// path: generate to []*Instruction, convert all of it to boxed records, then
+// simulate from the materialized slice. Pair with
+// BenchmarkConvertSimulateStreaming to see the allocation difference.
+func BenchmarkConvertSimulateMaterialized(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(champtrace.NewSliceSource(recs), sim.ConfigDevelop(champtrace.RulesPatched), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(30000)
+}
+
+// BenchmarkConvertSimulateStreaming is the same work on the streaming path:
+// the simulator pulls pool-recycled conversion batches straight from the
+// shared CVP value slab, materializing nothing.
+func BenchmarkConvertSimulateStreaming(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.GenerateBatch(30000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := core.NewConverterSource(cvp.NewValuesSource(instrs), core.OptionsAll())
+		if _, err := sim.Run(cs, sim.ConfigDevelop(champtrace.RulesPatched), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		cs.Close()
+	}
+	b.SetBytes(30000)
+}
+
+// BenchmarkSweepStreaming measures the full streaming sweep engine — the
+// (trace, variant) work queue with shared generation — on a small
+// trace-set/variant grid, reporting allocations.
+func BenchmarkSweepStreaming(b *testing.B) {
+	profiles := benchProfiles()[:4]
+	cfg := benchSweepConfig()
+	cfg.Variants = nil // all ten variants
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(profiles, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTAGESCLPredict measures direction-predictor throughput.
 func BenchmarkTAGESCLPredict(b *testing.B) {
 	pred, err := bpred.New("tage-sc-l")

@@ -9,12 +9,19 @@
 // converted under every improvement set, simulated on the develop model);
 // Tables 2–3 run the 50 IPC-1 traces on the develop and IPC-1 models
 // respectively.
+//
+// For performance work, -cpuprofile and -memprofile write pprof profiles
+// covering the whole run, and -bench-json records the wall-clock and
+// configuration of the run as a small JSON document (see BENCH_1.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,16 +30,54 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig1..fig5, table2, table3, ablation, char, or all")
-		instrs   = flag.Int("instructions", 150000, "instructions per trace")
-		warmup   = flag.Uint64("warmup", 50000, "warm-up instructions per trace")
-		step     = flag.Int("step", 1, "use every step-th trace of each suite (1 = all)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text")
+		exp        = flag.String("exp", "all", "experiment: table1, fig1..fig5, table2, table3, ablation, char, or all")
+		instrs     = flag.Int("instructions", 150000, "instructions per trace")
+		warmup     = flag.Uint64("warmup", 50000, "warm-up instructions per trace")
+		step       = flag.Int("step", 1, "use every step-th trace of each suite (1 = all)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = NumCPU)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of text")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchJSON  = flag.String("bench-json", "", "write run timing and configuration as JSON to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Written at exit so the profile covers the whole run; a failure
+		// here must still flip the exit code.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				code = fail("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				code = fail("memprofile: %v", err)
+			}
+		}()
+	}
 
 	cfg := experiments.SweepConfig{
 		Instructions: *instrs,
@@ -71,7 +116,7 @@ func main() {
 		}
 		results, err := experiments.RunSweep(profiles, cfg)
 		if err != nil {
-			fatalf("sweep: %v", err)
+			return fail("sweep: %v", err)
 		}
 		if *jsonOut {
 			report.FillFigures(results)
@@ -105,7 +150,7 @@ func main() {
 		}
 		res, err := experiments.Table2(cfg, suite)
 		if err != nil {
-			fatalf("table2: %v", err)
+			return fail("table2: %v", err)
 		}
 		if *jsonOut {
 			report.Table2 = &res
@@ -118,7 +163,7 @@ func main() {
 	if wants["ablation"] {
 		res, err := experiments.FrontEndAblation(cfg, nil)
 		if err != nil {
-			fatalf("ablation: %v", err)
+			return fail("ablation: %v", err)
 		}
 		if *jsonOut {
 			report.Ablation = res
@@ -136,7 +181,7 @@ func main() {
 		}
 		res, err := experiments.Table3(cfg, suite)
 		if err != nil {
-			fatalf("table3: %v", err)
+			return fail("table3: %v", err)
 		}
 		if *jsonOut {
 			report.Table3 = &res
@@ -150,7 +195,7 @@ func main() {
 		profiles := subsample(synth.PublicSuite(), *step)
 		rows, err := experiments.Characterize(profiles, cfg)
 		if err != nil {
-			fatalf("characterize: %v", err)
+			return fail("characterize: %v", err)
 		}
 		if *jsonOut {
 			report.Char = rows
@@ -162,12 +207,60 @@ func main() {
 
 	if *jsonOut {
 		if err := report.Write(os.Stdout); err != nil {
-			fatalf("json: %v", err)
+			return fail("json: %v", err)
 		}
 	}
+	elapsed := time.Since(start)
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "total: %.1fs\n", time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed); err != nil {
+			return fail("bench-json: %v", err)
+		}
+	}
+	return 0
+}
+
+// benchRecord is the schema of -bench-json output: enough context to make
+// a recorded wall-clock comparable across machines and configurations.
+type benchRecord struct {
+	Experiment   string  `json:"experiment"`
+	Step         int     `json:"step"`
+	Instructions int     `json:"instructions"`
+	Warmup       uint64  `json:"warmup"`
+	Parallelism  int     `json:"parallelism"`
+	NumCPU       int     `json:"num_cpu"`
+	GOOS         string  `json:"goos"`
+	GOARCH       string  `json:"goarch"`
+	GoVersion    string  `json:"go_version"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Timestamp    string  `json:"timestamp"`
+}
+
+func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration) error {
+	parallelism := cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	rec := benchRecord{
+		Experiment:   exp,
+		Step:         step,
+		Instructions: cfg.Instructions,
+		Warmup:       cfg.Warmup,
+		Parallelism:  parallelism,
+		NumCPU:       runtime.NumCPU(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GoVersion:    runtime.Version(),
+		WallSeconds:  elapsed.Seconds(),
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func subsample(ps []synth.Profile, step int) []synth.Profile {
@@ -192,7 +285,7 @@ func subsampleIPC1(ts []synth.IPC1Trace, step int) []synth.IPC1Trace {
 	return out
 }
 
-func fatalf(format string, args ...any) {
+func fail(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "rebase: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,199 @@
+package champtrace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Batch-oriented streaming over ChampSim records. Instruction is a flat
+// value type (fixed-size register and memory-slot arrays), so a batch is a
+// plain []Instruction and refilling one allocates nothing.
+
+// BatchSource is the batch variant of Source: NextBatch fills dst with up
+// to len(dst) instructions and returns the number filled. It returns
+// (0, io.EOF) when the stream is exhausted; a short batch with a nil error
+// means the stream paused there. NextBatch never returns io.EOF together
+// with n > 0. Errors other than io.EOF may accompany n > 0: dst[:n] holds
+// valid records and no further calls should be made.
+type BatchSource interface {
+	NextBatch(dst []Instruction) (int, error)
+}
+
+// DefaultBatchSize is the batch length used by the adapters when the
+// caller does not choose one.
+const DefaultBatchSize = 512
+
+// MakeBatch allocates a batch of n instructions.
+func MakeBatch(n int) []Instruction { return make([]Instruction, n) }
+
+// NextBatch implements BatchSource by copying from the in-memory slice.
+func (s *SliceSource) NextBatch(dst []Instruction) (int, error) {
+	if s.pos >= len(s.instrs) {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && s.pos < len(s.instrs) {
+		dst[n] = *s.instrs[s.pos]
+		s.pos++
+		n++
+	}
+	return n, nil
+}
+
+// NextBatch implements BatchSource, decoding records directly into dst
+// without the per-record allocation of Next.
+func (tr *Reader) NextBatch(dst []Instruction) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+			if err == io.EOF {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, io.EOF
+			}
+			if err == io.ErrUnexpectedEOF {
+				return n, fmt.Errorf("champtrace: truncated record after %d instructions: %w", tr.n, err)
+			}
+			return n, err
+		}
+		if err := dst[n].Decode(tr.buf[:]); err != nil {
+			return n, err
+		}
+		tr.n++
+		n++
+	}
+	return n, nil
+}
+
+// ValuesSource streams a value slab of instructions — the contiguous
+// representation produced by core.ConvertAllBatch — without the per-record
+// boxing of SliceSource. Next returns pointers aliasing the slab, so the
+// slab must stay unmodified while the source is consumed; Reset rewinds
+// for re-simulation of the same converted trace.
+type ValuesSource struct {
+	instrs []Instruction
+	pos    int
+}
+
+// NewValuesSource returns a ValuesSource over instrs. The slab is aliased,
+// not copied.
+func NewValuesSource(instrs []Instruction) *ValuesSource {
+	return &ValuesSource{instrs: instrs}
+}
+
+// Next implements Source. The returned pointer aliases the slab and is
+// valid until the slab itself is modified or released.
+func (s *ValuesSource) Next() (*Instruction, error) {
+	if s.pos >= len(s.instrs) {
+		return nil, io.EOF
+	}
+	in := &s.instrs[s.pos]
+	s.pos++
+	return in, nil
+}
+
+// NextBatch implements BatchSource with copy semantics.
+func (s *ValuesSource) NextBatch(dst []Instruction) (int, error) {
+	if s.pos >= len(s.instrs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.instrs[s.pos:])
+	if n == 0 { // len(dst) == 0
+		return 0, nil
+	}
+	s.pos += n
+	return n, nil
+}
+
+// Reset rewinds the source to the first instruction.
+func (s *ValuesSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of instructions in the slab.
+func (s *ValuesSource) Len() int { return len(s.instrs) }
+
+// AsBatchSource adapts src to the batch interface. Sources that already
+// implement BatchSource (SliceSource, Reader, core.ConverterSource) are
+// returned unchanged; others are wrapped with a per-record pull.
+func AsBatchSource(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &sourceBatcher{src: src}
+}
+
+type sourceBatcher struct {
+	src Source
+	err error
+}
+
+func (b *sourceBatcher) NextBatch(dst []Instruction) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	n := 0
+	for n < len(dst) {
+		in, err := b.src.Next()
+		if err != nil {
+			b.err = err
+			if err == io.EOF && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = *in
+		n++
+	}
+	return n, nil
+}
+
+// AsSource adapts a BatchSource to the record-at-a-time Source interface.
+// Batch sources that already implement Source are returned unchanged.
+// batchSize <= 0 selects DefaultBatchSize.
+//
+// The adapter double-buffers: an instruction returned by Next remains valid
+// for at least batchSize further Next calls, which covers consumers with
+// bounded lookback such as the simulator's one-instruction lookahead.
+func AsSource(bs BatchSource, batchSize int) Source {
+	if s, ok := bs.(Source); ok {
+		return s
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &batchedSource{
+		bs:   bs,
+		cur:  MakeBatch(batchSize),
+		prev: MakeBatch(batchSize),
+	}
+}
+
+type batchedSource struct {
+	bs        BatchSource
+	cur, prev []Instruction
+	pos, n    int
+	err       error
+}
+
+func (s *batchedSource) Next() (*Instruction, error) {
+	if s.pos >= s.n {
+		if s.err != nil {
+			return nil, s.err
+		}
+		s.cur, s.prev = s.prev, s.cur
+		n, err := s.bs.NextBatch(s.cur)
+		s.n, s.pos = n, 0
+		if err != nil {
+			s.err = err
+		}
+		if n == 0 {
+			if s.err == nil {
+				s.err = io.EOF
+			}
+			return nil, s.err
+		}
+	}
+	in := &s.cur[s.pos]
+	s.pos++
+	return in, nil
+}

@@ -1,0 +1,196 @@
+package champtrace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomRecords(n int, seed int64) []*Instruction {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*Instruction, n)
+	for i := range out {
+		var in Instruction
+		in.IP = r.Uint64()
+		in.IsBranch = r.Intn(2) == 0
+		in.Taken = in.IsBranch && r.Intn(2) == 0
+		for j := range in.DestRegs {
+			in.DestRegs[j] = uint8(r.Intn(256))
+		}
+		for j := range in.SrcRegs {
+			in.SrcRegs[j] = uint8(r.Intn(256))
+		}
+		for j := range in.DestMem {
+			in.DestMem[j] = r.Uint64()
+		}
+		for j := range in.SrcMem {
+			in.SrcMem[j] = r.Uint64()
+		}
+		out[i] = &in
+	}
+	return out
+}
+
+func drainRecordBatches(t *testing.T, bs BatchSource, batchSize int) []*Instruction {
+	t.Helper()
+	slab := MakeBatch(batchSize)
+	var out []*Instruction
+	for {
+		n, err := bs.NextBatch(slab)
+		if err == io.EOF {
+			if n != 0 {
+				t.Fatalf("NextBatch returned n=%d with io.EOF", n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("NextBatch returned n=0 with nil error")
+		}
+		for i := 0; i < n; i++ {
+			rec := slab[i]
+			out = append(out, &rec)
+		}
+	}
+	if n, err := bs.NextBatch(slab); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF NextBatch = (%d, %v), want (0, io.EOF)", n, err)
+	}
+	return out
+}
+
+// TestBatchSourcesMatch: SliceSource, ValuesSource, Reader, and the generic
+// wrapper all produce the identical record stream under batch pulls of any
+// size, including a final short batch.
+func TestBatchSourcesMatch(t *testing.T) {
+	const n = 700
+	want := randomRecords(n, 1)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]Instruction, n)
+	for i, in := range want {
+		slab[i] = *in
+	}
+
+	check := func(name string, got []*Instruction) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d records, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(*got[i], *want[i]) {
+				t.Fatalf("%s: record %d differs:\ngot  %+v\nwant %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	for _, batchSize := range []int{1, 11, 512, n, n + 1} {
+		check("SliceSource", drainRecordBatches(t, NewSliceSource(want), batchSize))
+		check("ValuesSource", drainRecordBatches(t, NewValuesSource(slab), batchSize))
+		check("Reader", drainRecordBatches(t, NewReader(bytes.NewReader(buf.Bytes())), batchSize))
+		check("sourceBatcher", drainRecordBatches(t, AsBatchSource(recordSourceOnly{NewSliceSource(want)}), batchSize))
+	}
+}
+
+type recordSourceOnly struct{ src Source }
+
+func (s recordSourceOnly) Next() (*Instruction, error) { return s.src.Next() }
+
+type recordBatchOnly struct{ bs BatchSource }
+
+func (b recordBatchOnly) NextBatch(dst []Instruction) (int, error) { return b.bs.NextBatch(dst) }
+
+// TestReaderNextBatchTruncated: a truncated final record surfaces as an
+// error from NextBatch, with the preceding complete records delivered.
+func TestReaderNextBatchTruncated(t *testing.T) {
+	want := randomRecords(5, 2)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:len(want)*RecordSize-7]
+	tr := NewReader(bytes.NewReader(data))
+	slab := MakeBatch(16)
+	n, err := tr.NextBatch(slab)
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated NextBatch error = %v, want truncation error", err)
+	}
+	if n != len(want)-1 {
+		t.Fatalf("truncated NextBatch n = %d, want %d complete records", n, len(want)-1)
+	}
+}
+
+// TestAsSourceDoubleBuffer: the Source adapter's returned pointer holds its
+// record across a batch refill, matching the simulator's lookahead needs.
+func TestAsSourceDoubleBuffer(t *testing.T) {
+	const n = 300
+	want := randomRecords(n, 3)
+	for _, batchSize := range []int{2, 64, n + 5} {
+		src := AsSource(recordBatchOnly{NewSliceSource(want)}, batchSize)
+		var prev *Instruction
+		for i := 0; ; i++ {
+			in, err := src.Next()
+			if err == io.EOF {
+				if i != n {
+					t.Fatalf("batchSize %d: EOF after %d records, want %d", batchSize, i, n)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*in, *want[i]) {
+				t.Fatalf("batchSize %d: record %d differs", batchSize, i)
+			}
+			if prev != nil && !reflect.DeepEqual(*prev, *want[i-1]) {
+				t.Fatalf("batchSize %d: pointer for record %d was clobbered", batchSize, i-1)
+			}
+			prev = in
+		}
+	}
+}
+
+// TestValuesSourceReset: Reset rewinds for re-simulation of the same slab.
+func TestValuesSourceReset(t *testing.T) {
+	want := randomRecords(50, 4)
+	slab := make([]Instruction, len(want))
+	for i, in := range want {
+		slab[i] = *in
+	}
+	src := NewValuesSource(slab)
+	if src.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", src.Len(), len(want))
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range want {
+			in, err := src.Next()
+			if err != nil {
+				t.Fatalf("pass %d record %d: %v", pass, i, err)
+			}
+			if !reflect.DeepEqual(*in, *want[i]) {
+				t.Fatalf("pass %d record %d differs", pass, i)
+			}
+		}
+		if _, err := src.Next(); err != io.EOF {
+			t.Fatalf("pass %d: want io.EOF at end, got %v", pass, err)
+		}
+		src.Reset()
+	}
+}

@@ -68,23 +68,39 @@ func (c *Converter) Options() Options { return c.opts }
 // Stats returns the statistics accumulated so far.
 func (c *Converter) Stats() Stats { return c.stats }
 
-// Convert translates one CVP-1 instruction into one or two ChampSim
-// records. Two records are produced when the base-update improvement splits
-// a writeback memory access into an address-update ALU micro-op and a
-// memory micro-op.
-func (c *Converter) Convert(in *cvp.Instruction) []*champtrace.Instruction {
+// ConvertAppend translates one CVP-1 instruction, appending the resulting
+// one or two ChampSim records to dst and returning the extended slice. Two
+// records are produced when the base-update improvement splits a writeback
+// memory access into an address-update ALU micro-op and a memory micro-op.
+// This is the allocation-free core of the converter: records are plain
+// values, so a caller reusing dst's capacity performs no heap work.
+func (c *Converter) ConvertAppend(dst []champtrace.Instruction, in *cvp.Instruction) []champtrace.Instruction {
 	c.stats.In++
-	var out []*champtrace.Instruction
+	before := len(dst)
 	switch {
 	case in.Class.IsBranch():
-		out = []*champtrace.Instruction{c.convertBranch(in)}
+		dst = append(dst, c.convertBranch(in))
 	case in.Class.IsMem():
-		out = c.convertMem(in)
+		dst = c.convertMem(dst, in)
 	default:
-		out = []*champtrace.Instruction{c.convertALU(in)}
+		dst = append(dst, c.convertALU(in))
 	}
 	c.regs.update(in)
-	c.stats.Out += uint64(len(out))
+	c.stats.Out += uint64(len(dst) - before)
+	return dst
+}
+
+// Convert translates one CVP-1 instruction into one or two individually
+// allocated ChampSim records. See ConvertAppend for the allocation-free
+// variant.
+func (c *Converter) Convert(in *cvp.Instruction) []*champtrace.Instruction {
+	var buf [2]champtrace.Instruction
+	recs := c.ConvertAppend(buf[:0], in)
+	out := make([]*champtrace.Instruction, len(recs))
+	for i := range recs {
+		rec := recs[i]
+		out[i] = &rec
+	}
 	return out
 }
 
@@ -100,9 +116,9 @@ func flagRegClass(cl cvp.InstClass) bool {
 	return false
 }
 
-func (c *Converter) convertALU(in *cvp.Instruction) *champtrace.Instruction {
-	rec := &champtrace.Instruction{IP: in.PC}
-	addSrcs(rec, in.SrcRegs)
+func (c *Converter) convertALU(in *cvp.Instruction) champtrace.Instruction {
+	rec := champtrace.Instruction{IP: in.PC}
+	addSrcs(&rec, in.SrcRegs)
 	switch {
 	case len(in.DstRegs) > 0:
 		// Non-branches keep a single destination register in the
@@ -116,7 +132,7 @@ func (c *Converter) convertALU(in *cvp.Instruction) *champtrace.Instruction {
 	return rec
 }
 
-func (c *Converter) convertMem(in *cvp.Instruction) []*champtrace.Instruction {
+func (c *Converter) convertMem(dst []champtrace.Instruction, in *cvp.Instruction) []champtrace.Instruction {
 	if len(in.DstRegs) == 0 {
 		c.stats.MemNoDst++
 	}
@@ -142,11 +158,11 @@ func (c *Converter) convertMem(in *cvp.Instruction) []*champtrace.Instruction {
 	}
 	split := c.opts.BaseUpdate && inf.mode.IsBaseUpdate()
 
-	mem := &champtrace.Instruction{IP: in.PC}
+	mem := champtrace.Instruction{IP: in.PC}
 	effAddr, totalSize := c.footprint(in, inf)
 
 	if c.opts.MemRegs {
-		addSrcs(mem, in.SrcRegs)
+		addSrcs(&mem, in.SrcRegs)
 		for _, d := range in.DstRegs {
 			if split && d == inf.base {
 				continue // the ALU micro-op owns the base register
@@ -160,7 +176,7 @@ func (c *Converter) convertMem(in *cvp.Instruction) []*champtrace.Instruction {
 		// X0 and X1), and all memory instructions keep exactly one
 		// destination — the first CVP destination, or X0 when there
 		// is none.
-		addSrcs(mem, in.SrcRegs)
+		addSrcs(&mem, in.SrcRegs)
 		if len(in.DstRegs) >= 2 {
 			for _, d := range in.DstRegs {
 				if !mem.ReadsReg(MapReg(d)) {
@@ -199,7 +215,7 @@ func (c *Converter) convertMem(in *cvp.Instruction) []*champtrace.Instruction {
 	}
 
 	if !split {
-		return []*champtrace.Instruction{mem}
+		return append(dst, mem)
 	}
 
 	// Base-update split: the ALU micro-op reads and writes the base
@@ -208,7 +224,7 @@ func (c *Converter) convertMem(in *cvp.Instruction) []*champtrace.Instruction {
 	// the original PC, memory at PC+2); for post-indexing the order is
 	// reversed.
 	base := MapReg(inf.base)
-	alu := &champtrace.Instruction{}
+	alu := champtrace.Instruction{}
 	alu.AddSrcReg(base)
 	alu.AddDestReg(base)
 	if !mem.ReadsReg(base) {
@@ -217,10 +233,10 @@ func (c *Converter) convertMem(in *cvp.Instruction) []*champtrace.Instruction {
 	if inf.mode == AddrPreIndex {
 		alu.IP = in.PC
 		mem.IP = in.PC + 2
-		return []*champtrace.Instruction{alu, mem}
+		return append(dst, alu, mem)
 	}
 	alu.IP = in.PC + 2
-	return []*champtrace.Instruction{mem, alu}
+	return append(dst, mem, alu)
 }
 
 // footprint returns the (possibly realigned) effective address and the
@@ -266,8 +282,8 @@ func crossesLine(addr, size uint64) bool {
 	return addr/CachelineSize != (addr+size-1)/CachelineSize
 }
 
-func (c *Converter) convertBranch(in *cvp.Instruction) *champtrace.Instruction {
-	rec := &champtrace.Instruction{IP: in.PC, IsBranch: true, Taken: in.Taken}
+func (c *Converter) convertBranch(in *cvp.Instruction) champtrace.Instruction {
+	rec := champtrace.Instruction{IP: in.PC, IsBranch: true, Taken: in.Taken}
 
 	if in.Class == cvp.ClassCondBranch {
 		c.stats.CondBranches++
@@ -277,7 +293,7 @@ func (c *Converter) convertBranch(in *cvp.Instruction) *champtrace.Instruction {
 			// flag register, restoring the producer dependency.
 			// Requires champtrace.RulesPatched in the simulator.
 			c.stats.CondWithSrc++
-			addSrcs(rec, in.SrcRegs)
+			addSrcs(&rec, in.SrcRegs)
 		} else {
 			rec.AddSrcReg(champtrace.RegFlags)
 		}
@@ -317,14 +333,14 @@ func (c *Converter) convertBranch(in *cvp.Instruction) *champtrace.Instruction {
 		// are needed for IP and SP (§3.2.2 known limitation).
 		if in.Class == cvp.ClassUncondIndirect {
 			c.stats.IndirectCalls++
-			c.addIndirectSources(rec, in)
+			c.addIndirectSources(&rec, in)
 		} else {
 			c.stats.DirectCalls++
 		}
 	case in.Class == cvp.ClassUncondIndirect:
 		c.stats.IndirectJumps++
 		rec.AddDestReg(champtrace.RegInstructionPointer)
-		c.addIndirectSources(rec, in)
+		c.addIndirectSources(&rec, in)
 	default: // direct jump
 		c.stats.DirectJumps++
 		rec.AddSrcReg(champtrace.RegInstructionPointer)
@@ -376,8 +392,29 @@ func ConvertAll(src cvp.Source, opts Options) ([]*champtrace.Instruction, Stats,
 
 // ConvertStream converts src and writes the records to w, returning the
 // statistics. It mirrors the artifact's cvp2champsim CLI data path.
+// ConvertAllBatch converts src to completion into one contiguous value
+// slab — the representation to pair with champtrace.NewValuesSource when
+// the same converted trace is simulated repeatedly. Unlike ConvertAll it
+// performs no per-record boxing: the whole trace costs a handful of slab
+// growths.
+func ConvertAllBatch(src cvp.Source, opts Options) ([]champtrace.Instruction, Stats, error) {
+	c := New(opts)
+	out := make([]champtrace.Instruction, 0, 1024)
+	for {
+		in, err := src.Next()
+		if err == io.EOF {
+			return out, c.Stats(), nil
+		}
+		if err != nil {
+			return out, c.Stats(), err
+		}
+		out = c.ConvertAppend(out, in)
+	}
+}
+
 func ConvertStream(src cvp.Source, w *champtrace.Writer, opts Options) (Stats, error) {
 	c := New(opts)
+	buf := make([]champtrace.Instruction, 0, 4)
 	for {
 		in, err := src.Next()
 		if err == io.EOF {
@@ -386,8 +423,9 @@ func ConvertStream(src cvp.Source, w *champtrace.Writer, opts Options) (Stats, e
 		if err != nil {
 			return c.Stats(), err
 		}
-		for _, rec := range c.Convert(in) {
-			if err := w.Write(rec); err != nil {
+		buf = c.ConvertAppend(buf[:0], in)
+		for i := range buf {
+			if err := w.Write(&buf[i]); err != nil {
 				return c.Stats(), err
 			}
 		}

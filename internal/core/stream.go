@@ -1,0 +1,124 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+)
+
+// convertBatchSize is the number of CVP instructions pulled per refill of a
+// ConverterSource. Each CVP instruction expands to at most two ChampSim
+// records (base-update splitting), so output slabs are sized accordingly.
+const convertBatchSize = 512
+
+// slabPool recycles converted-record slabs across ConverterSources so a
+// sweep running thousands of trace×variant simulations reuses a handful of
+// buffers instead of allocating two per source.
+var slabPool = sync.Pool{
+	New: func() any {
+		s := make([]champtrace.Instruction, 0, 2*convertBatchSize)
+		return &s
+	},
+}
+
+// ConverterSource converts a CVP-1 instruction stream to ChampSim records
+// on demand, implementing champtrace.Source (and champtrace.BatchSource)
+// directly so the simulator pulls conversion batch-by-batch instead of
+// materializing the whole converted trace up front.
+//
+// The source double-buffers its output slabs: a record pointer returned by
+// Next stays valid for at least convertBatchSize further Next calls, which
+// covers the simulator's one-instruction lookahead. Slabs are pool-recycled
+// only on Close, which therefore invalidates every previously returned
+// pointer; call it once the consumer is done.
+type ConverterSource struct {
+	c         *Converter
+	src       cvp.Source
+	out, prev []champtrace.Instruction
+	pos       int
+	err       error
+	closed    bool
+}
+
+// NewConverterSource returns a ConverterSource converting src with opts.
+func NewConverterSource(src cvp.Source, opts Options) *ConverterSource {
+	return &ConverterSource{
+		c:    New(opts),
+		src:  src,
+		out:  (*slabPool.Get().(*[]champtrace.Instruction))[:0],
+		prev: (*slabPool.Get().(*[]champtrace.Instruction))[:0],
+	}
+}
+
+// refill swaps the output buffers and converts the next input batch into
+// the (now spare) slab. On return, s.out holds the fresh records and s.err
+// records any terminal condition.
+func (s *ConverterSource) refill() {
+	s.out, s.prev = s.prev[:0], s.out
+	s.pos = 0
+	for i := 0; i < convertBatchSize; i++ {
+		in, err := s.src.Next()
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.out = s.c.ConvertAppend(s.out, in)
+	}
+}
+
+// Next implements champtrace.Source. The returned pointer aliases an
+// internal slab; see the type comment for its validity window.
+func (s *ConverterSource) Next() (*champtrace.Instruction, error) {
+	for s.pos >= len(s.out) {
+		if s.err != nil {
+			return nil, s.err
+		}
+		s.refill()
+	}
+	rec := &s.out[s.pos]
+	s.pos++
+	return rec, nil
+}
+
+// NextBatch implements champtrace.BatchSource with copy semantics: dst is
+// caller-owned and unaffected by Close.
+func (s *ConverterSource) NextBatch(dst []champtrace.Instruction) (int, error) {
+	n := 0
+	for n < len(dst) {
+		rec, err := s.Next()
+		if err != nil {
+			if err == io.EOF && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = *rec
+		n++
+	}
+	return n, nil
+}
+
+// Stats returns the converter statistics accumulated so far. Final totals
+// are available once Next has returned io.EOF.
+func (s *ConverterSource) Stats() Stats { return s.c.Stats() }
+
+// Close returns the internal slabs to the pool, invalidating every pointer
+// previously returned by Next. Idempotent; subsequent Next calls return
+// io.EOF.
+func (s *ConverterSource) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.err == nil {
+		s.err = io.EOF
+	}
+	s.pos = 0
+	for _, slab := range [][]champtrace.Instruction{s.out, s.prev} {
+		slab = slab[:0]
+		slabPool.Put(&slab)
+	}
+	s.out, s.prev = nil, nil
+}

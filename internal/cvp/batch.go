@@ -1,0 +1,203 @@
+package cvp
+
+import "io"
+
+// This file implements batch-oriented streaming: value-slab batches of
+// instructions that amortize per-record overheads (pointer chasing, one heap
+// object per record) across the hot convert/simulate path. A batch is a
+// []Instruction whose elements are reused in place — refilling a batch
+// recycles each record's register-slice capacity instead of allocating.
+
+// BatchSource is the batch variant of Source: it fills caller-provided
+// value slabs instead of returning one *Instruction per call.
+//
+// NextBatch fills dst with up to len(dst) instructions, reusing each
+// element's slice capacity, and returns the number filled. It returns
+// (0, io.EOF) when the stream is exhausted; a short batch with a nil error
+// means the stream simply paused there (the final batch before EOF is
+// typically short). NextBatch never returns io.EOF together with n > 0.
+// Errors other than io.EOF may accompany n > 0: dst[:n] holds valid records
+// and no further calls should be made.
+type BatchSource interface {
+	NextBatch(dst []Instruction) (int, error)
+}
+
+// DefaultBatchSize is the batch length used by the adapters when the caller
+// does not choose one. Large enough to amortize per-batch overheads, small
+// enough to stay cache-resident (a record is ~100 bytes plus register
+// slices).
+const DefaultBatchSize = 512
+
+// MakeBatch allocates a batch of n instructions whose register slices share
+// three arena allocations, presized to the encoding maxima. Filling such a
+// batch via CopyInto (or any append within capacity) performs no further
+// allocation.
+func MakeBatch(n int) []Instruction {
+	b := make([]Instruction, n)
+	srcs := make([]uint8, n*MaxSrcRegs)
+	dsts := make([]uint8, n*MaxDstRegs)
+	vals := make([]uint64, n*MaxDstRegs)
+	for i := range b {
+		b[i].SrcRegs = srcs[i*MaxSrcRegs : i*MaxSrcRegs : (i+1)*MaxSrcRegs]
+		b[i].DstRegs = dsts[i*MaxDstRegs : i*MaxDstRegs : (i+1)*MaxDstRegs]
+		b[i].DstValues = vals[i*MaxDstRegs : i*MaxDstRegs : (i+1)*MaxDstRegs]
+	}
+	return b
+}
+
+// CopyInto deep-copies the instruction into dst, reusing dst's existing
+// slice capacity (no allocation when dst's slices are large enough, as in a
+// MakeBatch slab or a previously filled record). dst must not alias in.
+func (in *Instruction) CopyInto(dst *Instruction) {
+	srcRegs := append(dst.SrcRegs[:0], in.SrcRegs...)
+	dstRegs := append(dst.DstRegs[:0], in.DstRegs...)
+	dstValues := append(dst.DstValues[:0], in.DstValues...)
+	*dst = *in
+	dst.SrcRegs, dst.DstRegs, dst.DstValues = srcRegs, dstRegs, dstValues
+}
+
+// NextBatch implements BatchSource by copying from the in-memory slice.
+func (s *SliceSource) NextBatch(dst []Instruction) (int, error) {
+	if s.pos >= len(s.instrs) {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && s.pos < len(s.instrs) {
+		s.instrs[s.pos].CopyInto(&dst[n])
+		s.pos++
+		n++
+	}
+	return n, nil
+}
+
+// ValuesSource adapts an in-memory value slab to the Source and BatchSource
+// interfaces without copying on Next: the returned pointers alias the slab,
+// so callers must treat them as read-only. Multiple ValuesSources may read
+// the same slab concurrently (each keeps its own cursor).
+type ValuesSource struct {
+	instrs []Instruction
+	pos    int
+}
+
+// NewValuesSource returns a source reading from the value slab instrs.
+func NewValuesSource(instrs []Instruction) *ValuesSource {
+	return &ValuesSource{instrs: instrs}
+}
+
+// Next implements Source. The returned instruction aliases the slab and
+// must not be modified.
+func (s *ValuesSource) Next() (*Instruction, error) {
+	if s.pos >= len(s.instrs) {
+		return nil, io.EOF
+	}
+	in := &s.instrs[s.pos]
+	s.pos++
+	return in, nil
+}
+
+// NextBatch implements BatchSource (copy semantics, like SliceSource).
+func (s *ValuesSource) NextBatch(dst []Instruction) (int, error) {
+	if s.pos >= len(s.instrs) {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && s.pos < len(s.instrs) {
+		s.instrs[s.pos].CopyInto(&dst[n])
+		s.pos++
+		n++
+	}
+	return n, nil
+}
+
+// Reset rewinds the source to the first instruction.
+func (s *ValuesSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of instructions in the slab.
+func (s *ValuesSource) Len() int { return len(s.instrs) }
+
+// AsBatchSource adapts src to the batch interface. Sources that already
+// implement BatchSource (SliceSource, ValuesSource, synth streams) are
+// returned unchanged; others are wrapped with a per-record pull.
+func AsBatchSource(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &sourceBatcher{src: src}
+}
+
+type sourceBatcher struct {
+	src Source
+	err error
+}
+
+func (b *sourceBatcher) NextBatch(dst []Instruction) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	n := 0
+	for n < len(dst) {
+		in, err := b.src.Next()
+		if err != nil {
+			b.err = err
+			if err == io.EOF && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		in.CopyInto(&dst[n])
+		n++
+	}
+	return n, nil
+}
+
+// AsSource adapts a BatchSource to the record-at-a-time Source interface.
+// Batch sources that already implement Source are returned unchanged.
+// batchSize <= 0 selects DefaultBatchSize.
+//
+// The adapter double-buffers: an instruction returned by Next remains valid
+// for at least batchSize further Next calls (its batch is recycled only
+// after the following batch is exhausted), which is enough for consumers
+// with bounded lookback such as the simulator's one-instruction lookahead.
+func AsSource(bs BatchSource, batchSize int) Source {
+	if s, ok := bs.(Source); ok {
+		return s
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &batchedSource{
+		bs:   bs,
+		cur:  MakeBatch(batchSize),
+		prev: MakeBatch(batchSize),
+	}
+}
+
+type batchedSource struct {
+	bs        BatchSource
+	cur, prev []Instruction
+	pos, n    int
+	err       error
+}
+
+func (s *batchedSource) Next() (*Instruction, error) {
+	if s.pos >= s.n {
+		if s.err != nil {
+			return nil, s.err
+		}
+		s.cur, s.prev = s.prev, s.cur
+		n, err := s.bs.NextBatch(s.cur)
+		s.n, s.pos = n, 0
+		if err != nil {
+			s.err = err
+		}
+		if n == 0 {
+			if s.err == nil {
+				s.err = io.EOF
+			}
+			return nil, s.err
+		}
+	}
+	in := &s.cur[s.pos]
+	s.pos++
+	return in, nil
+}

@@ -1,0 +1,234 @@
+package cvp
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// randomInstr builds a structurally varied instruction: every class, a mix
+// of empty and full register lists, so slice-capacity reuse is exercised.
+func randomInstr(r *rand.Rand, pc uint64) *Instruction {
+	in := &Instruction{PC: pc, Class: InstClass(r.Intn(NumClasses))}
+	if in.Class.IsMem() {
+		in.EffAddr = r.Uint64()
+		in.MemSize = 8
+	}
+	if in.Class.IsBranch() {
+		in.Taken = r.Intn(2) == 0
+		if in.Taken {
+			in.Target = pc + 4 + uint64(r.Intn(64))*4
+		}
+	}
+	for i, n := 0, r.Intn(MaxSrcRegs+1); i < n; i++ {
+		in.SrcRegs = append(in.SrcRegs, uint8(r.Intn(NumRegs)))
+	}
+	for i, n := 0, r.Intn(MaxDstRegs+1); i < n; i++ {
+		in.DstRegs = append(in.DstRegs, uint8(r.Intn(NumRegs)))
+		in.DstValues = append(in.DstValues, r.Uint64())
+	}
+	return in
+}
+
+func randomInstrs(n int, seed int64) []*Instruction {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*Instruction, n)
+	pc := uint64(0x400000)
+	for i := range out {
+		out[i] = randomInstr(r, pc)
+		pc += 4
+	}
+	return out
+}
+
+// sameInstr compares two instructions field-wise, treating nil and empty
+// register slices as equal (value slabs hold empty-but-non-nil slices).
+func sameInstr(a, b *Instruction) bool {
+	if a.PC != b.PC || a.Class != b.Class || a.EffAddr != b.EffAddr ||
+		a.MemSize != b.MemSize || a.Taken != b.Taken || a.Target != b.Target {
+		return false
+	}
+	if len(a.SrcRegs) != len(b.SrcRegs) || len(a.DstRegs) != len(b.DstRegs) ||
+		len(a.DstValues) != len(b.DstValues) {
+		return false
+	}
+	for i := range a.SrcRegs {
+		if a.SrcRegs[i] != b.SrcRegs[i] {
+			return false
+		}
+	}
+	for i := range a.DstRegs {
+		if a.DstRegs[i] != b.DstRegs[i] {
+			return false
+		}
+	}
+	for i := range a.DstValues {
+		if a.DstValues[i] != b.DstValues[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// drainBatches pulls everything out of bs using the given batch size,
+// cloning each record, and checks EOF discipline: no n>0 with io.EOF, and
+// EOF is sticky.
+func drainBatches(t *testing.T, bs BatchSource, batchSize int) []*Instruction {
+	t.Helper()
+	slab := MakeBatch(batchSize)
+	var out []*Instruction
+	for {
+		n, err := bs.NextBatch(slab)
+		if err == io.EOF {
+			if n != 0 {
+				t.Fatalf("NextBatch returned n=%d with io.EOF", n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("NextBatch returned n=0 with nil error")
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, slab[i].Clone())
+		}
+	}
+	// EOF must be sticky.
+	for i := 0; i < 3; i++ {
+		if n, err := bs.NextBatch(slab); n != 0 || err != io.EOF {
+			t.Fatalf("post-EOF NextBatch = (%d, %v), want (0, io.EOF)", n, err)
+		}
+	}
+	return out
+}
+
+func checkStream(t *testing.T, name string, got, want []*Instruction) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d instructions, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if !sameInstr(got[i], want[i]) {
+			t.Fatalf("%s: instruction %d differs:\ngot  %+v\nwant %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchSourcesMatchSliceSource: every batch path over the same records
+// yields an identical stream, including a final short batch, for batch
+// sizes that do and do not divide the stream length.
+func TestBatchSourcesMatchSliceSource(t *testing.T) {
+	const n = 1000
+	want := randomInstrs(n, 1)
+	for _, batchSize := range []int{1, 7, 256, n, n + 13} {
+		got := drainBatches(t, NewSliceSource(want), batchSize)
+		checkStream(t, "SliceSource", got, want)
+
+		slab := MakeBatch(n)
+		for i, in := range want {
+			in.CopyInto(&slab[i])
+		}
+		got = drainBatches(t, NewValuesSource(slab), batchSize)
+		checkStream(t, "ValuesSource", got, want)
+
+		// Force the generic wrapper by hiding the SliceSource behind a
+		// plain Source.
+		got = drainBatches(t, AsBatchSource(sourceOnly{NewSliceSource(want)}), batchSize)
+		checkStream(t, "sourceBatcher", got, want)
+	}
+}
+
+// sourceOnly hides any BatchSource implementation of the wrapped source.
+type sourceOnly struct{ src Source }
+
+func (s sourceOnly) Next() (*Instruction, error) { return s.src.Next() }
+
+// batchOnly hides any Source implementation of the wrapped batch source.
+type batchOnly struct{ bs BatchSource }
+
+func (b batchOnly) NextBatch(dst []Instruction) (int, error) { return b.bs.NextBatch(dst) }
+
+// TestAsSourceRoundTrip: Source -> BatchSource -> Source preserves the
+// stream, and pointers stay valid across at least one subsequent batch
+// refill (the double-buffer contract).
+func TestAsSourceRoundTrip(t *testing.T) {
+	const n = 500
+	want := randomInstrs(n, 2)
+	for _, batchSize := range []int{3, 64, n + 1} {
+		src := AsSource(batchOnly{AsBatchSource(sourceOnly{NewSliceSource(want)})}, batchSize)
+		var prev *Instruction
+		for i := 0; ; i++ {
+			in, err := src.Next()
+			if err == io.EOF {
+				if i != n {
+					t.Fatalf("batchSize %d: EOF after %d instructions, want %d", batchSize, i, n)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInstr(in, want[i]) {
+				t.Fatalf("batchSize %d: instruction %d differs", batchSize, i)
+			}
+			// The previously returned pointer must still hold the previous
+			// record (simulator lookahead relies on this).
+			if prev != nil && !sameInstr(prev, want[i-1]) {
+				t.Fatalf("batchSize %d: pointer for instruction %d was clobbered", batchSize, i-1)
+			}
+			prev = in
+		}
+		if _, err := src.Next(); err != io.EOF {
+			t.Fatalf("post-EOF Next error = %v, want io.EOF", err)
+		}
+	}
+}
+
+// TestValuesSourceSharedSlab: concurrent-style repeated reads of one slab
+// through independent cursors see identical streams.
+func TestValuesSourceSharedSlab(t *testing.T) {
+	want := randomInstrs(200, 3)
+	slab := MakeBatch(len(want))
+	for i, in := range want {
+		in.CopyInto(&slab[i])
+	}
+	a, b := NewValuesSource(slab), NewValuesSource(slab)
+	if a.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(want))
+	}
+	for i := range want {
+		x, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameInstr(x, want[i]) || !sameInstr(y, want[i]) {
+			t.Fatalf("cursor divergence at %d", i)
+		}
+	}
+	b.Reset()
+	in, err := b.Next()
+	if err != nil || !sameInstr(in, want[0]) {
+		t.Fatalf("after Reset: (%+v, %v), want first instruction", in, err)
+	}
+}
+
+// TestMakeBatchNoAlloc: filling a MakeBatch slab via CopyInto allocates
+// nothing once the slab exists.
+func TestMakeBatchNoAlloc(t *testing.T) {
+	want := randomInstrs(256, 4)
+	slab := MakeBatch(len(want))
+	allocs := testing.AllocsPerRun(10, func() {
+		for i, in := range want {
+			in.CopyInto(&slab[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CopyInto into MakeBatch slab allocated %.1f times per fill", allocs)
+	}
+}

@@ -45,15 +45,17 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 	ratios := map[key][]float64{}
 
 	for ti, trc := range suite {
-		instrs, err := trc.Profile.Generate(cfg.Instructions)
+		instrs, err := trc.Profile.GenerateBatch(cfg.Instructions)
 		if err != nil {
 			return nil, err
 		}
-		recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+		// Convert once into a value slab; the 18 simulations below re-read
+		// it through Reset without re-converting or boxing records.
+		recs, _, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), core.OptionsAll())
 		if err != nil {
 			return nil, err
 		}
-		src := champtrace.NewSliceSource(recs)
+		src := champtrace.NewValuesSource(recs)
 		for _, decoupled := range []bool{false, true} {
 			mk := func(pf string) sim.Config {
 				c := sim.ConfigIPC1(pf, champtrace.RulesPatched)

@@ -10,9 +10,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
@@ -110,9 +112,14 @@ type SweepConfig struct {
 	// Variants lists the converter configurations to run; nil means all
 	// ten.
 	Variants []Variant
-	// Parallelism bounds concurrent trace simulations; 0 = NumCPU.
+	// Parallelism bounds concurrent (trace, variant) simulations;
+	// 0 = NumCPU.
 	Parallelism int
-	// Progress, when non-nil, is called after each completed trace.
+	// Progress, when non-nil, is called after each trace completes all of
+	// its variants. It is invoked outside the sweep's internal locks, so a
+	// slow callback (rendering, logging) never stalls the workers; calls
+	// for different traces may therefore arrive out of order, but each
+	// carries its own done count.
 	Progress func(done, total int)
 }
 
@@ -137,63 +144,141 @@ func (c *SweepConfig) fill() {
 	}
 }
 
+// runVariant converts instrs under v and simulates the result on the
+// develop-branch model, streaming conversion into the simulator batch by
+// batch instead of materializing the converted trace. instrs is read-only
+// and may be shared by concurrent callers.
+func runVariant(instrs []cvp.Instruction, v Variant, warmup uint64) (Result, error) {
+	cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
+	defer cs.Close()
+	// Traces carrying branch-regs need the §3.2.2 ChampSim patch.
+	rules := champtrace.RulesOriginal
+	if v.Opts.BranchRegs {
+		rules = champtrace.RulesPatched
+	}
+	st, err := sim.Run(cs, sim.ConfigDevelop(rules), warmup, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{IPC: st.IPC(), Sim: st, Conv: cs.Stats()}, nil
+}
+
 // RunTrace generates one trace and simulates it under every variant on the
 // develop-branch model.
 func RunTrace(p synth.Profile, cfg SweepConfig) (TraceResult, error) {
 	cfg.fill()
-	instrs, err := p.Generate(cfg.Instructions)
+	instrs, err := p.GenerateBatch(cfg.Instructions)
 	if err != nil {
 		return TraceResult{}, err
 	}
 	tr := TraceResult{Profile: p, Results: make(map[string]Result, len(cfg.Variants))}
 	for _, v := range cfg.Variants {
-		recs, cst, err := core.ConvertAll(cvp.NewSliceSource(instrs), v.Opts)
+		res, err := runVariant(instrs, v, cfg.Warmup)
 		if err != nil {
-			return tr, fmt.Errorf("experiments: convert %s/%s: %w", p.Name, v.Name, err)
+			return tr, fmt.Errorf("experiments: %s/%s: %w", p.Name, v.Name, err)
 		}
-		// Traces carrying branch-regs need the §3.2.2 ChampSim patch.
-		rules := champtrace.RulesOriginal
-		if v.Opts.BranchRegs {
-			rules = champtrace.RulesPatched
-		}
-		st, err := sim.Run(champtrace.NewSliceSource(recs), sim.ConfigDevelop(rules), cfg.Warmup, 0)
-		if err != nil {
-			return tr, fmt.Errorf("experiments: simulate %s/%s: %w", p.Name, v.Name, err)
-		}
-		tr.Results[v.Name] = Result{IPC: st.IPC(), Sim: st, Conv: cst}
+		tr.Results[v.Name] = res
 	}
 	return tr, nil
 }
 
-// RunSweep simulates every profile under every variant, in parallel.
+// traceState is the per-trace shared state of a sweep: the generated
+// instruction slab (produced once, read-only across the trace's variant
+// workers) and the count of variants still outstanding.
+type traceState struct {
+	once   sync.Once
+	instrs []cvp.Instruction
+	err    error
+	left   atomic.Int32
+}
+
+// RunSweep simulates every profile under every variant with a bounded pool
+// of workers draining a (trace, variant) work queue: each trace is
+// generated exactly once — by whichever worker gets there first — and its
+// instruction slab is shared read-only across the trace's variant
+// simulations, so sweep parallelism is trace×variant-wide rather than
+// trace-wide.
+//
+// Results are assembled deterministically: out[i] always corresponds to
+// profiles[i] regardless of completion order. On failure the returned
+// error is the errors.Join of every per-(trace, variant) failure, and out
+// still carries every result that did succeed — a trace whose generation
+// failed has an empty Results map, a trace with a failed variant is
+// missing only that variant's entry.
 func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) {
 	cfg.fill()
-	out := make([]TraceResult, len(profiles))
-	errs := make([]error, len(profiles))
+	nv := len(cfg.Variants)
+	states := make([]traceState, len(profiles))
+	cells := make([][]Result, len(profiles))
+	cellErrs := make([][]error, len(profiles))
+	for i := range profiles {
+		states[i].left.Store(int32(nv))
+		cells[i] = make([]Result, nv)
+		cellErrs[i] = make([]error, nv)
+	}
+
+	type job struct{ ti, vi int }
+	jobs := make(chan job)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
 	var mu sync.Mutex
 	done := 0
-	for i := range profiles {
+	for w := 0; w < cfg.Parallelism; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = RunTrace(profiles[i], cfg)
-			if cfg.Progress != nil {
-				mu.Lock()
-				done++
-				cfg.Progress(done, len(profiles))
-				mu.Unlock()
+			for j := range jobs {
+				st := &states[j.ti]
+				st.once.Do(func() {
+					st.instrs, st.err = profiles[j.ti].GenerateBatch(cfg.Instructions)
+				})
+				if st.err == nil {
+					res, err := runVariant(st.instrs, cfg.Variants[j.vi], cfg.Warmup)
+					if err != nil {
+						cellErrs[j.ti][j.vi] = fmt.Errorf("experiments: %s/%s: %w",
+							profiles[j.ti].Name, cfg.Variants[j.vi].Name, err)
+					} else {
+						cells[j.ti][j.vi] = res
+					}
+				}
+				if st.left.Add(-1) == 0 {
+					st.instrs = nil // last variant done: release the trace
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					if cfg.Progress != nil {
+						cfg.Progress(d, len(profiles))
+					}
+				}
 			}
-		}(i)
+		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
+	// Trace-major order: all of a trace's variants are adjacent in the
+	// queue, so at most ~Parallelism traces have live instruction slabs.
+	for ti := range profiles {
+		for vi := 0; vi < nv; vi++ {
+			jobs <- job{ti, vi}
 		}
 	}
-	return out, nil
+	close(jobs)
+	wg.Wait()
+
+	out := make([]TraceResult, len(profiles))
+	var errs []error
+	for ti := range profiles {
+		out[ti] = TraceResult{Profile: profiles[ti], Results: make(map[string]Result, nv)}
+		if states[ti].err != nil {
+			errs = append(errs, fmt.Errorf("experiments: generate %s: %w",
+				profiles[ti].Name, states[ti].err))
+			continue
+		}
+		for vi, v := range cfg.Variants {
+			if err := cellErrs[ti][vi]; err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			out[ti].Results[v.Name] = cells[ti][vi]
+		}
+	}
+	return out, errors.Join(errs...)
 }

@@ -170,16 +170,18 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 	}
 
 	for ti, trc := range suite {
-		instrs, err := trc.Profile.Generate(cfg.Instructions)
+		instrs, err := trc.Profile.GenerateBatch(cfg.Instructions)
 		if err != nil {
 			return Table3Result{}, err
 		}
 		for _, s := range sets {
-			recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), s.opts)
+			// One conversion per set, re-simulated for every prefetcher via
+			// Reset on the shared value slab.
+			recs, _, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), s.opts)
 			if err != nil {
 				return Table3Result{}, err
 			}
-			src := champtrace.NewSliceSource(recs)
+			src := champtrace.NewValuesSource(recs)
 			base, err := sim.Run(src, sim.ConfigIPC1("none", s.rules), cfg.Warmup, 0)
 			if err != nil {
 				return Table3Result{}, err

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"io"
 	"math/rand"
 
 	"tracerebase/internal/cvp"
@@ -40,12 +41,23 @@ const (
 	siteCall
 )
 
-// generator executes a synthetic program skeleton and emits CVP-1 records.
+// generator executes a synthetic program skeleton and emits CVP-1 records
+// into caller-provided value slabs (see Profile.Stream). It pauses by
+// yielding each time the current slab fills or the budget is reached.
 type generator struct {
-	p   Profile
-	r   *rand.Rand
-	out []*cvp.Instruction
-	n   int // budget
+	p Profile
+	r *rand.Rand
+	n int // budget
+
+	// Streaming sink: emit copies records into slab[fill]; yield hands the
+	// filled prefix to the consumer, which installs the next slab before
+	// resuming. count is the total emitted; stopped is set when the
+	// consumer abandons the stream.
+	slab    []cvp.Instruction
+	fill    int
+	count   int
+	stopped bool
+	yield   func(int) bool
 
 	regs [cvp.NumRegs]uint64
 	// callStack holds return addresses so call/return pairs align.
@@ -64,16 +76,38 @@ type generator struct {
 	haveLoad    bool
 }
 
-// Generate produces n instructions of the profile's trace. The result is
-// deterministic in (Profile, n).
+// Generate produces n instructions of the profile's trace as individually
+// allocated records. The result is deterministic in (Profile, n) and
+// identical to draining Stream(n). Callers that can consume value batches
+// should prefer Stream or GenerateBatch, which skip the per-record
+// allocations.
 func (p Profile) Generate(n int) ([]*cvp.Instruction, error) {
-	if err := p.Validate(); err != nil {
+	s, err := p.Stream(n)
+	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
+	out := make([]*cvp.Instruction, 0, n)
+	batch := cvp.MakeBatch(cvp.DefaultBatchSize)
+	for {
+		k, err := s.NextBatch(batch)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, batch[i].Clone())
+		}
+	}
+}
+
+// newGenerator builds the generator state for one trace of n instructions.
+func newGenerator(p Profile, n int) *generator {
 	g := &generator{
 		p:             p,
 		r:             rand.New(rand.NewSource(p.Seed)),
-		out:           make([]*cvp.Instruction, 0, n+16),
 		n:             n,
 		strideState:   map[uint64]uint64{},
 		chaseState:    map[uint64]uint64{},
@@ -84,13 +118,25 @@ func (p Profile) Generate(n int) ([]*cvp.Instruction, error) {
 	for i := range g.regs {
 		g.regs[i] = dataBase + uint64(i)*4096
 	}
+	return g
+}
+
+// run executes the program skeleton until the budget is emitted, yielding
+// each filled slab to the consumer.
+func (g *generator) run(yield func(int) bool) {
+	g.yield = yield
 	root := 0
-	for len(g.out) < n {
-		g.execFunc(root%p.NumFuncs, 0)
+	for !g.full() {
+		g.execFunc(root%g.p.NumFuncs, 0)
 		root++
 	}
-	g.out = g.out[:n]
-	return g.out, nil
+	// A partial slab can only remain when the consumer installed a slab
+	// larger than the remaining budget and emit never reached a flush
+	// boundary; emit flushes exactly at the budget, so fill is 0 here.
+	if g.fill > 0 && !g.stopped {
+		g.yield(g.fill)
+		g.fill = 0
+	}
 }
 
 // splitmix64 is the per-site static personality hash.
@@ -135,10 +181,21 @@ func (g *generator) emit(in *cvp.Instruction) {
 	for i, d := range in.DstRegs {
 		g.regs[d] = in.DstValues[i]
 	}
-	g.out = append(g.out, in)
+	if g.full() {
+		return
+	}
+	in.CopyInto(&g.slab[g.fill])
+	g.fill++
+	g.count++
+	if g.count >= g.n || g.fill == len(g.slab) {
+		if !g.yield(g.fill) {
+			g.stopped = true
+		}
+		g.fill = 0
+	}
 }
 
-func (g *generator) full() bool { return len(g.out) >= g.n }
+func (g *generator) full() bool { return g.stopped || g.count >= g.n }
 
 // execFunc runs one invocation of function f's body loop and returns after
 // emitting the RET (unless the budget ran out).
@@ -393,7 +450,7 @@ func (g *generator) emitCall(pc uint64, depth int) {
 	if uint64(g.p.NumFuncs) < window {
 		window = uint64(g.p.NumFuncs)
 	}
-	phase := uint64(len(g.out)/30000) * 37
+	phase := uint64(g.count/30000) * 37
 	callee := int((phase + h%window) % uint64(g.p.NumFuncs))
 	if indirect && g.p.DispatchTargets > 1 {
 		rot := g.dispatchCount[pc]

@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"io"
+	"iter"
+
+	"tracerebase/internal/cvp"
+)
+
+// Stream is a pull-based generator of one synthetic trace: the program
+// skeleton executes only as far as the consumer pulls, emitting records
+// directly into caller-provided value slabs. It implements cvp.BatchSource;
+// wrap it with cvp.AsSource for record-at-a-time consumers.
+//
+// A Stream holds a paused coroutine; call Close when abandoning it before
+// EOF. NextBatch and Close must not be called concurrently. Instructions
+// are written into the caller's slabs, so the Stream retains no references
+// to emitted records.
+type Stream struct {
+	g    *generator
+	next func() (int, bool)
+	stop func()
+	err  error
+}
+
+// Stream starts generating n instructions of the profile's trace. The
+// emitted sequence is deterministic in (Profile, n) and identical to
+// Generate(n).
+func (p Profile) Stream(n int) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = 0
+	}
+	g := newGenerator(p, n)
+	s := &Stream{g: g}
+	s.next, s.stop = iter.Pull(func(yield func(int) bool) { g.run(yield) })
+	return s, nil
+}
+
+// NextBatch implements cvp.BatchSource: it fills dst with up to len(dst)
+// freshly generated instructions, reusing dst's slice capacity (use
+// cvp.MakeBatch for an allocation-free slab), and returns the number
+// filled, or (0, io.EOF) once the trace's n instructions are exhausted.
+func (s *Stream) NextBatch(dst []cvp.Instruction) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	s.g.slab = dst
+	n, ok := s.next()
+	s.g.slab = nil
+	if !ok || n == 0 {
+		s.err = io.EOF
+		s.stop()
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Close releases the generator. It is idempotent; after Close, NextBatch
+// returns io.EOF.
+func (s *Stream) Close() {
+	if s.err == nil {
+		s.err = io.EOF
+	}
+	s.stop()
+}
+
+// GenerateBatch produces the trace as one contiguous value slab — the
+// representation the sweep engine shares read-only across variant workers.
+// It is deterministic in (Profile, n) and element-wise identical to
+// Generate(n).
+func (p Profile) GenerateBatch(n int) ([]cvp.Instruction, error) {
+	s, err := p.Stream(n)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	slab := cvp.MakeBatch(n)
+	filled := 0
+	for filled < n {
+		k, err := s.NextBatch(slab[filled:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		filled += k
+	}
+	return slab[:filled], nil
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"io"
+	"testing"
+
+	"tracerebase/internal/cvp"
+)
+
+func sameCVPInstr(a, b *cvp.Instruction) bool {
+	if a.PC != b.PC || a.Class != b.Class || a.EffAddr != b.EffAddr ||
+		a.MemSize != b.MemSize || a.Taken != b.Taken || a.Target != b.Target {
+		return false
+	}
+	if len(a.SrcRegs) != len(b.SrcRegs) || len(a.DstRegs) != len(b.DstRegs) ||
+		len(a.DstValues) != len(b.DstValues) {
+		return false
+	}
+	for i := range a.SrcRegs {
+		if a.SrcRegs[i] != b.SrcRegs[i] {
+			return false
+		}
+	}
+	for i := range a.DstRegs {
+		if a.DstRegs[i] != b.DstRegs[i] {
+			return false
+		}
+	}
+	for i := range a.DstValues {
+		if a.DstValues[i] != b.DstValues[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamMatchesGenerate: pulling a trace through Stream in batches of
+// any size — aligned or not with the generator's internal flush points —
+// yields exactly the Generate(n) sequence, then sticky io.EOF.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, cat := range []Category{ComputeInt, Server} {
+		p := PublicProfile(cat, 5)
+		const n = 20000
+		want, err := p.Generate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batchSize := range []int{1, 7, 512, 1000, n + 99} {
+			s, err := p.Stream(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slab := cvp.MakeBatch(batchSize)
+			got := 0
+			for {
+				k, err := s.NextBatch(slab)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k == 0 {
+					t.Fatalf("%s/%d: NextBatch returned 0 with nil error", cat, batchSize)
+				}
+				for i := 0; i < k; i++ {
+					if got >= n {
+						t.Fatalf("%s/%d: stream longer than Generate (%d+)", cat, batchSize, got)
+					}
+					if !sameCVPInstr(&slab[i], want[got]) {
+						t.Fatalf("%s/%d: instruction %d differs:\ngot  %+v\nwant %+v",
+							cat, batchSize, got, &slab[i], want[got])
+					}
+					got++
+				}
+			}
+			if got != n {
+				t.Fatalf("%s/%d: stream yielded %d instructions, want %d", cat, batchSize, got, n)
+			}
+			for i := 0; i < 2; i++ {
+				if k, err := s.NextBatch(slab); k != 0 || err != io.EOF {
+					t.Fatalf("%s/%d: post-EOF NextBatch = (%d, %v)", cat, batchSize, k, err)
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestStreamCloseEarly: abandoning a stream mid-trace releases it and makes
+// further pulls return io.EOF.
+func TestStreamCloseEarly(t *testing.T) {
+	p := PublicProfile(Crypto, 2)
+	s, err := p.Stream(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := cvp.MakeBatch(64)
+	if _, err := s.NextBatch(slab); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if k, err := s.NextBatch(slab); k != 0 || err != io.EOF {
+		t.Fatalf("post-Close NextBatch = (%d, %v), want (0, io.EOF)", k, err)
+	}
+}
+
+// TestGenerateBatchMatchesGenerate: the contiguous-slab generator is
+// element-wise identical to Generate.
+func TestGenerateBatchMatchesGenerate(t *testing.T) {
+	p := PublicProfile(ComputeFP, 9)
+	const n = 15000
+	want, err := p.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.GenerateBatch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("GenerateBatch produced %d instructions, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !sameCVPInstr(&got[i], want[i]) {
+			t.Fatalf("instruction %d differs:\ngot  %+v\nwant %+v", i, &got[i], want[i])
+		}
+	}
+}
+
+// TestStreamRejectsInvalid: an invalid profile fails at Stream creation,
+// like Generate.
+func TestStreamRejectsInvalid(t *testing.T) {
+	var p Profile // zero profile is invalid
+	if _, err := p.Stream(100); err == nil {
+		t.Fatal("Stream accepted an invalid profile")
+	}
+	if _, err := p.GenerateBatch(100); err == nil {
+		t.Fatal("GenerateBatch accepted an invalid profile")
+	}
+}
