@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build vet test test-race bench-smoke bench
+.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench
 
 build:
 	$(GO) build ./...
@@ -8,13 +9,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 # Race-check the concurrent layers: the (trace, variant) sweep work queue
 # and the pooled streaming converter it drives.
 test-race:
-	$(GO) test -race ./internal/experiments ./internal/core
+	$(GO) test -race ./internal/...
+
+# Full conformance suite: golden corpus, differential battery over the
+# 135-trace synthetic suite, and the metamorphic simulator checks.
+conformance:
+	$(GO) run ./cmd/rebase -selftest
+
+# Run each native fuzz target for FUZZTIME (default 30s). Go only allows
+# one -fuzz target per invocation, hence three runs.
+fuzz-smoke:
+	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzCVPDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzChampTraceDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzConvert$$' -fuzztime $(FUZZTIME)
 
 # A fast allocation check of the hot convert+simulate path: the streaming
 # source must stay well below the materializing baseline.

@@ -1,0 +1,63 @@
+// Command conformance runs the repository's conformance suite on its own,
+// without the experiment machinery of cmd/rebase:
+//
+//	conformance                     # full suite: golden corpus + 135 traces
+//	conformance -step 10            # every 10th trace, for quick runs
+//	conformance trace.cvp.gz ...    # also validate user-supplied trace files
+//
+// The suite verifies the checked-in golden corpus (file fingerprints,
+// conversion statistics, and pinned simulator counters), runs the
+// differential battery over the synthetic public suite (codec round trips
+// and converter path agreement under every evaluation variant), and runs
+// the metamorphic simulator checks (determinism, sweep parallelism
+// equivalence, IPC/miss monotonicity). Exit status 0 means every check
+// passed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracerebase/internal/conformance"
+	"tracerebase/internal/synth"
+)
+
+func main() {
+	var (
+		instrs    = flag.Int("instructions", 0, "instructions per trace in the differential battery (0 = default)")
+		simInstrs = flag.Int("sim-instructions", 0, "instructions per trace in the simulator checks (0 = default)")
+		warmup    = flag.Uint64("warmup", 0, "warm-up instructions of the simulator checks (0 = default)")
+		step      = flag.Int("step", 1, "use every step-th trace of the public suite (1 = all)")
+		parallel  = flag.Int("parallel", 0, "concurrent per-trace checks (0 = NumCPU)")
+		quiet     = flag.Bool("q", false, "suppress per-check progress output")
+	)
+	flag.Parse()
+
+	suite := synth.PublicSuite()
+	if *step > 1 {
+		var sub []synth.Profile
+		for i := 0; i < len(suite); i += *step {
+			sub = append(sub, suite[i])
+		}
+		suite = sub
+	}
+	log := io.Writer(os.Stderr)
+	if *quiet {
+		log = nil
+	}
+	err := conformance.SelfTest(conformance.SelfTestConfig{
+		Suite:           suite,
+		Instructions:    *instrs,
+		SimInstructions: *simInstrs,
+		Warmup:          *warmup,
+		Parallelism:     *parallel,
+		TraceFiles:      flag.Args(),
+		Log:             log,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conformance: %v\n", err)
+		os.Exit(1)
+	}
+}

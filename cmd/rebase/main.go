@@ -13,18 +13,30 @@
 // For performance work, -cpuprofile and -memprofile write pprof profiles
 // covering the whole run, and -bench-json records the wall-clock and
 // configuration of the run as a small JSON document (see BENCH_1.json).
+//
+// rebase -selftest runs the conformance suite instead of an experiment:
+// golden-corpus verification, the differential battery over the synthetic
+// suite, and the metamorphic simulator checks. Any positional arguments are
+// validated as user-supplied trace files (CVP-1 or ChampSim, optionally
+// gzipped):
+//
+//	rebase -selftest
+//	rebase -selftest -step 10          # every 10th trace, for quick runs
+//	rebase -selftest my_trace.cvp.gz
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"tracerebase/internal/conformance"
 	"tracerebase/internal/experiments"
 	"tracerebase/internal/synth"
 )
@@ -45,8 +57,26 @@ func run() (code int) {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON  = flag.String("bench-json", "", "write run timing and configuration as JSON to this file")
+		selftest   = flag.Bool("selftest", false, "run the conformance suite (positional args: trace files to validate)")
 	)
 	flag.Parse()
+
+	if *selftest {
+		log := io.Writer(os.Stderr)
+		if *quiet {
+			log = nil
+		}
+		err := conformance.SelfTest(conformance.SelfTestConfig{
+			Suite:       subsample(synth.PublicSuite(), *step),
+			Parallelism: *parallel,
+			TraceFiles:  flag.Args(),
+			Log:         log,
+		})
+		if err != nil {
+			return fail("selftest: %v", err)
+		}
+		return 0
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,99 @@
+package champtrace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestNextBatchZeroLength: a zero-length destination is a no-op on every
+// batch source — (0, nil) mid-stream, nothing consumed — and the stream
+// afterwards still delivers the remaining records.
+func TestNextBatchZeroLength(t *testing.T) {
+	want := randomRecords(40, 11)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]Instruction, len(want))
+	for i, in := range want {
+		slab[i] = *in
+	}
+
+	sources := map[string]BatchSource{
+		"SliceSource":   NewSliceSource(want),
+		"ValuesSource":  NewValuesSource(slab),
+		"Reader":        NewReader(bytes.NewReader(buf.Bytes())),
+		"sourceBatcher": AsBatchSource(recordSourceOnly{NewSliceSource(want)}),
+	}
+	for name, bs := range sources {
+		dst := MakeBatch(7)
+		n, err := bs.NextBatch(dst)
+		if err != nil || n != 7 {
+			t.Fatalf("%s: first batch = (%d, %v), want (7, nil)", name, n, err)
+		}
+		for _, empty := range [][]Instruction{nil, {}} {
+			if n, err := bs.NextBatch(empty); n != 0 || err != nil {
+				t.Fatalf("%s: zero-length NextBatch = (%d, %v), want (0, nil)", name, n, err)
+			}
+		}
+		got := 7
+		for {
+			n, err := bs.NextBatch(dst)
+			for i := 0; i < n; i++ {
+				if got >= len(want) || !reflect.DeepEqual(dst[i], *want[got]) {
+					t.Fatalf("%s: record %d lost or changed after zero-length pulls", name, got)
+				}
+				got++
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if n == 0 {
+				t.Fatalf("%s: empty batch with nil error on a live stream", name)
+			}
+		}
+		if got != len(want) {
+			t.Fatalf("%s: zero-length pulls consumed records: got %d of %d", name, got, len(want))
+		}
+	}
+}
+
+// TestAsSourceBatchSizeOne: the degenerate adapter window still delivers
+// the exact stream, and each pointer survives the one further Next call the
+// contract promises.
+func TestAsSourceBatchSizeOne(t *testing.T) {
+	const n = 120
+	want := randomRecords(n, 12)
+	src := AsSource(recordBatchOnly{NewSliceSource(want)}, 1)
+	var prev *Instruction
+	for i := 0; ; i++ {
+		in, err := src.Next()
+		if err == io.EOF {
+			if i != n {
+				t.Fatalf("EOF after %d records, want %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*in, *want[i]) {
+			t.Fatalf("record %d differs with batchSize 1", i)
+		}
+		if prev != nil && !reflect.DeepEqual(*prev, *want[i-1]) {
+			t.Fatalf("pointer for record %d clobbered within its 1-call window", i-1)
+		}
+		prev = in
+	}
+}

@@ -1,0 +1,109 @@
+package champtrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Truncating the stream mid-record must surface io.ErrUnexpectedEOF from
+// both the scalar and the batch decoder, with the already-decoded prefix
+// intact; cutting at a record boundary is a clean EOF.
+func TestReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(&Instruction{IP: uint64(0x1000 + 4*i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	for cut := 1; cut < RecordSize; cut++ {
+		r := NewReader(bytes.NewReader(full[:2*RecordSize+cut]))
+		got, err := ReadAll(r)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("cut at %d: decoded %d records before the error, want 2", cut, len(got))
+		}
+	}
+
+	r := NewReader(bytes.NewReader(full[:2*RecordSize]))
+	got, err := ReadAll(r)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("clean prefix: got %d records, err %v", len(got), err)
+	}
+}
+
+func TestNextBatchTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 2; i++ {
+		if err := w.Write(&Instruction{IP: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:2*RecordSize-7]
+
+	r := NewReader(bytes.NewReader(raw))
+	dst := MakeBatch(8)
+	n, err := r.NextBatch(dst)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if n != 1 || dst[0].IP != 1 {
+		t.Fatalf("got %d records before the error (dst[0].IP=%d), want the 1 complete record", n, dst[0].IP)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	var in Instruction
+	if err := in.Decode(make([]byte, RecordSize-1)); err == nil {
+		t.Fatal("Decode accepted a short buffer")
+	}
+	if err := in.Decode(nil); err == nil {
+		t.Fatal("Decode accepted nil")
+	}
+}
+
+func TestOpenReaderBadGzip(t *testing.T) {
+	if _, _, err := OpenReader("trace.champsim.gz", strings.NewReader("not gzip")); err == nil {
+		t.Fatal("OpenReader accepted corrupt gzip")
+	}
+}
+
+// Non-canonical bool bytes (2..255) decode to true and re-encode as 1:
+// decode→encode→decode must be a fixed point even for such input.
+func TestDecodeNormalizesBoolBytes(t *testing.T) {
+	raw := make([]byte, RecordSize)
+	raw[8] = 0xff // isBranch
+	raw[9] = 0x7f // taken
+	var first Instruction
+	if err := first.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !first.IsBranch || !first.Taken {
+		t.Fatal("nonzero bool bytes decoded to false")
+	}
+	re := first.Encode(nil)
+	var second Instruction
+	if err := second.Decode(re); err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("decode→encode→decode not a fixed point: %+v vs %+v", first, second)
+	}
+	if !bytes.Equal(re, second.Encode(nil)) {
+		t.Fatal("re-encoding the fixed point changed the bytes")
+	}
+}

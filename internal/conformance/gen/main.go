@@ -1,0 +1,22 @@
+// Command gen regenerates the golden conformance corpus. It is invoked by
+// `go generate ./internal/conformance` and writes the binary traces and
+// manifest.json that VerifyGolden checks against.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracerebase/internal/conformance"
+)
+
+func main() {
+	dir := flag.String("dir", "testdata/golden", "output directory for the corpus")
+	flag.Parse()
+	if err := conformance.WriteGolden(*dir); err != nil {
+		fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gen: wrote golden corpus to %s\n", *dir)
+}

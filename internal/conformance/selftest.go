@@ -1,0 +1,314 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"runtime"
+	"sync"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/synth"
+)
+
+// SelfTestConfig parameterizes SelfTest.
+type SelfTestConfig struct {
+	// Suite lists the synthetic profiles to run the differential battery
+	// over; nil selects the full 135-trace public suite.
+	Suite []synth.Profile
+	// Instructions is the per-trace length of the differential battery
+	// (0 = 4000). The battery converts every trace under all ten variants
+	// through three redundant code paths, so this dominates runtime.
+	Instructions int
+	// SimInstructions is the per-trace length of the simulator-based
+	// metamorphic checks (0 = 2000).
+	SimInstructions int
+	// Warmup is the warm-up of the simulator-based checks.
+	Warmup uint64
+	// Parallelism bounds concurrent per-trace differential checks
+	// (0 = NumCPU).
+	Parallelism int
+	// TraceFiles lists user-supplied trace files to validate after the
+	// built-in suite.
+	TraceFiles []string
+	// GoldenFS overrides the corpus location (nil = the embedded corpus) —
+	// used by tests to point at a deliberately corrupted copy.
+	GoldenFS fs.FS
+	// Log, when non-nil, receives one line per completed check.
+	Log io.Writer
+}
+
+func (c *SelfTestConfig) fill() {
+	if c.Suite == nil {
+		c.Suite = synth.PublicSuite()
+	}
+	if c.Instructions <= 0 {
+		c.Instructions = 4000
+	}
+	if c.SimInstructions <= 0 {
+		c.SimInstructions = 2000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 500
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+}
+
+// SelfTest runs the full conformance suite: golden-corpus verification, the
+// differential battery over the synthetic suite, the metamorphic simulator
+// checks, and validation of any user-supplied trace files. It returns nil
+// only when every check passes.
+func SelfTest(cfg SelfTestConfig) error {
+	cfg.fill()
+	r := &Report{Log: cfg.Log}
+
+	// 1. Golden corpus.
+	golden := cfg.GoldenFS
+	if golden == nil {
+		golden = Golden()
+	}
+	if err := VerifyGolden(golden, r); err != nil {
+		r.fail(err)
+	}
+
+	// 2. Differential battery over the synthetic suite, parallelized the
+	// same way the sweep engine parallelizes simulations.
+	type outcome struct {
+		name string
+		err  error
+	}
+	jobs := make(chan synth.Profile)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				instrs, err := p.GenerateBatch(cfg.Instructions)
+				if err == nil {
+					err = CheckTrace(instrs, nil)
+				}
+				results <- outcome{p.Name, err}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range cfg.Suite {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	failed := 0
+	for o := range results {
+		if o.err != nil {
+			failed++
+			r.fail(fmt.Errorf("differential %s: %w", o.name, o.err))
+		}
+	}
+	if failed == 0 {
+		r.okf("differential battery: %d traces x %d variants x 3 convert paths, %d instructions each",
+			len(cfg.Suite), len(experiments.Variants()), cfg.Instructions)
+	}
+
+	// 3. Metamorphic checks on a spread of categories. compute_int_1 is
+	// ILP-bound (ROB knob), compute_fp_1 is memory-streaming (cache knob),
+	// srv_3 exercises the call-stack paths.
+	detProfiles := []synth.Profile{
+		synth.PublicProfile(synth.ComputeInt, 1),
+		synth.PublicProfile(synth.Server, 3),
+	}
+	for _, p := range detProfiles {
+		p := p
+		r.run(fmt.Sprintf("determinism: %s simulated twice, identical stats", p.Name), func() error {
+			return CheckSimDeterminism(p, cfg.SimInstructions, cfg.Warmup)
+		})
+		r.run(fmt.Sprintf("determinism: %s generated twice, identical trace", p.Name), func() error {
+			return CheckGenerateDeterminism(p, cfg.Instructions)
+		})
+	}
+	sweepProfiles := []synth.Profile{
+		synth.PublicProfile(synth.ComputeInt, 2),
+		synth.PublicProfile(synth.Crypto, 1),
+		synth.PublicProfile(synth.Server, 8),
+	}
+	// Goroutine-level parallelism does not need spare CPUs, so the sweep
+	// comparison always uses several workers even on a single-core host.
+	sweepPar := cfg.Parallelism
+	if sweepPar < 2 {
+		sweepPar = 4
+	}
+	r.run(fmt.Sprintf("determinism: sweep of %d traces, -parallel 1 vs -parallel %d byte-identical",
+		len(sweepProfiles), sweepPar), func() error {
+		return CheckSweepParallelism(sweepProfiles, cfg.SimInstructions, cfg.Warmup, sweepPar)
+	})
+	robProfile := synth.PublicProfile(synth.ComputeInt, 1)
+	r.run(fmt.Sprintf("monotonicity: %s IPC vs ROB size", robProfile.Name), func() error {
+		return CheckROBMonotonic(robProfile, cfg.SimInstructions, cfg.Warmup)
+	})
+	cacheProfile := synth.PublicProfile(synth.ComputeFP, 1)
+	r.run(fmt.Sprintf("monotonicity: %s L1D misses vs cache size", cacheProfile.Name), func() error {
+		return CheckCacheMonotonic(cacheProfile, cfg.SimInstructions, cfg.Warmup)
+	})
+
+	// 4. User-supplied traces.
+	for _, path := range cfg.TraceFiles {
+		rep, err := ValidateTraceFile(path)
+		if err != nil {
+			r.fail(fmt.Errorf("trace %s: %w", path, err))
+			continue
+		}
+		r.okf("trace %s: valid %s trace, %d records%s", path, rep.Format, rep.Records, rep.Extra)
+	}
+
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "selftest: all %d checks passed\n", r.Passed())
+	}
+	return nil
+}
+
+// TraceFileReport summarizes a validated user-supplied trace file.
+type TraceFileReport struct {
+	Path string
+	// Format is "cvp" or "champsim".
+	Format  string
+	Records uint64
+	// Extra carries format-specific detail for display.
+	Extra string
+}
+
+// ValidateTraceFile validates a trace file in the field: it decodes the
+// file as CVP-1 (running the full differential battery on its contents) or,
+// failing that, as a ChampSim trace, and reports what it found. Gzipped
+// files are handled by extension, as in the artifact.
+func ValidateTraceFile(path string) (*TraceFileReport, error) {
+	cvpRep, cvpErr := validateCVPFile(path)
+	if cvpErr == nil {
+		return cvpRep, nil
+	}
+	champRep, champErr := validateChampFile(path)
+	if champErr == nil {
+		return champRep, nil
+	}
+	return nil, fmt.Errorf("not a valid trace in either format:\n  as CVP-1: %v\n  as ChampSim: %v", cvpErr, champErr)
+}
+
+func validateCVPFile(path string) (*TraceFileReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, closer, err := cvp.OpenReader(path, f)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	instrPtrs, err := cvp.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(instrPtrs) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	instrs := make([]cvp.Instruction, len(instrPtrs))
+	classes := make(map[cvp.InstClass]uint64)
+	for i, in := range instrPtrs {
+		instrs[i] = *in
+		classes[in.Class]++
+	}
+	// The decoded contents must survive the same differential battery the
+	// synthetic suite runs: round-trip plus converter path agreement.
+	if err := CheckTrace(instrs, nil); err != nil {
+		return nil, fmt.Errorf("conformance battery failed: %w", err)
+	}
+	branches := classes[cvp.ClassCondBranch] + classes[cvp.ClassUncondDirect] + classes[cvp.ClassUncondIndirect]
+	mems := classes[cvp.ClassLoad] + classes[cvp.ClassStore]
+	return &TraceFileReport{
+		Path:    path,
+		Format:  "cvp",
+		Records: uint64(len(instrs)),
+		Extra: fmt.Sprintf(" (%.1f%% mem, %.1f%% branch; all %d variants convert consistently)",
+			100*float64(mems)/float64(len(instrs)),
+			100*float64(branches)/float64(len(instrs)),
+			len(experiments.Variants())),
+	}, nil
+}
+
+func validateChampFile(path string) (*TraceFileReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, closer, err := champtrace.OpenReader(path, f)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	recs, err := champtrace.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	vals := make([]champtrace.Instruction, len(recs))
+	branches := uint64(0)
+	for i, rec := range recs {
+		vals[i] = *rec
+		if rec.IsBranch {
+			branches++
+		}
+	}
+	if err := CheckChampRoundTrip(vals); err != nil {
+		return nil, fmt.Errorf("round trip failed: %w", err)
+	}
+	return &TraceFileReport{
+		Path:    path,
+		Format:  "champsim",
+		Records: uint64(len(recs)),
+		Extra:   fmt.Sprintf(" (%.1f%% branch)", 100*float64(branches)/float64(len(recs))),
+	}, nil
+}
+
+// encodeCVP renders a slab as CVP-1 trace bytes; shared by tests and the
+// fuzz seed builders.
+func encodeCVP(instrs []cvp.Instruction) ([]byte, error) {
+	var buf bytes.Buffer
+	w := cvp.NewWriter(&buf)
+	for i := range instrs {
+		if err := w.Write(&instrs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// optionsFromBits maps the low six bits of b onto the six improvement
+// flags — the encoding the convert fuzzer uses to explore option space.
+func optionsFromBits(b uint8) core.Options {
+	return core.Options{
+		MemRegs:      b&1 != 0,
+		BaseUpdate:   b&2 != 0,
+		MemFootprint: b&4 != 0,
+		CallStack:    b&8 != 0,
+		BranchRegs:   b&16 != 0,
+		FlagReg:      b&32 != 0,
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/synth"
+)
+
+// diffCounter identifies one DiffStats counter in the matrix assertions.
+type diffCounter int
+
+const (
+	cSplit diffCounter = iota
+	cBranchType
+	cSrcRegs
+	cDstRegs
+	cMemAddrs
+	numDiffCounters
+)
+
+func (c diffCounter) String() string {
+	return [...]string{"SplitMicroOps", "BranchTypeChanged", "SrcRegsChanged", "DstRegsChanged", "MemAddrsChanged"}[c]
+}
+
+func counterValues(d DiffStats) [numDiffCounters]uint64 {
+	return [numDiffCounters]uint64{d.SplitMicroOps, d.BranchTypeChanged, d.SrcRegsChanged, d.DstRegsChanged, d.MemAddrsChanged}
+}
+
+// flagEffect describes which DiffStats counters one improvement flag is
+// allowed to move (may) and which it must move on a trace exercising every
+// conversion path (must).
+type flagEffect struct {
+	name      string
+	enable    func(*Options)
+	may, must []diffCounter
+}
+
+// The effect table is the contract of Table 1: each improvement touches
+// exactly the record aspects its §3 description claims.
+var flagEffects = []flagEffect{
+	// mem-regs rewrites the register sets of memory instructions: folded
+	// multi-destinations leave the sources, real destinations replace the
+	// padded X0.
+	{"mem-regs", func(o *Options) { o.MemRegs = true },
+		[]diffCounter{cSrcRegs, cDstRegs}, []diffCounter{cSrcRegs, cDstRegs}},
+	// base-update splits writeback accesses into micro-op pairs and drops
+	// the base register from the memory micro-op's register sets.
+	{"base-update", func(o *Options) { o.BaseUpdate = true },
+		[]diffCounter{cSplit, cSrcRegs, cDstRegs}, []diffCounter{cSplit, cDstRegs}},
+	// mem-footprint only adds the second cacheline and realigns DC ZVA:
+	// addresses change, registers never do.
+	{"mem-footprint", func(o *Options) { o.MemFootprint = true },
+		[]diffCounter{cMemAddrs}, []diffCounter{cMemAddrs}},
+	// call-stack re-deduces BLR-style branches from return to call, which
+	// rewrites their sources (and, for X30-reading indirect jumps, their
+	// destinations).
+	{"call-stack", func(o *Options) { o.CallStack = true },
+		[]diffCounter{cBranchType, cSrcRegs, cDstRegs}, []diffCounter{cBranchType, cSrcRegs}},
+	// branch-regs swaps artificial branch sources (FLAGS, X56) for the
+	// real CVP-1 producers; under the matching patched rule set the
+	// deduced branch type is unchanged by construction (MapReg never
+	// yields a reserved register id).
+	{"branch-regs", func(o *Options) { o.BranchRegs = true },
+		[]diffCounter{cSrcRegs}, []diffCounter{cSrcRegs}},
+	// flag-reg only adds the flag register as a destination of
+	// destination-less ALU/FP instructions.
+	{"flag-reg", func(o *Options) { o.FlagReg = true },
+		[]diffCounter{cDstRegs}, []diffCounter{cDstRegs}},
+}
+
+// matrixTrace concatenates a server trace carrying the BLR-X30 dispatch
+// idiom with an integer trace, so every improvement has records to touch:
+// base updates, load pairs, prefetches, DC ZVA, cross-line accesses,
+// cb(n)z conditionals, indirect calls, and flag-setting compares.
+func matrixTrace(t *testing.T) []*cvp.Instruction {
+	t.Helper()
+	var instrs []*cvp.Instruction
+	for _, p := range []synth.Profile{
+		synth.PublicProfile(synth.Server, 3),
+		synth.PublicProfile(synth.ComputeInt, 0),
+	} {
+		ins, err := p.Generate(8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instrs = append(instrs, ins...)
+	}
+	return instrs
+}
+
+// TestOptionsDiffMatrix sweeps all 2^6 improvement combinations and checks,
+// against a No_imp baseline diff, that every combination moves only the
+// DiffStats counters its enabled flags are allowed to move — i.e. no
+// improvement has side effects outside its Table 1 contract — and that each
+// flag's signature counters actually move when it is enabled alone.
+func TestOptionsDiffMatrix(t *testing.T) {
+	instrs := matrixTrace(t)
+	base, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsNone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for bits := 0; bits < 1<<len(flagEffects); bits++ {
+		var opts Options
+		allowed := map[diffCounter]bool{}
+		for i, fe := range flagEffects {
+			if bits&(1<<i) != 0 {
+				fe.enable(&opts)
+				for _, c := range fe.may {
+					allowed[c] = true
+				}
+			}
+		}
+		out, _, err := ConvertAll(cvp.NewSliceSource(instrs), opts)
+		if err != nil {
+			t.Fatalf("%s: convert: %v", opts, err)
+		}
+		bRules := champtrace.RulesOriginal
+		if opts.BranchRegs {
+			bRules = champtrace.RulesPatched
+		}
+		d, err := Diff(base, out, champtrace.RulesOriginal, bRules)
+		if err != nil {
+			t.Fatalf("%s: diff: %v", opts, err)
+		}
+		vals := counterValues(d)
+
+		if bits == 0 {
+			if d.Identical != d.Instructions {
+				t.Fatalf("No_imp vs No_imp: %d of %d records differ", d.Instructions-d.Identical, d.Instructions)
+			}
+		}
+		for c := diffCounter(0); c < numDiffCounters; c++ {
+			if !allowed[c] && vals[c] != 0 {
+				t.Errorf("%s: %s = %d, but no enabled improvement may change it", opts, c, vals[c])
+			}
+		}
+
+		// Single-flag combinations must also show their signature.
+		if bits != 0 && bits&(bits-1) == 0 {
+			fe := flagEffects[trailingBit(bits)]
+			for _, c := range fe.must {
+				if vals[c] == 0 {
+					t.Errorf("%s: expected %s to change some records, got 0 — the matrix trace no longer exercises this improvement", fe.name, c)
+				}
+			}
+		}
+	}
+}
+
+func trailingBit(bits int) int {
+	n := 0
+	for bits&1 == 0 {
+		bits >>= 1
+		n++
+	}
+	return n
+}
+
+// TestOptionsDiffStatsConverterSide checks the converter's own Stats
+// counters follow the same ownership rule: an improvement's counters are
+// zero unless it is enabled.
+func TestOptionsDiffStatsConverterSide(t *testing.T) {
+	instrs := matrixTrace(t)
+	for bits := 0; bits < 64; bits++ {
+		opts := Options{
+			MemRegs:      bits&1 != 0,
+			BaseUpdate:   bits&2 != 0,
+			MemFootprint: bits&4 != 0,
+			CallStack:    bits&8 != 0,
+			BranchRegs:   bits&16 != 0,
+			FlagReg:      bits&32 != 0,
+		}
+		_, st, err := ConvertAll(cvp.NewSliceSource(instrs), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", opts, err)
+		}
+		if !opts.FlagReg && st.FlagDstAdded != 0 {
+			t.Errorf("%s: FlagDstAdded = %d with flag-reg disabled", opts, st.FlagDstAdded)
+		}
+		if !opts.MemFootprint && (st.CrossLine != 0 || st.DCZVA != 0) {
+			t.Errorf("%s: CrossLine/DCZVA = %d/%d with mem-footprint disabled", opts, st.CrossLine, st.DCZVA)
+		}
+		if !opts.BaseUpdate && !opts.MemFootprint && st.BaseUpdateLoads+st.BaseUpdateStores != 0 {
+			t.Errorf("%s: base-update inference ran with both memory improvements disabled", opts)
+		}
+		if !opts.BranchRegs && st.CondWithSrc != 0 {
+			t.Errorf("%s: CondWithSrc = %d with branch-regs disabled", opts, st.CondWithSrc)
+		}
+		if !opts.BaseUpdate && st.Out != st.In {
+			t.Errorf("%s: Out %d != In %d without micro-op splitting", opts, st.Out, st.In)
+		}
+		if st.Out < st.In {
+			t.Errorf("%s: Out %d < In %d — converter dropped records", opts, st.Out, st.In)
+		}
+	}
+}

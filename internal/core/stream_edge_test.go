@@ -1,0 +1,199 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/cvp"
+)
+
+// TestConverterSourcePointerSurvivalWindow checks the documented pointer
+// validity contract at every position of the stream: a record pointer
+// returned by Next stays intact for at least convertBatchSize further Next
+// calls, including across double-buffer refills. A ring of the last
+// convertBatchSize pointers is re-verified as each entry ages out.
+func TestConverterSourcePointerSurvivalWindow(t *testing.T) {
+	instrs := testCVPStream(3*convertBatchSize+157, 21)
+	type saved struct {
+		p    *champtrace.Instruction
+		want champtrace.Instruction
+	}
+	ring := make([]saved, convertBatchSize)
+	cs := NewConverterSource(cvp.NewSliceSource(instrs), OptionsAll())
+	n := 0
+	for ; ; n++ {
+		rec, err := cs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n >= convertBatchSize {
+			old := ring[n%convertBatchSize]
+			if *old.p != old.want {
+				t.Fatalf("pointer for record %d was clobbered within its %d-call validity window:\n got  %+v\n want %+v",
+					n-convertBatchSize, convertBatchSize, *old.p, old.want)
+			}
+		}
+		ring[n%convertBatchSize] = saved{rec, *rec}
+	}
+	if n <= 2*convertBatchSize {
+		t.Fatalf("stream too short (%d records) to cross a refill boundary", n)
+	}
+	// Every still-in-window pointer must also have survived to EOF; Close
+	// has not run yet, so the slabs are still alive.
+	for i := range ring {
+		if ring[i].p != nil && *ring[i].p != ring[i].want {
+			t.Fatalf("trailing pointer %d clobbered before Close", i)
+		}
+	}
+	cs.Close()
+}
+
+// TestConverterSourcePoolSlabReuse drains and closes several sources to
+// cycle slabs through the pool, then runs two interleaved live sources —
+// both necessarily drawing recycled slabs — and requires their streams to
+// stay correct and independent. Also pins down the Close contract:
+// idempotent, and both stream faces return io.EOF afterwards.
+func TestConverterSourcePoolSlabReuse(t *testing.T) {
+	instrs := testCVPStream(1200, 22)
+	want, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 3; round++ {
+		cs := NewConverterSource(cvp.NewSliceSource(instrs), OptionsAll())
+		for {
+			if _, err := cs.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs.Close()
+		cs.Close() // must be idempotent
+		if _, err := cs.Next(); err != io.EOF {
+			t.Fatalf("post-Close Next error = %v, want io.EOF", err)
+		}
+		if n, err := cs.NextBatch(champtrace.MakeBatch(4)); n != 0 || err != io.EOF {
+			t.Fatalf("post-Close NextBatch = (%d, %v), want (0, io.EOF)", n, err)
+		}
+	}
+
+	a := NewConverterSource(cvp.NewSliceSource(instrs), OptionsAll())
+	b := NewConverterSource(cvp.NewSliceSource(instrs), OptionsAll())
+	defer a.Close()
+	defer b.Close()
+	for i := range want {
+		ra, err := a.Next()
+		if err != nil {
+			t.Fatalf("source a, record %d: %v", i, err)
+		}
+		rb, err := b.Next()
+		if err != nil {
+			t.Fatalf("source b, record %d: %v", i, err)
+		}
+		if *ra != *want[i] {
+			t.Fatalf("source a diverges at record %d after pool reuse", i)
+		}
+		if *rb != *want[i] {
+			t.Fatalf("source b diverges at record %d after pool reuse", i)
+		}
+	}
+	if _, err := a.Next(); err != io.EOF {
+		t.Fatalf("source a: %v after %d records, want io.EOF", err, len(want))
+	}
+	if _, err := b.Next(); err != io.EOF {
+		t.Fatalf("source b: %v after %d records, want io.EOF", err, len(want))
+	}
+}
+
+// TestConverterSourceZeroLengthBatch: a zero-length destination is a no-op
+// — (0, nil), nothing consumed — and the stream afterwards still delivers
+// every record.
+func TestConverterSourceZeroLengthBatch(t *testing.T) {
+	instrs := testCVPStream(700, 23)
+	want, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConverterSource(cvp.NewSliceSource(instrs), OptionsAll())
+	defer cs.Close()
+	if n, err := cs.NextBatch(nil); n != 0 || err != nil {
+		t.Fatalf("NextBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+	if n, err := cs.NextBatch([]champtrace.Instruction{}); n != 0 || err != nil {
+		t.Fatalf("NextBatch(empty) = (%d, %v), want (0, nil)", n, err)
+	}
+	slab := champtrace.MakeBatch(64)
+	got := 0
+	for {
+		n, err := cs.NextBatch(slab)
+		for i := 0; i < n; i++ {
+			if got >= len(want) || slab[i] != *want[got] {
+				t.Fatalf("record %d differs after zero-length batches", got)
+			}
+			got++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != len(want) {
+		t.Fatalf("zero-length batches consumed records: got %d of %d", got, len(want))
+	}
+}
+
+// TestConverterSourceSingleRecordBatches: the degenerate batch size of one
+// still delivers the exact stream.
+func TestConverterSourceSingleRecordBatches(t *testing.T) {
+	instrs := testCVPStream(600, 24)
+	want, _, err := ConvertAll(cvp.NewSliceSource(instrs), OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConverterSource(cvp.NewSliceSource(instrs), OptionsAll())
+	defer cs.Close()
+	slab := champtrace.MakeBatch(1)
+	for i := 0; ; i++ {
+		n, err := cs.NextBatch(slab)
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("EOF after %d records, want %d", i, len(want))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("record %d: NextBatch filled %d of a 1-slot batch", i, n)
+		}
+		if i >= len(want) || slab[0] != *want[i] {
+			t.Fatalf("record %d differs with single-record batches", i)
+		}
+	}
+}
+
+// TestConverterSourceEmptyInput: a source over zero instructions reports
+// io.EOF immediately on both faces and closes cleanly.
+func TestConverterSourceEmptyInput(t *testing.T) {
+	cs := NewConverterSource(cvp.NewSliceSource(nil), OptionsAll())
+	if _, err := cs.Next(); err != io.EOF {
+		t.Fatalf("Next on empty input: %v, want io.EOF", err)
+	}
+	if n, err := cs.NextBatch(champtrace.MakeBatch(8)); n != 0 || err != io.EOF {
+		t.Fatalf("NextBatch on empty input = (%d, %v), want (0, io.EOF)", n, err)
+	}
+	if st := cs.Stats(); st.In != 0 || st.Out != 0 {
+		t.Fatalf("empty input accumulated stats: %+v", st)
+	}
+	cs.Close()
+	cs.Close()
+}

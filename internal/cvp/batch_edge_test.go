@@ -1,0 +1,86 @@
+package cvp
+
+import (
+	"io"
+	"testing"
+)
+
+// TestNextBatchZeroLength: a zero-length destination is a no-op on every
+// batch source — (0, nil) mid-stream, nothing consumed — and the stream
+// afterwards still delivers the remaining instructions.
+func TestNextBatchZeroLength(t *testing.T) {
+	want := randomInstrs(40, 11)
+	slab := MakeBatch(len(want))
+	for i, in := range want {
+		in.CopyInto(&slab[i])
+	}
+
+	sources := map[string]BatchSource{
+		"SliceSource":   NewSliceSource(want),
+		"ValuesSource":  NewValuesSource(slab),
+		"sourceBatcher": AsBatchSource(sourceOnly{NewSliceSource(want)}),
+	}
+	for name, bs := range sources {
+		dst := MakeBatch(7)
+		n, err := bs.NextBatch(dst)
+		if err != nil || n != 7 {
+			t.Fatalf("%s: first batch = (%d, %v), want (7, nil)", name, n, err)
+		}
+		for _, empty := range [][]Instruction{nil, {}} {
+			if n, err := bs.NextBatch(empty); n != 0 || err != nil {
+				t.Fatalf("%s: zero-length NextBatch = (%d, %v), want (0, nil)", name, n, err)
+			}
+		}
+		got := 7
+		for {
+			n, err := bs.NextBatch(dst)
+			for i := 0; i < n; i++ {
+				if got >= len(want) || !sameInstr(&dst[i], want[got]) {
+					t.Fatalf("%s: instruction %d lost or changed after zero-length pulls", name, got)
+				}
+				got++
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if n == 0 {
+				t.Fatalf("%s: empty batch with nil error on a live stream", name)
+			}
+		}
+		if got != len(want) {
+			t.Fatalf("%s: zero-length pulls consumed instructions: got %d of %d", name, got, len(want))
+		}
+	}
+}
+
+// TestAsSourceBatchSizeOne: the degenerate adapter window still delivers
+// the exact stream, and each pointer survives the one further Next call the
+// contract promises.
+func TestAsSourceBatchSizeOne(t *testing.T) {
+	const n = 120
+	want := randomInstrs(n, 12)
+	src := AsSource(batchOnly{AsBatchSource(sourceOnly{NewSliceSource(want)})}, 1)
+	var prev *Instruction
+	for i := 0; ; i++ {
+		in, err := src.Next()
+		if err == io.EOF {
+			if i != n {
+				t.Fatalf("EOF after %d instructions, want %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameInstr(in, want[i]) {
+			t.Fatalf("instruction %d differs with batchSize 1", i)
+		}
+		if prev != nil && !sameInstr(prev, want[i-1]) {
+			t.Fatalf("pointer for instruction %d clobbered within its 1-call window", i-1)
+		}
+		prev = in
+	}
+}

@@ -107,6 +107,13 @@ func (tr *Reader) readU64() (uint64, error) {
 
 // Next decodes the next instruction, returning io.EOF at a clean end of
 // stream and io.ErrUnexpectedEOF for a truncated record.
+//
+// Every record Next returns satisfies Validate, so decoding is symmetric
+// with Writer.Write: a decoded record can always be re-encoded, and
+// decode→encode→decode is a fixed point (the fuzzing invariant the
+// conformance suite checks). Corrupt input — invalid classes, oversized
+// register counts, out-of-range register numbers, impossible access sizes —
+// is rejected with a descriptive error, never silently accepted.
 func (tr *Reader) Next() (*Instruction, error) {
 	pc, err := tr.readU64()
 	if err != nil {
@@ -134,6 +141,11 @@ func (tr *Reader) Next() (*Instruction, error) {
 		if in.MemSize, err = tr.readU8(); err != nil {
 			return nil, truncated(tr.n, err)
 		}
+		switch in.MemSize {
+		case 1, 2, 4, 8, 16, 64:
+		default:
+			return nil, fmt.Errorf("cvp: record %d has invalid access size %d", tr.n, in.MemSize)
+		}
 	}
 	if in.Class.IsBranch() {
 		t, err := tr.readU8()
@@ -159,6 +171,11 @@ func (tr *Reader) Next() (*Instruction, error) {
 		if _, err := io.ReadFull(tr.r, in.SrcRegs); err != nil {
 			return nil, truncated(tr.n, err)
 		}
+		for _, r := range in.SrcRegs {
+			if r >= NumRegs {
+				return nil, fmt.Errorf("cvp: record %d has source register %d out of range (max %d)", tr.n, r, NumRegs-1)
+			}
+		}
 	}
 	nDst, err := tr.readU8()
 	if err != nil {
@@ -171,6 +188,11 @@ func (tr *Reader) Next() (*Instruction, error) {
 		in.DstRegs = make([]uint8, nDst)
 		if _, err := io.ReadFull(tr.r, in.DstRegs); err != nil {
 			return nil, truncated(tr.n, err)
+		}
+		for _, r := range in.DstRegs {
+			if r >= NumRegs {
+				return nil, fmt.Errorf("cvp: record %d has destination register %d out of range (max %d)", tr.n, r, NumRegs-1)
+			}
 		}
 		in.DstValues = make([]uint64, nDst)
 		for i := range in.DstValues {

@@ -45,6 +45,119 @@ func TestReaderRejectsOversizedCounts(t *testing.T) {
 	}
 }
 
+// encodeRaw hand-assembles a record, bypassing Writer validation, so tests
+// can feed the Reader byte patterns a conforming Writer would never emit.
+func encodeRaw(pc uint64, class InstClass, mem []byte, srcs, dsts []uint8, vals []uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(pc >> (8 * i))
+	}
+	b = append(b, byte(class))
+	b = append(b, mem...)
+	b = append(b, byte(len(srcs)))
+	b = append(b, srcs...)
+	b = append(b, byte(len(dsts)))
+	b = append(b, dsts...)
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return b
+}
+
+// Regression: the fuzzer found that the Reader accepted access sizes the
+// Writer rejects (e.g. 3), breaking the decode→encode round trip.
+func TestReaderRejectsInvalidMemSize(t *testing.T) {
+	for _, size := range []byte{0, 3, 5, 7, 17, 32, 63, 65, 255} {
+		mem := append(make([]byte, 8), size) // effAddr + memSize
+		raw := encodeRaw(0x1000, ClassLoad, mem, nil, nil, nil)
+		r := NewReader(bytes.NewReader(raw))
+		if _, err := r.Next(); err == nil {
+			t.Errorf("accepted load with access size %d", size)
+		}
+	}
+	// The valid sizes still decode.
+	for _, size := range []byte{1, 2, 4, 8, 16, 64} {
+		mem := append(make([]byte, 8), size)
+		raw := encodeRaw(0x1000, ClassLoad, mem, nil, nil, nil)
+		r := NewReader(bytes.NewReader(raw))
+		if _, err := r.Next(); err != nil {
+			t.Errorf("rejected valid access size %d: %v", size, err)
+		}
+	}
+}
+
+// Regression: register numbers >= NumRegs decoded fine but could not be
+// re-encoded (Writer.Validate rejects them) — another decode/encode
+// asymmetry surfaced by the round-trip fuzz invariant.
+func TestReaderRejectsOutOfRangeRegisters(t *testing.T) {
+	raw := encodeRaw(0x2000, ClassALU, nil, []uint8{NumRegs}, nil, nil)
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.Next(); err == nil {
+		t.Error("accepted out-of-range source register")
+	}
+	raw = encodeRaw(0x2000, ClassALU, nil, nil, []uint8{200}, []uint64{1})
+	r = NewReader(bytes.NewReader(raw))
+	if _, err := r.Next(); err == nil {
+		t.Error("accepted out-of-range destination register")
+	}
+}
+
+// Every record the Reader accepts must satisfy Validate — the property the
+// conformance fuzz targets rely on.
+func TestReaderOutputValidates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ins := []*Instruction{
+		{PC: 4, Class: ClassLoad, EffAddr: 0x100, MemSize: 8, DstRegs: []uint8{1}, DstValues: []uint64{7}},
+		{PC: 8, Class: ClassCondBranch, Taken: true, Target: 0x40, SrcRegs: []uint8{2}},
+		{PC: 12, Class: ClassStore, EffAddr: 0x200, MemSize: 64, SrcRegs: []uint8{3}},
+	}
+	for _, in := range ins {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for {
+		in, err := r.Next()
+		if err != nil {
+			break
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("decoded record fails Validate: %v", verr)
+		}
+	}
+}
+
+// Truncating a record at any byte boundary must produce an error (not a
+// short or zero-filled record) and never panic.
+func TestReaderTruncatedAtEveryOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := &Instruction{
+		PC: 0x1000, Class: ClassLoad, EffAddr: 0x2000, MemSize: 8,
+		SrcRegs: []uint8{1, 2}, DstRegs: []uint8{3}, DstValues: []uint64{42},
+	}
+	if err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.Next(); err == nil {
+			t.Fatalf("accepted record truncated to %d of %d bytes", cut, len(full))
+		}
+	}
+}
+
 func TestReaderCount(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
