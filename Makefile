@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench
+.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,13 @@ bench-smoke:
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# Paired before/after benchmark comparison: runs the simulator-core
+# benchmarks on the working tree and on REF (default HEAD, stashing any
+# dirty state for the reference run), then prints ns/op, B/op, allocs/op
+# deltas. See EXPERIMENTS.md "Benchmark comparison workflow".
+#   make bench-compare                # working tree vs HEAD
+#   make bench-compare REF=HEAD~1     # working tree vs previous commit
+REF ?= HEAD
+bench-compare:
+	scripts/bench_compare.sh $(REF) $(BENCH)

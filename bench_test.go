@@ -17,6 +17,8 @@ import (
 	"tracerebase/internal/experiments"
 	"tracerebase/internal/sim"
 	"tracerebase/internal/sim/bpred"
+	"tracerebase/internal/sim/cpu"
+	"tracerebase/internal/sim/dprefetch"
 	"tracerebase/internal/sim/mem"
 	"tracerebase/internal/synth"
 	"tracerebase/internal/vp"
@@ -373,6 +375,75 @@ func BenchmarkTAGESCLPredict(b *testing.B) {
 		j := i % len(pcs)
 		pred.Predict(pcs[j])
 		pred.Update(pcs[j], outcomes[j])
+	}
+}
+
+// BenchmarkPipeline measures the steady-state cycle loop of the simulated
+// core on a reusable Pipeline: the first Run warms every high-water-mark
+// buffer, after which each full simulated interval (pipeline + hierarchy +
+// predictors + prefetchers) must run with 0 allocs/op — the arena/ring
+// refactor's contract.
+func BenchmarkPipeline(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := champtrace.NewSliceSource(recs)
+	pipe, err := cpu.New(sim.ConfigDevelop(champtrace.RulesPatched))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pipe.Run(src, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		if _, err := pipe.Run(src, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+}
+
+// BenchmarkHierarchy is BenchmarkPipeline's memory-side pair: a mixed
+// read/write stream against the full four-level hierarchy with the develop
+// configuration's data prefetchers attached, asserting the flat cache tables
+// and reusable prefetch buffers hold at 0 allocs/op in steady state.
+func BenchmarkHierarchy(b *testing.B) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	if pf, err := dprefetch.New("ip-stride"); err == nil && pf != nil {
+		h.L1D.SetPrefetcher(pf)
+	}
+	if pf, err := dprefetch.New("next-line"); err == nil && pf != nil {
+		h.L2.SetPrefetcher(pf)
+	}
+	r := rand.New(rand.NewSource(3))
+	addrs := make([]uint64, 4096)
+	ips := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = 0x10000000 + uint64(r.Intn(1<<16))*64
+		ips[i] = 0x400000 + uint64(r.Intn(512))*4
+	}
+	// Warm the MSHR lists and prefetch buffers to their high-water marks.
+	for i := 0; i < len(addrs); i++ {
+		h.L1D.AccessIP(addrs[i], ips[i], uint64(i), mem.Read)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(addrs)
+		kind := mem.Read
+		if j%7 == 0 {
+			kind = mem.Write
+		}
+		h.L1D.AccessIP(addrs[j], ips[j], uint64(i), kind)
 	}
 }
 

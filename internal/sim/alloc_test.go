@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/sim/cpu"
+	"tracerebase/internal/synth"
+)
+
+// TestSteadyStateZeroAllocs pins the zero-allocation contract of the
+// simulator core: after one warmup interval has grown every buffer to its
+// high-water mark, a full simulated interval — pipeline, four-level cache
+// hierarchy, TLBs, direction/target predictors, and data prefetchers — must
+// not allocate at all. Future PRs that reintroduce per-instruction
+// allocation fail here rather than silently regressing throughput.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := champtrace.NewSliceSource(recs)
+
+	for _, cfg := range []Config{
+		ConfigDevelop(champtrace.RulesPatched),
+		ConfigIPC1("next-line", champtrace.RulesPatched),
+	} {
+		pipe, err := cpu.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warmup run: grows the MSHR lists, prefetch buffers, and the
+		// pending queue to their high-water marks.
+		if _, err := pipe.Run(src, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			src.Reset()
+			if _, err := pipe.Run(src, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state interval allocated %.0f times, want 0", cfg.Name, allocs)
+		}
+	}
+}

@@ -87,9 +87,12 @@ func (h *history) bit(i int) uint64 {
 
 // TAGE is the tagged geometric predictor.
 type TAGE struct {
-	cfg    TAGEConfig
-	base   *Bimodal
-	tables [][]tageEntry
+	cfg  TAGEConfig
+	base *Bimodal
+	// tables holds all tagged tables in one flat array: table i occupies
+	// entries [i<<TableBits, (i+1)<<TableBits).
+	tables  []tageEntry
+	nTables int
 	// folded index and tag registers per table (two tag folds, as in the
 	// reference implementation, to decorrelate tag from index).
 	idxFold  []foldedHistory
@@ -111,19 +114,24 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	t := &TAGE{
 		cfg:      cfg,
 		base:     NewBimodal(cfg.BaseBits),
-		tables:   make([][]tageEntry, n),
+		tables:   make([]tageEntry, n<<uint(cfg.TableBits)),
+		nTables:  n,
 		idxFold:  make([]foldedHistory, n),
 		tagFold1: make([]foldedHistory, n),
 		tagFold2: make([]foldedHistory, n),
 		ghist:    newHistory(cfg.HistLengths[n-1] + 1),
 	}
 	for i := 0; i < n; i++ {
-		t.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
 		t.idxFold[i] = newFolded(cfg.HistLengths[i], cfg.TableBits)
 		t.tagFold1[i] = newFolded(cfg.HistLengths[i], cfg.TagBits)
 		t.tagFold2[i] = newFolded(cfg.HistLengths[i], cfg.TagBits-1)
 	}
 	return t
+}
+
+// entry returns the entry at idx of tagged table i in the flat array.
+func (t *TAGE) entry(table int, idx uint64) *tageEntry {
+	return &t.tables[uint64(table)<<uint(t.cfg.TableBits)|idx]
 }
 
 // Name implements DirectionPredictor.
@@ -144,15 +152,15 @@ func (t *TAGE) Predict(pc uint64) bool {
 	t.provider = -1
 	t.altPred = t.base.Predict(pc)
 	alt := -1
-	for i := len(t.tables) - 1; i >= 0; i-- {
+	for i := t.nTables - 1; i >= 0; i-- {
 		idx := t.index(pc, i)
-		if t.tables[i][idx].tag == t.tag(pc, i) {
+		if t.entry(i, idx).tag == t.tag(pc, i) {
 			if t.provider < 0 {
 				t.provider = i
 				t.providerIdx = idx
 			} else if alt < 0 {
 				alt = i
-				t.altPred = t.tables[i][idx].ctr >= 0
+				t.altPred = t.entry(i, idx).ctr >= 0
 			}
 			if t.provider >= 0 && alt >= 0 {
 				break
@@ -163,7 +171,7 @@ func (t *TAGE) Predict(pc uint64) bool {
 		t.predTaken = t.altPred
 		return t.predTaken
 	}
-	e := &t.tables[t.provider][t.providerIdx]
+	e := t.entry(t.provider, t.providerIdx)
 	// Newly allocated entries (weak counter, zero useful) may be less
 	// reliable than the alternative prediction.
 	weak := (e.ctr == 0 || e.ctr == -1) && e.useful == 0
@@ -181,7 +189,7 @@ func (t *TAGE) Update(pc uint64, taken bool) {
 	mispred := t.predTaken != taken
 
 	if t.provider >= 0 {
-		e := &t.tables[t.provider][t.providerIdx]
+		e := t.entry(t.provider, t.providerIdx)
 		providerPred := e.ctr >= 0
 		weak := (e.ctr == 0 || e.ctr == -1) && e.useful == 0
 		if weak && providerPred != t.altPred {
@@ -210,15 +218,13 @@ func (t *TAGE) Update(pc uint64, taken bool) {
 	}
 
 	// Allocate a new entry on misprediction in a longer-history table.
-	if mispred && t.provider < len(t.tables)-1 {
+	if mispred && t.provider < t.nTables-1 {
 		t.allocate(pc, taken)
 	}
 
 	// Advance global history and folds.
 	newest := b2u(taken)
-	maxLen := t.cfg.HistLengths[len(t.cfg.HistLengths)-1]
-	_ = maxLen
-	for i := range t.tables {
+	for i := 0; i < t.nTables; i++ {
 		oldest := t.ghist.bit(t.cfg.HistLengths[i] - 1)
 		t.idxFold[i].update(newest, oldest)
 		t.tagFold1[i].update(newest, oldest)
@@ -230,9 +236,9 @@ func (t *TAGE) Update(pc uint64, taken bool) {
 func (t *TAGE) allocate(pc uint64, taken bool) {
 	start := t.provider + 1
 	// Find a non-useful entry in tables with longer history.
-	for i := start; i < len(t.tables); i++ {
+	for i := start; i < t.nTables; i++ {
 		idx := t.index(pc, i)
-		e := &t.tables[i][idx]
+		e := t.entry(i, idx)
 		if e.useful == 0 {
 			e.tag = t.tag(pc, i)
 			if taken {
@@ -245,9 +251,9 @@ func (t *TAGE) allocate(pc uint64, taken bool) {
 		}
 	}
 	// All candidates useful: decay them so future allocations succeed.
-	for i := start; i < len(t.tables); i++ {
+	for i := start; i < t.nTables; i++ {
 		idx := t.index(pc, i)
-		if e := &t.tables[i][idx]; e.useful > 0 {
+		if e := t.entry(i, idx); e.useful > 0 {
 			e.useful--
 		}
 	}
@@ -258,9 +264,7 @@ func (t *TAGE) bumpAllocs() {
 	if t.cfg.UsefulResetPeriod > 0 && t.allocs >= t.cfg.UsefulResetPeriod {
 		t.allocs = 0
 		for i := range t.tables {
-			for j := range t.tables[i] {
-				t.tables[i][j].useful >>= 1
-			}
+			t.tables[i].useful >>= 1
 		}
 	}
 }

@@ -13,9 +13,10 @@ type Entry struct {
 	Type   champtrace.BranchType
 }
 
-// BTB is a set-associative branch target buffer.
+// BTB is a set-associative branch target buffer. All sets live in one flat
+// slice: set s spans lines[s*ways : (s+1)*ways].
 type BTB struct {
-	sets    [][]btbLine
+	lines   []btbLine
 	setMask uint64
 	tick    uint64
 	ways    int
@@ -38,11 +39,7 @@ func NewBTB(entries, ways int) *BTB {
 	if sets&(sets-1) != 0 {
 		panic("btb: set count must be a power of two")
 	}
-	b := &BTB{sets: make([][]btbLine, sets), setMask: uint64(sets - 1), ways: ways}
-	for i := range b.sets {
-		b.sets[i] = make([]btbLine, ways)
-	}
-	return b
+	return &BTB{lines: make([]btbLine, sets*ways), setMask: uint64(sets - 1), ways: ways}
 }
 
 func (b *BTB) index(pc uint64) (int, uint64) {
@@ -62,9 +59,10 @@ func popBits(mask uint64) int {
 // Lookup returns the stored entry for pc.
 func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 	setIdx, tag := b.index(pc)
+	set := b.lines[setIdx*b.ways : (setIdx+1)*b.ways]
 	b.tick++
-	for i := range b.sets[setIdx] {
-		ln := &b.sets[setIdx][i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			ln.lru = b.tick
 			return ln.entry, true
@@ -76,10 +74,11 @@ func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 // Update installs or refreshes the entry for pc.
 func (b *BTB) Update(pc uint64, e Entry) {
 	setIdx, tag := b.index(pc)
+	set := b.lines[setIdx*b.ways : (setIdx+1)*b.ways]
 	b.tick++
 	victim := 0
-	for i := range b.sets[setIdx] {
-		ln := &b.sets[setIdx][i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			ln.entry = e
 			ln.lru = b.tick
@@ -89,11 +88,11 @@ func (b *BTB) Update(pc uint64, e Entry) {
 			victim = i
 			break
 		}
-		if ln.lru < b.sets[setIdx][victim].lru {
+		if ln.lru < set[victim].lru {
 			victim = i
 		}
 	}
-	b.sets[setIdx][victim] = btbLine{tag: tag, entry: e, valid: true, lru: b.tick}
+	set[victim] = btbLine{tag: tag, entry: e, valid: true, lru: b.tick}
 }
 
 // RAS is the return address stack. Pushes beyond the capacity wrap around

@@ -33,8 +33,11 @@ func DefaultITTAGEConfig() ITTAGEConfig {
 
 // ITTAGE predicts indirect branch targets from path history.
 type ITTAGE struct {
-	cfg    ITTAGEConfig
-	tables [][]ittageEntry
+	cfg ITTAGEConfig
+	// tables holds all tagged tables in one flat array: table i occupies
+	// entries [i<<TableBits, (i+1)<<TableBits).
+	tables  []ittageEntry
+	nTables int
 	// path is a hash of recent taken-branch targets.
 	path uint64
 	// base is a simple last-target table for branches with no tag match.
@@ -48,16 +51,18 @@ type ITTAGE struct {
 // NewITTAGE builds an ITTAGE predictor.
 func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
 	n := len(cfg.HistLengths)
-	it := &ITTAGE{
+	return &ITTAGE{
 		cfg:      cfg,
-		tables:   make([][]ittageEntry, n),
+		tables:   make([]ittageEntry, n<<uint(cfg.TableBits)),
+		nTables:  n,
 		base:     make([]uint64, 1<<cfg.TableBits),
 		baseMask: uint64(1<<cfg.TableBits) - 1,
 	}
-	for i := range it.tables {
-		it.tables[i] = make([]ittageEntry, 1<<cfg.TableBits)
-	}
-	return it
+}
+
+// entry returns the entry at idx of tagged table i in the flat array.
+func (it *ITTAGE) entry(table int, idx uint64) *ittageEntry {
+	return &it.tables[uint64(table)<<uint(it.cfg.TableBits)|idx]
 }
 
 func (it *ITTAGE) index(pc uint64, table int) uint64 {
@@ -86,9 +91,9 @@ func (it *ITTAGE) foldPath(histLen, width int) uint64 {
 // whether the predictor had anything to say.
 func (it *ITTAGE) Predict(pc uint64) (uint64, bool) {
 	it.provider = -1
-	for i := len(it.tables) - 1; i >= 0; i-- {
+	for i := it.nTables - 1; i >= 0; i-- {
 		idx := it.index(pc, i)
-		e := &it.tables[i][idx]
+		e := it.entry(i, idx)
 		if e.tag == it.tag(pc, i) && e.target != 0 {
 			if e.conf >= 0 {
 				it.provider = i
@@ -111,7 +116,7 @@ func (it *ITTAGE) Predict(pc uint64) (uint64, bool) {
 // history. It must follow the Predict call for the same branch.
 func (it *ITTAGE) Update(pc, target uint64) {
 	if it.provider >= 0 {
-		e := &it.tables[it.provider][it.providerIdx]
+		e := it.entry(it.provider, it.providerIdx)
 		if e.target == target {
 			if e.conf < 1 {
 				e.conf++
@@ -138,9 +143,9 @@ func (it *ITTAGE) Update(pc, target uint64) {
 }
 
 func (it *ITTAGE) allocate(pc, target uint64, from int) {
-	for i := from; i < len(it.tables); i++ {
+	for i := from; i < it.nTables; i++ {
 		idx := it.index(pc, i)
-		e := &it.tables[i][idx]
+		e := it.entry(i, idx)
 		if e.useful == 0 {
 			*e = ittageEntry{tag: it.tag(pc, i), target: target, conf: 0}
 			return

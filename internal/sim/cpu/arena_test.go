@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"testing"
+
+	"tracerebase/internal/champtrace"
+)
+
+// arenaCapOf returns the uop arena capacity of a pipeline.
+func arenaCapOf(p *Pipeline) int { return len(p.arena) }
+
+// TestArenaWraparound retires far more instructions than the arena has
+// slots, so allocation and retirement wrap the ring many times, with a
+// dependency chain that keeps the ROB full across every wrap boundary.
+func TestArenaWraparound(t *testing.T) {
+	cfg := testConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := arenaCapOf(p)
+	n := 20*cap + 37 // many wraps, deliberately not slot-aligned
+	instrs := make([]*champtrace.Instruction, n)
+	for i := range instrs {
+		// Each instruction reads the previous one's destination, so
+		// dependency refs are live right up to the wrap boundary.
+		instrs[i] = mkALU(0x400000+uint64(i%1024)*4, []uint8{uint8(40 + (i+7)%8)}, uint8(40+i%8))
+	}
+	st, err := p.Run(champtrace.NewSliceSource(instrs), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != uint64(n) {
+		t.Fatalf("retired %d instructions, want %d", st.Instructions, n)
+	}
+	if p.robCount != 0 || p.ftqLen != 0 || p.decqLen != 0 {
+		t.Fatalf("queues not drained: rob=%d ftq=%d decq=%d", p.robCount, p.ftqLen, p.decqLen)
+	}
+}
+
+// TestArenaFillToCapacity blocks retirement behind a long-latency load so
+// the ROB (and with it the arena's live region) fills completely, then
+// drains across the ring boundary.
+func TestArenaFillToCapacity(t *testing.T) {
+	cfg := testConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4 * arenaCapOf(p)
+	instrs := make([]*champtrace.Instruction, n)
+	for i := range instrs {
+		if i%cfg.ROBSize == 0 {
+			// A cold load to a new page stalls retirement long enough
+			// for the back of the window to fill.
+			instrs[i] = mkLoad(0x400000+uint64(i%1024)*4, uint64(0x9000000+i*4096), 10, uint8(40+i%8))
+		} else {
+			instrs[i] = mkALU(0x400000+uint64(i%1024)*4, []uint8{10}, uint8(40+i%8))
+		}
+	}
+	st, err := p.Run(champtrace.NewSliceSource(instrs), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != uint64(n) {
+		t.Fatalf("retired %d instructions, want %d", st.Instructions, n)
+	}
+}
+
+// TestStaleGenerationReady exercises the generation-tag staleness rule
+// directly: a dependency ref whose sequence tag no longer matches the slot's
+// occupant refers to a retired-and-recycled producer and must read as ready,
+// while a matching, incomplete occupant must not.
+func TestStaleGenerationReady(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := uint64(arenaCapOf(p))
+
+	ref := uref(5)
+	consumer := &uop{seq: 100}
+	consumer.deps[0] = ref
+
+	// Slot 5 recycled: it now holds the uop with seq 5+cap. The ref's tag
+	// mismatches, so the original producer retired — ready.
+	p.arena[5] = uop{seq: 5 + cap}
+	if !p.depsReady(consumer) {
+		t.Fatal("stale-generation dependency not treated as ready")
+	}
+	if consumer.deps[0] != noref {
+		t.Fatal("stale dependency ref not cleared after resolving")
+	}
+
+	// Same slot, matching generation, still executing: not ready.
+	consumer.deps[0] = ref
+	p.arena[5] = uop{seq: 5, completed: false}
+	if p.depsReady(consumer) {
+		t.Fatal("live incomplete dependency treated as ready")
+	}
+
+	// Matching generation, completed in the past: ready, and resolved.
+	p.arena[5].completed = true
+	p.arena[5].complete = 0
+	if !p.depsReady(consumer) {
+		t.Fatal("completed dependency not treated as ready")
+	}
+	if consumer.deps[0] != noref {
+		t.Fatal("completed dependency ref not cleared after resolving")
+	}
+}
+
+// TestAncientProducerAfterWrap runs a trace where one early instruction
+// writes a register that every later instruction reads. Once the writer's
+// slot is recycled the renamed ref goes stale, and consumers must still
+// issue (the retired producer is by definition complete).
+func TestAncientProducerAfterWrap(t *testing.T) {
+	cfg := testConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8 * arenaCapOf(p)
+	instrs := make([]*champtrace.Instruction, n)
+	instrs[0] = mkALU(0x400000, []uint8{10}, 60) // sole writer of reg 60
+	for i := 1; i < n; i++ {
+		instrs[i] = mkALU(0x400000+uint64(i%1024)*4, []uint8{60}, uint8(40+i%4))
+	}
+	st, err := p.Run(champtrace.NewSliceSource(instrs), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != uint64(n) {
+		t.Fatalf("retired %d instructions, want %d", st.Instructions, n)
+	}
+}

@@ -214,14 +214,29 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 
+	// The arena must cover every in-flight uop: each live uop sits in
+	// exactly one of FTQ, decode queue, or ROB, so their capacity sum
+	// (rounded to a power of two for masked indexing) guarantees no live
+	// slot is ever reused.
+	arenaCap := nextPow2(cfg.FTQSize + cfg.DecodeQueue + cfg.ROBSize)
+	ftqCap := nextPow2(cfg.FTQSize)
+	decqCap := nextPow2(cfg.DecodeQueue)
+	sqCap := nextPow2(cfg.SQSize)
 	p := &Pipeline{
-		cfg:  cfg,
-		pred: pred,
-		tp:   tp,
-		hier: hier,
-		ipf:  ipf,
-		rob:  make([]*uop, cfg.ROBSize),
-		sq:   make([]sqEntry, 0, cfg.SQSize),
+		cfg:       cfg,
+		pred:      pred,
+		tp:        tp,
+		hier:      hier,
+		ipf:       ipf,
+		arena:     make([]uop, arenaCap),
+		arenaMask: uint32(arenaCap - 1),
+		ftq:       make([]uref, ftqCap),
+		ftqMask:   uint32(ftqCap - 1),
+		decq:      make([]uref, decqCap),
+		decqMask:  uint32(decqCap - 1),
+		pending:   make([]uref, 0, cfg.ROBSize),
+		sq:        make([]sqEntry, sqCap),
+		sqMask:    uint32(sqCap - 1),
 	}
 	if cfg.UseTLBs {
 		tcfg := cfg.TLBs

@@ -8,7 +8,10 @@ import (
 	"tracerebase/internal/sim/mem"
 )
 
-// uop is one in-flight instruction.
+// uop is one in-flight instruction. Uops live in the pipeline's preallocated
+// arena ring and are referred to by 32-bit refs (see uref), never by pointer,
+// so the steady-state cycle loop performs no heap allocation and the GC never
+// scans pipeline state.
 type uop struct {
 	ip    uint64
 	seq   uint64
@@ -17,8 +20,13 @@ type uop struct {
 	// target is the actual next IP of a taken branch (trace truth).
 	target uint64
 
-	loadAddrs  []uint64
-	storeAddrs []uint64
+	// loadAddrs/storeAddrs are inlined at the trace format's maximum
+	// (NumSrcMem/NumDestMem slots), so no per-uop slice is ever allocated;
+	// nLoads/nStores give the live prefix.
+	loadAddrs  [champtrace.NumSrcMem]uint64
+	storeAddrs [champtrace.NumDestMem]uint64
+	nLoads     uint8
+	nStores    uint8
 
 	// lineReady is the cycle the uop's icache line is available, set at
 	// FTQ insertion in decoupled mode (fetch-directed icache access).
@@ -26,12 +34,13 @@ type uop struct {
 
 	srcRegs [champtrace.NumSrcRegs]uint8
 	dstRegs [champtrace.NumDestRegs]uint8
-	deps    [champtrace.NumSrcRegs]*uop
+	// deps holds refs to the producers of each source register. A ref is
+	// resolved (set to norefs) as soon as it is observed ready, so the
+	// scheduler never rechecks a completed producer.
+	deps [champtrace.NumSrcRegs]uref
 
 	fetchLine   uint64
 	decodeReady uint64
-	dispatched  bool
-	issued      bool
 	completed   bool
 	complete    uint64 // cycle at which the result is available
 
@@ -40,13 +49,29 @@ type uop struct {
 	mispred bool
 }
 
+// uref is a 32-bit reference to an arena uop: the low bits (arenaMask) index
+// the ring slot, and the full value is the truncated sequence number of the
+// referenced uop, so the bits above the slot index act as a generation tag.
+// A ref whose value no longer matches the slot's uint32(seq) is stale — the
+// producer retired and its slot was recycled — and stale producers are by
+// construction complete, so stale refs read as "ready" without any clearing.
+// noref (0) means "no dependency"; real seqs start at 1. (Generation
+// aliasing would need 2^32 uops between link and check — far beyond any
+// simulated interval.)
+type uref = uint32
+
+// noref is the nil uref.
+const noref uref = 0
+
 type sqEntry struct {
 	addr  uint64 // 8-byte-aligned store address
 	ready uint64 // cycle the data can be forwarded
 	seq   uint64
 }
 
-// Pipeline is the simulated core.
+// Pipeline is the simulated core. All queues are fixed-capacity rings over
+// preallocated storage: after the structures reach their high-water mark the
+// cycle loop allocates nothing.
 type Pipeline struct {
 	cfg  Config
 	pred directionPredictor
@@ -55,11 +80,24 @@ type Pipeline struct {
 	tlbs *mem.TLBHierarchy
 	ipf  iprefetchHook
 
+	// arena is the uop ring: a uop with sequence number s lives in slot
+	// uint32(s) & arenaMask. Allocation (bpuFill) and release (retire)
+	// are both in sequence order, so the live region is contiguous.
+	arena     []uop
+	arenaMask uint32
+
 	// Front end.
-	la        lookahead
-	ftq       []*uop
-	decq      []*uop
-	stalledOn *uop
+	la      lookahead
+	ftq     []uref // ring, capacity ≥ FTQSize
+	ftqMask uint32
+	ftqHead uint32
+	ftqLen  int
+	decq    []uref // ring, capacity ≥ DecodeQueue
+	decqMask  uint32
+	decqHead  uint32
+	decqLen   int
+	stalled   bool
+	stalledOn uref
 	curLine   uint64
 	curLineAt uint64 // cycle the current fetch line is available
 	// insertLine/insertLineAt implement the decoupled front-end's
@@ -68,16 +106,25 @@ type Pipeline struct {
 	insertLine   uint64
 	insertLineAt uint64
 
-	// Back end.
-	rob      []*uop
-	robHead  int
+	// Back end. The ROB needs no storage of its own: it is exactly the
+	// oldest robCount live uops of the arena, in sequence order, with the
+	// head at sequence p.retired+1.
 	robCount int
 	// pending holds dispatched-but-not-issued uops in age order, so the
 	// scheduler scans only waiting instructions instead of the whole ROB.
-	pending []*uop
-	sq      []sqEntry
+	pending []uref
+	sq      []sqEntry // ring, capacity ≥ SQSize (power of two)
+	sqMask  uint32
+	sqHead  uint32
+	sqLen   int
 	// regProducer tracks the most recent writer of each register id.
-	regProducer [256]*uop
+	// Entries go stale when the producer retires; staleness is detected
+	// by the uref generation check, never by clearing.
+	regProducer [256]uref
+
+	// ipfBuf is the reusable scratch the instruction-prefetch hooks append
+	// their prefetch addresses into.
+	ipfBuf []uint64
 
 	cycle   uint64
 	seq     uint64
@@ -89,6 +136,10 @@ type Pipeline struct {
 	warmupRetired uint64
 	measuring     bool
 }
+
+// at returns the arena uop a ref points to. The caller is responsible for
+// the generation check when the ref may be stale.
+func (p *Pipeline) at(r uref) *uop { return &p.arena[r&p.arenaMask] }
 
 // Narrow interfaces so the pipeline file does not depend on concrete types
 // beyond what it exercises (and tests can substitute).
@@ -106,22 +157,29 @@ type targetPredictor interface {
 }
 
 type iprefetchHook interface {
-	OnAccess(lineAddr uint64, hit bool) []uint64
-	OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64
-	OnFTQInsert(lineAddr uint64) []uint64
+	OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64
+	OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64
+	OnFTQInsert(lineAddr uint64, buf []uint64) []uint64
 }
 
 // lookahead wraps the trace source with a one-instruction buffer so each
 // branch's actual target (the next instruction's IP) is known when the
 // branch is processed — exactly how ChampSim's tracereader derives targets.
+// The buffer holds the records by value: sources that recycle their record
+// storage (the streaming converter) stay safe, and no per-record pointer
+// escapes to the heap.
 type lookahead struct {
 	src  champtrace.Source
-	next *champtrace.Instruction
+	cur  champtrace.Instruction
+	next champtrace.Instruction
+	has  bool
 	done bool
 }
 
 func (l *lookahead) init(src champtrace.Source) error {
 	l.src = src
+	l.has = false
+	l.done = false
 	in, err := src.Next()
 	if err == io.EOF {
 		l.done = true
@@ -130,28 +188,30 @@ func (l *lookahead) init(src champtrace.Source) error {
 	if err != nil {
 		return err
 	}
-	l.next = in
+	l.next = *in
+	l.has = true
 	return nil
 }
 
 // pop returns the next instruction and the IP that follows it in the trace
-// (0 at end of trace).
+// (0 at end of trace). The returned pointer aims at the lookahead's own
+// buffer and is valid until the next pop.
 func (l *lookahead) pop() (*champtrace.Instruction, uint64, error) {
-	if l.done || l.next == nil {
+	if !l.has {
 		return nil, 0, io.EOF
 	}
-	cur := l.next
+	l.cur = l.next
 	in, err := l.src.Next()
 	if err == io.EOF {
-		l.next = nil
+		l.has = false
 		l.done = true
-		return cur, 0, nil
+		return &l.cur, 0, nil
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	l.next = in
-	return cur, in.IP, nil
+	l.next = *in
+	return &l.cur, l.next.IP, nil
 }
 
 // Run simulates the trace. Statistics cover instructions retired after the
@@ -180,7 +240,7 @@ func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (S
 		if maxInstructions > 0 && p.retired >= maxInstructions {
 			break
 		}
-		if p.la.done && p.robCount == 0 && len(p.ftq) == 0 && len(p.decq) == 0 {
+		if p.la.done && p.robCount == 0 && p.ftqLen == 0 && p.decqLen == 0 {
 			break
 		}
 	}
@@ -223,18 +283,17 @@ func (p *Pipeline) collectCacheStats() {
 
 func (p *Pipeline) retire() {
 	for n := 0; n < p.cfg.RetireWidth && p.robCount > 0; n++ {
-		u := p.rob[p.robHead]
+		// The ROB head is the oldest live uop: sequence p.retired+1.
+		u := &p.arena[uint32(p.retired+1)&p.arenaMask]
 		if !u.completed || u.complete > p.cycle {
 			return
 		}
 		// Stores write the data cache at retirement; the latency is off
 		// the critical path (drained from the store buffer) but the
 		// access trains caches and prefetchers and counts in MPKI.
-		for _, a := range u.storeAddrs {
+		for _, a := range u.storeAddrs[:u.nStores] {
 			p.hier.L1D.AccessIP(a, u.ip, p.cycle, mem.Write)
 		}
-		p.rob[p.robHead] = nil
-		p.robHead = (p.robHead + 1) % len(p.rob)
 		p.robCount--
 		p.retired++
 	}
@@ -245,16 +304,16 @@ func (p *Pipeline) retire() {
 func (p *Pipeline) issue() {
 	issued := 0
 	keep := p.pending[:0]
-	for i, u := range p.pending {
+	for i, r := range p.pending {
 		if issued >= p.cfg.IssueWidth {
 			keep = append(keep, p.pending[i:]...)
 			break
 		}
+		u := p.at(r)
 		if !p.depsReady(u) {
-			keep = append(keep, u)
+			keep = append(keep, r)
 			continue
 		}
-		u.issued = true
 		issued++
 		p.execute(u)
 	}
@@ -262,19 +321,27 @@ func (p *Pipeline) issue() {
 }
 
 func (p *Pipeline) depsReady(u *uop) bool {
-	for _, d := range u.deps {
-		if d != nil && (!d.completed || d.complete > p.cycle) {
+	for i := range u.deps {
+		r := u.deps[i]
+		if r == noref {
+			continue
+		}
+		d := p.at(r)
+		if uint32(d.seq) == r && (!d.completed || d.complete > p.cycle) {
 			return false
 		}
+		// Stale ref (producer retired, slot recycled) or completed
+		// producer: resolved for good, never recheck.
+		u.deps[i] = noref
 	}
 	return true
 }
 
 func (p *Pipeline) execute(u *uop) {
 	switch {
-	case len(u.loadAddrs) > 0:
+	case u.nLoads > 0:
 		done := uint64(0)
-		for _, a := range u.loadAddrs {
+		for _, a := range u.loadAddrs[:u.nLoads] {
 			var t uint64
 			if fwd, ok := p.forward(a, u.seq); ok {
 				t = max64(p.cycle, fwd) + p.cfg.StoreForwardLatency
@@ -290,10 +357,10 @@ func (p *Pipeline) execute(u *uop) {
 			}
 		}
 		u.complete = done
-	case len(u.storeAddrs) > 0:
+	case u.nStores > 0:
 		// Address generation; the write happens at retire.
 		u.complete = p.cycle + 1
-		for _, a := range u.storeAddrs {
+		for _, a := range u.storeAddrs[:u.nStores] {
 			p.pushStore(a, u.complete, u.seq)
 		}
 	default:
@@ -303,18 +370,21 @@ func (p *Pipeline) execute(u *uop) {
 }
 
 func (p *Pipeline) pushStore(addr, ready, seq uint64) {
-	if len(p.sq) >= p.cfg.SQSize {
-		p.sq = p.sq[1:]
+	if p.sqLen >= p.cfg.SQSize {
+		p.sqHead = (p.sqHead + 1) & p.sqMask
+		p.sqLen--
 	}
-	p.sq = append(p.sq, sqEntry{addr: addr &^ 7, ready: ready, seq: seq})
+	p.sq[(p.sqHead+uint32(p.sqLen))&p.sqMask] = sqEntry{addr: addr &^ 7, ready: ready, seq: seq}
+	p.sqLen++
 }
 
 // forward finds the youngest older store to the same 8-byte-aligned address.
 func (p *Pipeline) forward(addr, seq uint64) (uint64, bool) {
 	key := addr &^ 7
-	for i := len(p.sq) - 1; i >= 0; i-- {
-		if p.sq[i].seq < seq && p.sq[i].addr == key {
-			return p.sq[i].ready, true
+	for i := p.sqLen - 1; i >= 0; i-- {
+		e := &p.sq[(p.sqHead+uint32(i))&p.sqMask]
+		if e.seq < seq && e.addr == key {
+			return e.ready, true
 		}
 	}
 	return 0, false
@@ -324,28 +394,28 @@ func (p *Pipeline) forward(addr, seq uint64) (uint64, bool) {
 
 func (p *Pipeline) dispatch() {
 	n := 0
-	for n < p.cfg.DispatchWidth && len(p.decq) > 0 && p.robCount < len(p.rob) {
-		u := p.decq[0]
+	for n < p.cfg.DispatchWidth && p.decqLen > 0 && p.robCount < p.cfg.ROBSize {
+		r := p.decq[p.decqHead]
+		u := p.at(r)
 		if u.decodeReady > p.cycle {
 			return
 		}
-		p.decq = p.decq[1:]
+		p.decqHead = (p.decqHead + 1) & p.decqMask
+		p.decqLen--
 		// Register rename: link sources to their producers and claim
 		// destinations.
-		for i, r := range u.srcRegs {
-			if r != champtrace.RegInvalid {
-				u.deps[i] = p.regProducer[r]
+		for i, reg := range u.srcRegs {
+			if reg != champtrace.RegInvalid {
+				u.deps[i] = p.regProducer[reg]
 			}
 		}
-		for _, r := range u.dstRegs {
-			if r != champtrace.RegInvalid {
-				p.regProducer[r] = u
+		for _, reg := range u.dstRegs {
+			if reg != champtrace.RegInvalid {
+				p.regProducer[reg] = r
 			}
 		}
-		u.dispatched = true
-		p.rob[(p.robHead+p.robCount)%len(p.rob)] = u
 		p.robCount++
-		p.pending = append(p.pending, u)
+		p.pending = append(p.pending, r)
 		n++
 	}
 }
@@ -353,8 +423,9 @@ func (p *Pipeline) dispatch() {
 // ---- Fetch ----
 
 func (p *Pipeline) fetch() {
-	for n := 0; n < p.cfg.FetchWidth && len(p.ftq) > 0 && len(p.decq) < p.cfg.DecodeQueue; n++ {
-		u := p.ftq[0]
+	for n := 0; n < p.cfg.FetchWidth && p.ftqLen > 0 && p.decqLen < p.cfg.DecodeQueue; n++ {
+		r := p.ftq[p.ftqHead]
+		u := p.at(r)
 		if p.cfg.Decoupled {
 			// The icache was accessed at FTQ insertion; fetch just
 			// waits for the line.
@@ -367,9 +438,11 @@ func (p *Pipeline) fetch() {
 		if p.curLineAt > p.cycle {
 			return // line still in flight: in-order fetch stalls
 		}
-		p.ftq = p.ftq[1:]
+		p.ftqHead = (p.ftqHead + 1) & p.ftqMask
+		p.ftqLen--
 		u.decodeReady = p.cycle + p.cfg.DecodeLatency
-		p.decq = append(p.decq, u)
+		p.decq[(p.decqHead+uint32(p.decqLen))&p.decqMask] = r
+		p.decqLen++
 	}
 }
 
@@ -394,7 +467,8 @@ func (p *Pipeline) accessICache(line uint64) uint64 {
 		done -= p.cfg.Hierarchy.L1I.Latency
 	}
 	if p.ipf != nil {
-		p.issueIPrefetches(p.ipf.OnAccess(line, hit))
+		p.ipfBuf = p.ipf.OnAccess(line, hit, p.ipfBuf[:0])
+		p.issueIPrefetches(p.ipfBuf)
 	}
 	return done
 }
@@ -403,19 +477,21 @@ func (p *Pipeline) accessICache(line uint64) uint64 {
 
 func (p *Pipeline) bpuFill() {
 	// A mispredicted branch blocks instruction supply until it resolves;
-	// fetch then resumes after the redirect penalty.
-	if p.stalledOn != nil {
-		u := p.stalledOn
+	// fetch then resumes after the redirect penalty. The stalled uop may
+	// retire before the penalty elapses, but its slot cannot be recycled
+	// while supply is stalled, so the ref stays readable.
+	if p.stalled {
+		u := p.at(p.stalledOn)
 		if !u.completed || u.complete+p.cfg.RedirectPenalty > p.cycle {
 			return
 		}
-		p.stalledOn = nil
+		p.stalled = false
 	}
-	budget := p.cfg.FTQSize - len(p.ftq)
+	budget := p.cfg.FTQSize - p.ftqLen
 	if !p.cfg.Decoupled {
 		// Coupled front-end: the BPU only runs for the lines fetch is
 		// about to consume.
-		if b := p.cfg.FetchWidth - len(p.ftq); b < budget {
+		if b := p.cfg.FetchWidth - p.ftqLen; b < budget {
 			budget = b
 		}
 	}
@@ -424,11 +500,12 @@ func (p *Pipeline) bpuFill() {
 		if err == io.EOF || in == nil {
 			return
 		}
-		u := p.newUop(in, nextIP)
+		r, u := p.newUop(in, nextIP)
 		if u.btype != champtrace.NotBranch {
 			p.processBranch(u)
 		}
-		p.ftq = append(p.ftq, u)
+		p.ftq[(p.ftqHead+uint32(p.ftqLen))&p.ftqMask] = r
+		p.ftqLen++
 		line := mem.LineAddr(u.ip)
 		if p.cfg.Decoupled {
 			// Fetch-directed instruction fetch: the FTQ accesses the
@@ -441,18 +518,25 @@ func (p *Pipeline) bpuFill() {
 			u.lineReady = p.insertLineAt
 		}
 		if p.ipf != nil {
-			p.issueIPrefetches(p.ipf.OnFTQInsert(line))
+			p.ipfBuf = p.ipf.OnFTQInsert(line, p.ipfBuf[:0])
+			p.issueIPrefetches(p.ipfBuf)
 		}
 		if u.mispred {
-			p.stalledOn = u
+			p.stalled = true
+			p.stalledOn = r
 			return
 		}
 	}
 }
 
-func (p *Pipeline) newUop(in *champtrace.Instruction, nextIP uint64) *uop {
+// newUop claims the next arena slot and initializes it from the trace
+// record. Slot reuse is safe because the arena capacity covers the maximum
+// number of in-flight uops (FTQ + decode queue + ROB).
+func (p *Pipeline) newUop(in *champtrace.Instruction, nextIP uint64) (uref, *uop) {
 	p.seq++
-	u := &uop{
+	r := uref(uint32(p.seq))
+	u := &p.arena[r&p.arenaMask]
+	*u = uop{
 		ip:        in.IP,
 		seq:       p.seq,
 		btype:     champtrace.Classify(in, p.cfg.Rules),
@@ -466,21 +550,23 @@ func (p *Pipeline) newUop(in *champtrace.Instruction, nextIP uint64) *uop {
 	}
 	for _, a := range in.SrcMem {
 		if a != 0 {
-			u.loadAddrs = append(u.loadAddrs, a)
+			u.loadAddrs[u.nLoads] = a
+			u.nLoads++
 		}
 	}
 	for _, a := range in.DestMem {
 		if a != 0 {
-			u.storeAddrs = append(u.storeAddrs, a)
+			u.storeAddrs[u.nStores] = a
+			u.nStores++
 		}
 	}
-	if len(u.loadAddrs) > 0 {
+	if u.nLoads > 0 {
 		p.st.Loads++
 	}
-	if len(u.storeAddrs) > 0 {
+	if u.nStores > 0 {
 		p.st.Stores++
 	}
-	return u
+	return r, u
 }
 
 // processBranch runs the direction and target predictors and decides
@@ -521,8 +607,18 @@ func (p *Pipeline) processBranch(u *uop) {
 	}
 
 	if p.ipf != nil && u.taken {
-		p.issueIPrefetches(p.ipf.OnBranch(u.ip, u.target, u.btype))
+		p.ipfBuf = p.ipf.OnBranch(u.ip, u.target, u.btype, p.ipfBuf[:0])
+		p.issueIPrefetches(p.ipfBuf)
 	}
+}
+
+// nextPow2 returns the smallest power of two ≥ n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func max64(a, b uint64) uint64 {

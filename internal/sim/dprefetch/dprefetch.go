@@ -44,15 +44,14 @@ func NewNextLine(degree int) *NextLine {
 func (p *NextLine) Name() string { return "next-line" }
 
 // OnAccess implements mem.Prefetcher.
-func (p *NextLine) OnAccess(addr, ip uint64, hit bool) []uint64 {
+func (p *NextLine) OnAccess(addr, ip uint64, hit bool, buf []uint64) []uint64 {
 	if hit {
-		return nil
+		return buf
 	}
-	out := make([]uint64, p.degree)
-	for i := range out {
-		out[i] = addr + uint64(i+1)*mem.LineSize
+	for i := 0; i < p.degree; i++ {
+		buf = append(buf, addr+uint64(i+1)*mem.LineSize)
 	}
-	return out
+	return buf
 }
 
 // ipEntry tracks the last address and detected stride for one load PC.
@@ -90,19 +89,19 @@ func (p *IPStride) Name() string { return "ip-stride" }
 
 // OnAccess implements mem.Prefetcher. It trains on every demand access
 // (hit or miss) and issues prefetches once the stride is confirmed twice.
-func (p *IPStride) OnAccess(addr, ip uint64, hit bool) []uint64 {
+func (p *IPStride) OnAccess(addr, ip uint64, hit bool, buf []uint64) []uint64 {
 	if ip == 0 {
-		return nil
+		return buf
 	}
 	e := &p.table[(ip>>2)&p.mask]
 	tag := ip >> 2
 	if !e.valid || e.tag != tag {
 		*e = ipEntry{tag: tag, lastAddr: addr, valid: true}
-		return nil
+		return buf
 	}
 	stride := int64(addr) - int64(e.lastAddr)
 	if stride == 0 {
-		return nil
+		return buf
 	}
 	if stride == e.stride {
 		if e.conf < 3 {
@@ -114,18 +113,17 @@ func (p *IPStride) OnAccess(addr, ip uint64, hit bool) []uint64 {
 	}
 	e.lastAddr = addr
 	if e.conf < 2 {
-		return nil
+		return buf
 	}
-	out := make([]uint64, 0, p.degree)
 	next := int64(addr)
 	for i := 0; i < p.degree; i++ {
 		next += e.stride
 		if next < 0 {
 			break
 		}
-		out = append(out, uint64(next))
+		buf = append(buf, uint64(next))
 	}
-	return out
+	return buf
 }
 
 // streamEntry tracks one detected sequential stream.
@@ -164,13 +162,13 @@ func NewStream(entries, degree int) *Stream {
 func (p *Stream) Name() string { return "stream" }
 
 // OnAccess implements mem.Prefetcher: streams are tracked per 4 KB region.
-func (p *Stream) OnAccess(addr, ip uint64, hit bool) []uint64 {
+func (p *Stream) OnAccess(addr, ip uint64, hit bool, buf []uint64) []uint64 {
 	line := addr / mem.LineSize
 	region := addr >> 12
 	e := &p.table[region&p.mask]
 	if !e.valid || absDelta(line, e.lastLine) > 16 {
 		*e = streamEntry{lastLine: line, valid: true}
-		return nil
+		return buf
 	}
 	dir := 0
 	switch {
@@ -179,7 +177,7 @@ func (p *Stream) OnAccess(addr, ip uint64, hit bool) []uint64 {
 	case line < e.lastLine:
 		dir = -1
 	default:
-		return nil
+		return buf
 	}
 	if dir == e.dir {
 		if e.conf < 3 {
@@ -191,17 +189,16 @@ func (p *Stream) OnAccess(addr, ip uint64, hit bool) []uint64 {
 	}
 	e.lastLine = line
 	if e.conf < 2 {
-		return nil
+		return buf
 	}
-	out := make([]uint64, 0, p.degree)
 	for i := 1; i <= p.degree; i++ {
 		next := int64(line) + int64(dir*i)
 		if next < 0 {
 			break
 		}
-		out = append(out, uint64(next)*mem.LineSize)
+		buf = append(buf, uint64(next)*mem.LineSize)
 	}
-	return out
+	return buf
 }
 
 func absDelta(a, b uint64) uint64 {

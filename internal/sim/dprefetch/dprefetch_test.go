@@ -26,10 +26,10 @@ func TestNew(t *testing.T) {
 
 func TestNextLine(t *testing.T) {
 	p := NewNextLine(2)
-	if got := p.OnAccess(0x1000, 0, true); got != nil {
+	if got := p.OnAccess(0x1000, 0, true, nil); got != nil {
 		t.Errorf("next-line prefetched on hit: %v", got)
 	}
-	got := p.OnAccess(0x1000, 0, false)
+	got := p.OnAccess(0x1000, 0, false, nil)
 	if len(got) != 2 || got[0] != 0x1040 || got[1] != 0x1080 {
 		t.Errorf("next-line miss prefetch = %v", got)
 	}
@@ -44,7 +44,7 @@ func TestIPStrideDetectsStride(t *testing.T) {
 	const stride = 256
 	var last []uint64
 	for i := 0; i < 6; i++ {
-		last = p.OnAccess(uint64(0x10000+i*stride), ip, false)
+		last = p.OnAccess(uint64(0x10000+i*stride), ip, false, nil)
 	}
 	if len(last) != 2 {
 		t.Fatalf("confident stride issued %d prefetches, want 2", len(last))
@@ -60,15 +60,15 @@ func TestIPStrideNeedsConfidence(t *testing.T) {
 	ip := uint64(0x400100)
 	// First two accesses establish the entry and the first stride
 	// observation; no prefetch yet.
-	if got := p.OnAccess(0x10000, ip, false); got != nil {
+	if got := p.OnAccess(0x10000, ip, false, nil); got != nil {
 		t.Errorf("prefetch after first access: %v", got)
 	}
-	if got := p.OnAccess(0x10100, ip, false); got != nil {
+	if got := p.OnAccess(0x10100, ip, false, nil); got != nil {
 		t.Errorf("prefetch after single stride observation: %v", got)
 	}
 	// Stride change resets confidence.
-	p.OnAccess(0x10200, ip, false) // conf=2 → prefetches
-	if got := p.OnAccess(0x20000, ip, false); got != nil {
+	p.OnAccess(0x10200, ip, false, nil) // conf=2 → prefetches
+	if got := p.OnAccess(0x20000, ip, false, nil); got != nil {
 		t.Errorf("prefetch immediately after stride change: %v", got)
 	}
 }
@@ -76,7 +76,7 @@ func TestIPStrideNeedsConfidence(t *testing.T) {
 func TestIPStrideIgnoresZeroIP(t *testing.T) {
 	p := NewIPStride(64, 2)
 	for i := 0; i < 5; i++ {
-		if got := p.OnAccess(uint64(0x1000+i*64), 0, false); got != nil {
+		if got := p.OnAccess(uint64(0x1000+i*64), 0, false, nil); got != nil {
 			t.Fatalf("prefetched with ip=0: %v", got)
 		}
 	}
@@ -87,8 +87,8 @@ func TestIPStrideDistinctIPs(t *testing.T) {
 	// Two interleaved streams with different strides must both train.
 	var a, b []uint64
 	for i := 0; i < 6; i++ {
-		a = p.OnAccess(uint64(0x10000+i*64), 0x400100, false)
-		b = p.OnAccess(uint64(0x80000+i*4096), 0x400104, false)
+		a = p.OnAccess(uint64(0x10000+i*64), 0x400100, false, nil)
+		b = p.OnAccess(uint64(0x80000+i*4096), 0x400104, false, nil)
 	}
 	if len(a) != 1 || a[0] != 0x10000+5*64+64 {
 		t.Errorf("stream A prefetch = %v", a)
@@ -131,7 +131,7 @@ func TestStreamDetectsBothDirections(t *testing.T) {
 	// Ascending stream in one region.
 	var up []uint64
 	for i := 0; i < 6; i++ {
-		up = p.OnAccess(0x10000+uint64(i)*mem.LineSize, 0, false)
+		up = p.OnAccess(0x10000+uint64(i)*mem.LineSize, 0, false, nil)
 	}
 	if len(up) != 2 || up[0] != 0x10000+6*mem.LineSize {
 		t.Errorf("ascending prefetches = %#v", up)
@@ -139,7 +139,7 @@ func TestStreamDetectsBothDirections(t *testing.T) {
 	// Descending stream in another region.
 	var down []uint64
 	for i := 0; i < 6; i++ {
-		down = p.OnAccess(0x40000-uint64(i)*mem.LineSize, 0, false)
+		down = p.OnAccess(0x40000-uint64(i)*mem.LineSize, 0, false, nil)
 	}
 	if len(down) != 2 || down[0] != 0x40000-6*mem.LineSize {
 		t.Errorf("descending prefetches = %#v", down)
@@ -152,7 +152,7 @@ func TestStreamIgnoresRandom(t *testing.T) {
 	// Jumps beyond the tracking window reset the entry.
 	for i := 0; i < 50; i++ {
 		addr := uint64(0x100000 + (i*37)%17*4096*3)
-		issued += len(p.OnAccess(addr, 0, false))
+		issued += len(p.OnAccess(addr, 0, false, nil))
 	}
 	if issued > 6 {
 		t.Errorf("stream issued %d prefetches on a random pattern", issued)
@@ -166,7 +166,7 @@ func TestStreamPCAgnostic(t *testing.T) {
 	var last []uint64
 	for i := 0; i < 8; i++ {
 		ip := uint64(0x400100 + (i%2)*4)
-		last = p.OnAccess(0x20000+uint64(i)*mem.LineSize, ip, false)
+		last = p.OnAccess(0x20000+uint64(i)*mem.LineSize, ip, false, nil)
 	}
 	if len(last) != 1 {
 		t.Fatalf("interleaved actors defeated the stream prefetcher: %v", last)

@@ -34,7 +34,7 @@ func (p *Barca) Name() string { return "barca" }
 func regionOf(lineAddr uint64) uint64 { return lineAddr >> barcaRegionShift }
 
 // OnAccess implements Prefetcher.
-func (p *Barca) OnAccess(lineAddr uint64, hit bool) []uint64 {
+func (p *Barca) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	reg := regionOf(lineAddr)
 	lineInReg := (lineAddr >> 6) & 15
 
@@ -52,7 +52,6 @@ func (p *Barca) OnAccess(lineAddr uint64, hit bool) []uint64 {
 	}
 	r.footprint |= 1 << lineInReg
 
-	var out []uint64
 	if reg != p.curRegion {
 		// Region transition: link the old region to the new one and
 		// search (prefetch) the new region's recorded footprint plus
@@ -61,41 +60,40 @@ func (p *Barca) OnAccess(lineAddr uint64, hit bool) []uint64 {
 			old.nextRegion = reg
 		}
 		p.curRegion = reg
-		out = p.searchRegion(reg, lineAddr)
+		buf = p.searchRegion(reg, lineAddr, buf)
 		if r.nextRegion != 0 && r.nextRegion != reg {
-			out = append(out, p.searchRegion(r.nextRegion, 0)...)
+			buf = p.searchRegion(r.nextRegion, 0, buf)
 		}
 	} else if !hit {
-		out = append(out, lineAddr+LineSize)
+		buf = append(buf, lineAddr+LineSize)
 	}
-	return out
+	return buf
 }
 
-// searchRegion returns the footprint lines of the region, skipping the line
-// that triggered the search.
-func (p *Barca) searchRegion(reg uint64, trigger uint64) []uint64 {
+// searchRegion appends the footprint lines of the region to buf, skipping
+// the line that triggered the search.
+func (p *Barca) searchRegion(reg uint64, trigger uint64, buf []uint64) []uint64 {
 	r, ok := p.regions[reg]
 	if !ok {
-		return nil
+		return buf
 	}
 	base := reg << barcaRegionShift
-	var out []uint64
 	for b := uint64(0); b < 16; b++ {
 		line := base + b*LineSize
 		if line != trigger && r.footprint&(1<<b) != 0 {
-			out = append(out, line)
+			buf = append(buf, line)
 		}
 	}
-	return out
+	return buf
 }
 
 // OnBranch implements Prefetcher: a taken branch into a new region kicks
 // off the region search early, branch-agnostically — the type of branch is
 // irrelevant, only the region transition matters.
-func (p *Barca) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+func (p *Barca) OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64 {
 	treg := regionOf(target &^ uint64(LineSize-1))
 	if treg == regionOf(pc&^uint64(LineSize-1)) {
-		return nil
+		return buf
 	}
-	return p.searchRegion(treg, 0)
+	return p.searchRegion(treg, 0, buf)
 }

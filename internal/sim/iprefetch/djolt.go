@@ -45,13 +45,13 @@ func (p *DJOLT) Name() string { return "djolt" }
 
 // OnBranch implements Prefetcher: calls and returns advance the signature
 // and trigger the long-range prefetches recorded under the new signature.
-func (p *DJOLT) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+func (p *DJOLT) OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64 {
 	switch btype {
 	case champtrace.BranchDirectCall, champtrace.BranchIndirectCall, champtrace.BranchReturn:
 	default:
 		// Distant-jump component: large displacement jumps also jolt.
 		if diff(pc, target) < 1<<14 {
-			return nil
+			return buf
 		}
 	}
 	p.callHist[p.callPos] = pc >> 2
@@ -64,33 +64,31 @@ func (p *DJOLT) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint6
 	p.sigHistory[p.sigPos] = sig
 	p.sigPos = (p.sigPos + 1) % len(p.sigHistory)
 
-	var out []uint64
 	if e, ok := p.longRange[sig]; ok {
 		for _, l := range e.lines {
 			if l != 0 {
-				out = append(out, l)
+				buf = append(buf, l)
 			}
 		}
 	}
 	// Always cover the jump target itself.
 	line := target &^ uint64(LineSize-1)
-	out = append(out, line, line+LineSize)
-	return out
+	return append(buf, line, line+LineSize)
 }
 
 // OnAccess implements Prefetcher: misses train the long-range table under a
 // LAGGED signature — the one active sigLag call-events ago — so that next
 // time the prefetch fires early enough to hide the full latency.
-func (p *DJOLT) OnAccess(lineAddr uint64, hit bool) []uint64 {
+func (p *DJOLT) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	if hit {
-		return nil
+		return buf
 	}
 	lagged := p.sigHistory[(p.sigPos-p.sigLag+2*len(p.sigHistory))%len(p.sigHistory)]
 	if lagged != 0 {
 		p.train(lagged, lineAddr)
 	}
 	// Small sequential component.
-	return []uint64{lineAddr + LineSize}
+	return append(buf, lineAddr+LineSize)
 }
 
 func (p *DJOLT) train(sig, line uint64) {

@@ -40,13 +40,12 @@ func NewEPI() *EPI {
 func (p *EPI) Name() string { return "epi" }
 
 // OnAccess implements Prefetcher.
-func (p *EPI) OnAccess(lineAddr uint64, hit bool) []uint64 {
-	var out []uint64
+func (p *EPI) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	// Acting as a source: prefetch everything entangled with this line.
 	if e, ok := p.table[lineAddr]; ok {
 		for _, d := range e.dst {
 			if d != 0 && d != lineAddr {
-				out = append(out, d)
+				buf = append(buf, d)
 			}
 		}
 	}
@@ -57,11 +56,11 @@ func (p *EPI) OnAccess(lineAddr uint64, hit bool) []uint64 {
 			p.entangle(src, lineAddr)
 		}
 		// Sequential fallback keeps straight-line code flowing.
-		out = append(out, lineAddr+LineSize, lineAddr+2*LineSize)
+		buf = append(buf, lineAddr+LineSize, lineAddr+2*LineSize)
 	}
 	p.history[p.pos] = lineAddr
 	p.pos = (p.pos + 1) % len(p.history)
-	return out
+	return buf
 }
 
 func (p *EPI) entangle(src, dst uint64) {
@@ -88,10 +87,10 @@ func (p *EPI) entangle(src, dst uint64) {
 
 // OnBranch implements Prefetcher: taken branches to distant targets warm
 // the target's neighbourhood.
-func (p *EPI) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+func (p *EPI) OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64 {
 	if target/LineSize == pc/LineSize {
-		return nil
+		return buf
 	}
 	line := target &^ uint64(LineSize-1)
-	return []uint64{line, line + LineSize}
+	return append(buf, line, line+LineSize)
 }

@@ -45,9 +45,7 @@ func (p *FNLMMA) Name() string { return "fnl-mma" }
 func (p *FNLMMA) fnlIdx(line uint64) uint64 { return (line / LineSize) & p.fnlMask }
 
 // OnAccess implements Prefetcher.
-func (p *FNLMMA) OnAccess(lineAddr uint64, hit bool) []uint64 {
-	var out []uint64
-
+func (p *FNLMMA) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	// FNL: train the footprint bit of the PREVIOUS line if this access is
 	// its sequential successor; prefetch our own successor when worthy.
 	if p.lastHit != 0 {
@@ -62,10 +60,10 @@ func (p *FNLMMA) OnAccess(lineAddr uint64, hit bool) []uint64 {
 	}
 	p.lastHit = lineAddr
 	if p.fnl[p.fnlIdx(lineAddr)] >= 2 {
-		out = append(out, lineAddr+LineSize)
+		buf = append(buf, lineAddr+LineSize)
 		// Fully-confirmed streams look one line further.
 		if p.fnl[p.fnlIdx(lineAddr+LineSize)] == 3 {
-			out = append(out, lineAddr+2*LineSize)
+			buf = append(buf, lineAddr+2*LineSize)
 		}
 	}
 
@@ -88,9 +86,9 @@ func (p *FNLMMA) OnAccess(lineAddr uint64, hit bool) []uint64 {
 			if !ok || next == cur {
 				break
 			}
-			out = append(out, next)
+			buf = append(buf, next)
 			cur = next
 		}
 	}
-	return out
+	return buf
 }

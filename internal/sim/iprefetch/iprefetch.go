@@ -24,31 +24,36 @@ import (
 const LineSize = 64
 
 // Prefetcher observes the front-end's demand fetch stream and control flow
-// and returns cacheline addresses to prefetch into the L1I.
+// and emits cacheline addresses to prefetch into the L1I. Every hook
+// appends its prefetch addresses to buf and returns the extended slice, so
+// the pipeline can reuse one scratch buffer across calls instead of
+// allocating per event.
 type Prefetcher interface {
 	// Name identifies the prefetcher (contest spelling, lowercased).
 	Name() string
 	// OnAccess is invoked for every demand fetch of a cacheline, after
 	// the hit/miss outcome is known.
-	OnAccess(lineAddr uint64, hit bool) []uint64
+	OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64
 	// OnBranch is invoked for every retired taken branch.
-	OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64
+	OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64
 	// OnFTQInsert is invoked when the decoupled front-end enqueues a
 	// fetch target (visibility used by fetch-directed schemes).
-	OnFTQInsert(lineAddr uint64) []uint64
+	OnFTQInsert(lineAddr uint64, buf []uint64) []uint64
 }
 
 // Base provides no-op hooks for prefetchers that only use a subset.
 type Base struct{}
 
 // OnAccess implements Prefetcher.
-func (Base) OnAccess(lineAddr uint64, hit bool) []uint64 { return nil }
+func (Base) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 { return buf }
 
 // OnBranch implements Prefetcher.
-func (Base) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 { return nil }
+func (Base) OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64 {
+	return buf
+}
 
 // OnFTQInsert implements Prefetcher.
-func (Base) OnFTQInsert(lineAddr uint64) []uint64 { return nil }
+func (Base) OnFTQInsert(lineAddr uint64, buf []uint64) []uint64 { return buf }
 
 // Names lists the available prefetchers in Table 3 order, plus the
 // baselines.
@@ -102,13 +107,12 @@ func NewNextLine(degree int) *NextLine {
 func (p *NextLine) Name() string { return "next-line" }
 
 // OnAccess implements Prefetcher.
-func (p *NextLine) OnAccess(lineAddr uint64, hit bool) []uint64 {
+func (p *NextLine) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	if hit {
-		return nil
+		return buf
 	}
-	out := make([]uint64, p.degree)
-	for i := range out {
-		out[i] = lineAddr + uint64(i+1)*LineSize
+	for i := 0; i < p.degree; i++ {
+		buf = append(buf, lineAddr+uint64(i+1)*LineSize)
 	}
-	return out
+	return buf
 }

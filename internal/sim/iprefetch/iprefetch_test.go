@@ -49,7 +49,7 @@ func replayStream(p Prefetcher, stream []uint64) int {
 		if !hit {
 			misses++
 		}
-		for _, pa := range p.OnAccess(line, hit) {
+		for _, pa := range p.OnAccess(line, hit, nil) {
 			resident[pa] = true
 		}
 		resident[line] = true
@@ -117,7 +117,7 @@ func evictingReplay(p Prefetcher, stream []uint64, capacity int) (misses int) {
 		if !hit {
 			misses++
 		}
-		for _, pa := range p.OnAccess(line, hit) {
+		for _, pa := range p.OnAccess(line, hit, nil) {
 			tick++
 			resident[pa] = tick
 			evict()
@@ -178,7 +178,7 @@ func TestDeterminism(t *testing.T) {
 			var all []uint64
 			seen := map[uint64]bool{}
 			for _, line := range stream {
-				all = append(all, p.OnAccess(line, seen[line])...)
+				all = append(all, p.OnAccess(line, seen[line], nil)...)
 				seen[line] = true
 			}
 			return all
@@ -199,11 +199,11 @@ func TestDeterminism(t *testing.T) {
 
 func TestNextLineDegree(t *testing.T) {
 	p := NewNextLine(3)
-	out := p.OnAccess(0x1000, false)
+	out := p.OnAccess(0x1000, false, nil)
 	if len(out) != 3 || out[0] != 0x1040 || out[2] != 0x10c0 {
 		t.Errorf("next-line = %v", out)
 	}
-	if out := p.OnAccess(0x1000, true); out != nil {
+	if out := p.OnAccess(0x1000, true, nil); out != nil {
 		t.Errorf("next-line prefetched on hit: %v", out)
 	}
 }
@@ -212,12 +212,12 @@ func TestEPIEntangling(t *testing.T) {
 	p := NewEPI()
 	// Build a fetch history: lines L0..L30, then a miss at M.
 	for i := 0; i < 30; i++ {
-		p.OnAccess(uint64(0x400000+i*LineSize), true)
+		p.OnAccess(uint64(0x400000+i*LineSize), true, nil)
 	}
-	p.OnAccess(0x900000, false) // entangled with the line `distance` back
+	p.OnAccess(0x900000, false, nil) // entangled with the line `distance` back
 	// Re-run the same history; accessing the source line must prefetch M.
 	src := uint64(0x400000 + (30-p.distance)*LineSize)
-	out := p.OnAccess(src, true)
+	out := p.OnAccess(src, true, nil)
 	found := false
 	for _, a := range out {
 		if a == 0x900000 {
@@ -236,14 +236,14 @@ func TestDJOLTSignatureReplay(t *testing.T) {
 	// Round 1: execute the call chain, then miss. The miss trains under a
 	// lagged signature.
 	for _, c := range callSeq {
-		p.OnBranch(c, c+0x1000, champtrace.BranchDirectCall)
+		p.OnBranch(c, c+0x1000, champtrace.BranchDirectCall, nil)
 	}
-	p.OnAccess(missLine, false)
+	p.OnAccess(missLine, false, nil)
 	// Round 2: replay the same call chain; at some call, the prefetcher
 	// must emit the miss line (distance = sigLag calls early).
 	found := false
 	for _, c := range callSeq {
-		for _, a := range p.OnBranch(c, c+0x1000, champtrace.BranchDirectCall) {
+		for _, a := range p.OnBranch(c, c+0x1000, champtrace.BranchDirectCall, nil) {
 			if a == missLine {
 				found = true
 			}
@@ -257,13 +257,13 @@ func TestDJOLTSignatureReplay(t *testing.T) {
 func TestJIPJumpPointer(t *testing.T) {
 	p := NewJIP()
 	// Run A → jump to B → run B.
-	p.OnAccess(0x400000, false)
-	p.OnAccess(0x400040, false)
-	p.OnAccess(0x800000, false) // discontinuity: 0x400040 → 0x800000
-	p.OnAccess(0x800040, false)
-	p.OnAccess(0x800080, false)
+	p.OnAccess(0x400000, false, nil)
+	p.OnAccess(0x400040, false, nil)
+	p.OnAccess(0x800000, false, nil) // discontinuity: 0x400040 → 0x800000
+	p.OnAccess(0x800040, false, nil)
+	p.OnAccess(0x800080, false, nil)
 	// Revisit the pre-jump line: the jump target and its run follow.
-	out := p.OnAccess(0x400040, true)
+	out := p.OnAccess(0x400040, true, nil)
 	foundTarget, foundRun := false, false
 	for _, a := range out {
 		if a == 0x800000 {
@@ -282,10 +282,10 @@ func TestTAPTemporalReplay(t *testing.T) {
 	p := NewTAP()
 	seq := []uint64{0xa0000, 0xb0000, 0xc0000, 0xd0000}
 	for _, l := range seq {
-		p.OnAccess(l, false)
+		p.OnAccess(l, false, nil)
 	}
 	// Second encounter of the first line must replay its successors.
-	out := p.OnAccess(seq[0], false)
+	out := p.OnAccess(seq[0], false, nil)
 	want := map[uint64]bool{0xb0000: true, 0xc0000: true, 0xd0000: true}
 	got := 0
 	for _, a := range out {
@@ -302,11 +302,11 @@ func TestBarcaRegionFootprint(t *testing.T) {
 	p := NewBarca()
 	// Touch lines 0, 2, 5 of region R, then leave and come back.
 	base := uint64(0x400000)
-	p.OnAccess(base, false)
-	p.OnAccess(base+2*LineSize, false)
-	p.OnAccess(base+5*LineSize, false)
-	p.OnAccess(0x900000, false) // leave the region
-	out := p.OnAccess(base, true)
+	p.OnAccess(base, false, nil)
+	p.OnAccess(base+2*LineSize, false, nil)
+	p.OnAccess(base+5*LineSize, false, nil)
+	p.OnAccess(0x900000, false, nil) // leave the region
+	out := p.OnAccess(base, true, nil)
 	want := map[uint64]bool{base + 2*LineSize: true, base + 5*LineSize: true}
 	got := 0
 	for _, a := range out {
@@ -325,11 +325,11 @@ func TestPIPSScoutWalk(t *testing.T) {
 	// Train the chain several times.
 	for round := 0; round < 5; round++ {
 		for _, l := range chain {
-			p.OnAccess(l, round > 0)
+			p.OnAccess(l, round > 0, nil)
 		}
-		p.OnAccess(0x90000, true) // epilogue so the chain restarts cleanly
+		p.OnAccess(0x90000, true, nil) // epilogue so the chain restarts cleanly
 	}
-	out := p.OnAccess(chain[0], true)
+	out := p.OnAccess(chain[0], true, nil)
 	want := map[uint64]bool{0x20000: true, 0x30000: true, 0x40000: true}
 	got := 0
 	for _, a := range out {
@@ -347,10 +347,10 @@ func TestFNLMMAFootprintGate(t *testing.T) {
 	// Train "B follows A" twice → worthy.
 	a, b := uint64(0x400000), uint64(0x400040)
 	for i := 0; i < 3; i++ {
-		p.OnAccess(a, true)
-		p.OnAccess(b, true)
+		p.OnAccess(a, true, nil)
+		p.OnAccess(b, true, nil)
 	}
-	out := p.OnAccess(a, true)
+	out := p.OnAccess(a, true, nil)
 	found := false
 	for _, x := range out {
 		if x == b {
@@ -363,10 +363,10 @@ func TestFNLMMAFootprintGate(t *testing.T) {
 	// A line whose successor is never sequential must not prefetch it.
 	c := uint64(0x500000)
 	for i := 0; i < 3; i++ {
-		p.OnAccess(c, true)
-		p.OnAccess(0x900000+uint64(i)*0x10000, true)
+		p.OnAccess(c, true, nil)
+		p.OnAccess(0x900000+uint64(i)*0x10000, true, nil)
 	}
-	out = p.OnAccess(c, true)
+	out = p.OnAccess(c, true, nil)
 	for _, x := range out {
 		if x == c+LineSize {
 			t.Errorf("FNL prefetched an unworthy next line: %v", out)
@@ -378,9 +378,9 @@ func TestMANAChain(t *testing.T) {
 	p := NewMANA()
 	chain := []uint64{0x10000, 0x20000, 0x30000}
 	for _, l := range chain {
-		p.OnAccess(l, false)
+		p.OnAccess(l, false, nil)
 	}
-	out := p.OnAccess(chain[0], false)
+	out := p.OnAccess(chain[0], false, nil)
 	found := 0
 	for _, a := range out {
 		if a == 0x20000 || a == 0x30000 {
@@ -394,7 +394,7 @@ func TestMANAChain(t *testing.T) {
 
 func TestBaseNoOps(t *testing.T) {
 	var b Base
-	if b.OnAccess(0x1000, false) != nil || b.OnBranch(1, 2, champtrace.BranchDirectCall) != nil || b.OnFTQInsert(0x40) != nil {
+	if b.OnAccess(0x1000, false, nil) != nil || b.OnBranch(1, 2, champtrace.BranchDirectCall, nil) != nil || b.OnFTQInsert(0x40, nil) != nil {
 		t.Error("Base hooks must be no-ops")
 	}
 }

@@ -34,9 +34,7 @@ func NewJIP() *JIP {
 func (p *JIP) Name() string { return "jip" }
 
 // OnAccess implements Prefetcher.
-func (p *JIP) OnAccess(lineAddr uint64, hit bool) []uint64 {
-	var out []uint64
-
+func (p *JIP) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	if p.lastLine != 0 {
 		if lineAddr == p.lastLine+LineSize {
 			// Sequential step: extend the run credited to the line
@@ -56,19 +54,19 @@ func (p *JIP) OnAccess(lineAddr uint64, hit bool) []uint64 {
 
 	// Prefetch the recorded jump target and its run.
 	if e, ok := p.table[lineAddr]; ok && e.jumpTo != 0 {
-		out = append(out, e.jumpTo)
+		buf = append(buf, e.jumpTo)
 		run := e.runLen
 		if run > 4 {
 			run = 4
 		}
 		for i := 1; i <= run; i++ {
-			out = append(out, e.jumpTo+uint64(i)*LineSize)
+			buf = append(buf, e.jumpTo+uint64(i)*LineSize)
 		}
 	}
 	if !hit {
-		out = append(out, lineAddr+LineSize)
+		buf = append(buf, lineAddr+LineSize)
 	}
-	return out
+	return buf
 }
 
 func (p *JIP) train(from, to uint64) {
@@ -93,11 +91,11 @@ func (p *JIP) train(from, to uint64) {
 // OnBranch implements Prefetcher: jumper pointers are refreshed from the
 // retired branch stream, which sees the true control flow even when fetch
 // stalls hide discontinuities from OnAccess.
-func (p *JIP) OnBranch(pc, target uint64, btype champtrace.BranchType) []uint64 {
+func (p *JIP) OnBranch(pc, target uint64, btype champtrace.BranchType, buf []uint64) []uint64 {
 	from := pc &^ uint64(LineSize-1)
 	to := target &^ uint64(LineSize-1)
 	if from != to {
 		p.train(from, to)
 	}
-	return nil
+	return buf
 }

@@ -30,7 +30,7 @@ func NewMANA() *MANA {
 func (p *MANA) Name() string { return "mana" }
 
 // OnAccess implements Prefetcher.
-func (p *MANA) OnAccess(lineAddr uint64, hit bool) []uint64 {
+func (p *MANA) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	// Spatial training: accesses near the previous miss extend its
 	// footprint.
 	if p.lastMiss != 0 && lineAddr > p.lastMiss {
@@ -41,7 +41,7 @@ func (p *MANA) OnAccess(lineAddr uint64, hit bool) []uint64 {
 		}
 	}
 	if hit {
-		return nil
+		return buf
 	}
 
 	// Chain training: the previous miss's record points at this one.
@@ -65,7 +65,6 @@ func (p *MANA) OnAccess(lineAddr uint64, hit bool) []uint64 {
 	// Walk the chain: prefetch each record's trigger and footprint. A
 	// cold miss with no recorded successor falls back to the next line
 	// (a fresh record's implicit spatial footprint).
-	var out []uint64
 	cur := lineAddr
 	for step := 0; step < p.depth; step++ {
 		r, ok := p.records[cur]
@@ -73,18 +72,18 @@ func (p *MANA) OnAccess(lineAddr uint64, hit bool) []uint64 {
 			break
 		}
 		if step == 0 && r.next == 0 && r.footprint == 0 {
-			out = append(out, lineAddr+LineSize)
+			buf = append(buf, lineAddr+LineSize)
 		}
 		for b := uint64(0); b < 4; b++ {
 			if r.footprint&(1<<b) != 0 {
-				out = append(out, cur+(b+1)*LineSize)
+				buf = append(buf, cur+(b+1)*LineSize)
 			}
 		}
 		if r.next == 0 || r.next == cur {
 			break
 		}
-		out = append(out, r.next)
+		buf = append(buf, r.next)
 		cur = r.next
 	}
-	return out
+	return buf
 }

@@ -27,7 +27,7 @@ func NewPIPS() *PIPS {
 func (p *PIPS) Name() string { return "pips" }
 
 // OnAccess implements Prefetcher.
-func (p *PIPS) OnAccess(lineAddr uint64, hit bool) []uint64 {
+func (p *PIPS) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	if p.lastLine != 0 && p.lastLine != lineAddr {
 		p.train(p.lastLine, lineAddr)
 	}
@@ -35,7 +35,6 @@ func (p *PIPS) OnAccess(lineAddr uint64, hit bool) []uint64 {
 
 	// Scout walk: follow the strongest successor while it stays
 	// sufficiently probable.
-	var out []uint64
 	cur := lineAddr
 	for step := 0; step < p.depth; step++ {
 		e, ok := p.table[cur]
@@ -54,13 +53,13 @@ func (p *PIPS) OnAccess(lineAddr uint64, hit bool) []uint64 {
 		if best == 0 || bestCount < 2 || int(bestCount)*3 < total*2 {
 			break
 		}
-		out = append(out, best)
+		buf = append(buf, best)
 		cur = best
 	}
 	if !hit {
-		out = append(out, lineAddr+LineSize)
+		buf = append(buf, lineAddr+LineSize)
 	}
-	return out
+	return buf
 }
 
 func (p *PIPS) train(from, to uint64) {

@@ -29,11 +29,10 @@ func NewTAP() *TAP {
 func (p *TAP) Name() string { return "tap" }
 
 // OnAccess implements Prefetcher.
-func (p *TAP) OnAccess(lineAddr uint64, hit bool) []uint64 {
+func (p *TAP) OnAccess(lineAddr uint64, hit bool, buf []uint64) []uint64 {
 	if hit {
-		return nil
+		return buf
 	}
-	var out []uint64
 	if prev, ok := p.index[lineAddr]; ok {
 		// Replay the successors of the ancestor occurrence, stopping
 		// at the write position (entries beyond it are stale).
@@ -43,12 +42,12 @@ func (p *TAP) OnAccess(lineAddr uint64, hit bool) []uint64 {
 				break
 			}
 			if l := p.ghb[idx]; l != 0 && l != lineAddr {
-				out = append(out, l)
+				buf = append(buf, l)
 			}
 		}
 	} else {
 		// Cold line: fall back to sequential.
-		out = append(out, lineAddr+LineSize)
+		buf = append(buf, lineAddr+LineSize)
 	}
 
 	// Record this miss.
@@ -62,5 +61,5 @@ func (p *TAP) OnAccess(lineAddr uint64, hit bool) []uint64 {
 	p.ghb[p.pos] = lineAddr
 	p.index[lineAddr] = p.pos
 	p.pos = (p.pos + 1) % len(p.ghb)
-	return out
+	return buf
 }

@@ -87,28 +87,30 @@ type Prefetcher interface {
 	Name() string
 	// OnAccess is invoked for every demand access, after the hit/miss
 	// outcome is known. ip is the program counter of the requesting
-	// instruction (0 for instruction fetches). The returned addresses
-	// are prefetched by the owning cache.
-	OnAccess(addr, ip uint64, hit bool) []uint64
+	// instruction (0 for instruction fetches). Prefetch addresses are
+	// appended to buf and the extended slice returned, so the owning
+	// cache can reuse one buffer across accesses.
+	OnAccess(addr, ip uint64, hit bool, buf []uint64) []uint64
 }
 
-// Cache is one set-associative write-back cache level.
+// Cache is one set-associative write-back cache level. The lines of all
+// sets live in one contiguous slice (set s spans lines[s*ways : (s+1)*ways])
+// so a lookup touches a single allocation with no per-set header hop.
 type Cache struct {
 	cfg     Config
 	next    Level
-	sets    []set
+	lines   []line
+	ways    int
 	lruTick uint64
 	// outstanding holds completion cycles of in-flight fills for MSHR
 	// accounting; expired entries are pruned lazily.
 	outstanding []uint64
 	pf          Prefetcher
-	policy      Replacement // nil = built-in LRU
-	stats       Stats
-	setMask     uint64
-}
-
-type set struct {
-	lines []line
+	// pfBuf is the reusable buffer the prefetcher appends into.
+	pfBuf   []uint64
+	policy  Replacement // nil = built-in LRU
+	stats   Stats
+	setMask uint64
 }
 
 // NewCache builds a cache in front of next. cfg.Sets must be a power of two.
@@ -126,12 +128,15 @@ func NewCache(cfg Config, next Level) *Cache {
 	if !ok {
 		panic("mem: unknown replacement policy " + cfg.Policy)
 	}
-	c := &Cache{cfg: cfg, next: next, setMask: uint64(cfg.Sets - 1), policy: pol}
-	c.sets = make([]set, cfg.Sets)
-	for i := range c.sets {
-		c.sets[i].lines = make([]line, cfg.Ways)
+	return &Cache{
+		cfg:         cfg,
+		next:        next,
+		setMask:     uint64(cfg.Sets - 1),
+		policy:      pol,
+		lines:       make([]line, cfg.Sets*cfg.Ways),
+		ways:        cfg.Ways,
+		outstanding: make([]uint64, 0, 2*cfg.MSHRs),
 	}
-	return c
 }
 
 // SetPrefetcher attaches p to the cache. Prefetches issued by p fill this
@@ -173,7 +178,8 @@ func (c *Cache) Access(addr uint64, cycle uint64, kind AccessKind) uint64 {
 func (c *Cache) AccessIP(addr, ip uint64, cycle uint64, kind AccessKind) uint64 {
 	done, hit := c.lookup(addr, cycle, kind)
 	if kind.IsDemand() && c.pf != nil {
-		for _, pa := range c.pf.OnAccess(LineAddr(addr), ip, hit) {
+		c.pfBuf = c.pf.OnAccess(LineAddr(addr), ip, hit, c.pfBuf[:0])
+		for _, pa := range c.pfBuf {
 			c.stats.PrefetchIssued++
 			c.lookup(pa, cycle, Prefetch)
 		}
@@ -183,7 +189,7 @@ func (c *Cache) AccessIP(addr, ip uint64, cycle uint64, kind AccessKind) uint64 
 
 func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool) {
 	setIdx, tag := c.index(addr)
-	s := &c.sets[setIdx]
+	set := c.lines[setIdx*c.ways : (setIdx+1)*c.ways]
 	demand := kind.IsDemand()
 	if demand {
 		c.stats.Accesses++
@@ -193,8 +199,8 @@ func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool
 	}
 	c.lruTick++
 
-	for i := range s.lines {
-		ln := &s.lines[i]
+	for i := range set {
+		ln := &set[i]
 		if ln.valid && ln.tag == tag {
 			ln.lru = c.lruTick
 			if c.policy != nil && demand {
@@ -258,8 +264,8 @@ func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool
 	// Victim selection: invalid lines first, then the configured policy
 	// (or LRU).
 	victim := -1
-	for i := range s.lines {
-		if !s.lines[i].valid {
+	for i := range set {
+		if !set[i].valid {
 			victim = i
 			break
 		}
@@ -269,14 +275,14 @@ func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool
 			victim = c.policy.Victim(setIdx)
 		} else {
 			victim = 0
-			for i := range s.lines {
-				if s.lines[i].lru < s.lines[victim].lru {
+			for i := range set {
+				if set[i].lru < set[victim].lru {
 					victim = i
 				}
 			}
 		}
 	}
-	s.lines[victim] = line{tag: tag, valid: true, ready: ready, lru: c.lruTick, prefetched: kind == Prefetch}
+	set[victim] = line{tag: tag, valid: true, ready: ready, lru: c.lruTick, prefetched: kind == Prefetch}
 	if c.policy != nil {
 		c.policy.Fill(setIdx, victim, kind == Prefetch)
 	}
@@ -287,7 +293,7 @@ func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool
 // fill completion) — used by tests and by front-end probe logic.
 func (c *Cache) Contains(addr uint64) bool {
 	setIdx, tag := c.index(addr)
-	for _, ln := range c.sets[setIdx].lines {
+	for _, ln := range c.lines[setIdx*c.ways : (setIdx+1)*c.ways] {
 		if ln.valid && ln.tag == tag {
 			return true
 		}

@@ -130,12 +130,12 @@ func TestPrefetchSemantics(t *testing.T) {
 type recordingPF struct{ issued []uint64 }
 
 func (p *recordingPF) Name() string { return "test-nl" }
-func (p *recordingPF) OnAccess(addr, ip uint64, hit bool) []uint64 {
+func (p *recordingPF) OnAccess(addr, ip uint64, hit bool, buf []uint64) []uint64 {
 	if hit {
-		return nil
+		return buf
 	}
 	p.issued = append(p.issued, addr+LineSize)
-	return []uint64{addr + LineSize}
+	return append(buf, addr+LineSize)
 }
 
 func TestPrefetcherHook(t *testing.T) {

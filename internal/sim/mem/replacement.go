@@ -38,19 +38,18 @@ const rripMax = 3
 
 // SRRIP is Static RRIP: lines insert with a long re-reference prediction
 // (rripMax-1) and promote to 0 on hit; victims are lines with RRPV==max,
-// aging the set until one exists.
+// aging the set until one exists. The RRPV counters of all sets live in one
+// flat slice with a ways stride.
 type SRRIP struct {
-	rrpv [][]uint8
+	rrpv []uint8
+	ways int
 }
 
 // NewSRRIP builds an SRRIP policy.
 func NewSRRIP(sets, ways int) *SRRIP {
-	s := &SRRIP{rrpv: make([][]uint8, sets)}
+	s := &SRRIP{rrpv: make([]uint8, sets*ways), ways: ways}
 	for i := range s.rrpv {
-		s.rrpv[i] = make([]uint8, ways)
-		for j := range s.rrpv[i] {
-			s.rrpv[i][j] = rripMax
-		}
+		s.rrpv[i] = rripMax
 	}
 	return s
 }
@@ -59,7 +58,7 @@ func NewSRRIP(sets, ways int) *SRRIP {
 func (s *SRRIP) Name() string { return "srrip" }
 
 // Hit implements Replacement.
-func (s *SRRIP) Hit(set, way int) { s.rrpv[set][way] = 0 }
+func (s *SRRIP) Hit(set, way int) { s.rrpv[set*s.ways+way] = 0 }
 
 // Fill implements Replacement: long re-reference interval on insertion —
 // streaming lines age out before disturbing the working set.
@@ -68,12 +67,12 @@ func (s *SRRIP) Fill(set, way int, pf bool) {
 	if pf {
 		v = rripMax // prefetches are the most speculative
 	}
-	s.rrpv[set][way] = v
+	s.rrpv[set*s.ways+way] = v
 }
 
 // Victim implements Replacement.
 func (s *SRRIP) Victim(set int) int {
-	row := s.rrpv[set]
+	row := s.rrpv[set*s.ways : (set+1)*s.ways]
 	for {
 		for i, v := range row {
 			if v == rripMax {
@@ -150,9 +149,9 @@ func (d *DRRIP) Fill(set, way int, pf bool) {
 		// the time.
 		d.brc++
 		if d.brc%32 == 0 {
-			d.srrip.rrpv[set][way] = rripMax - 1
+			d.srrip.rrpv[set*d.srrip.ways+way] = rripMax - 1
 		} else {
-			d.srrip.rrpv[set][way] = rripMax
+			d.srrip.rrpv[set*d.srrip.ways+way] = rripMax
 		}
 		return
 	}

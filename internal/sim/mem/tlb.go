@@ -24,10 +24,12 @@ type TLBStats struct {
 	Accesses, Hits, Misses uint64
 }
 
-// TLB is a set-associative translation buffer.
+// TLB is a set-associative translation buffer. All sets live in one flat
+// slice: set s spans entries[s*ways : (s+1)*ways].
 type TLB struct {
 	cfg     TLBConfig
-	sets    [][]tlbEntry
+	entries []tlbEntry
+	ways    int
 	setMask uint64
 	tick    uint64
 	stats   TLBStats
@@ -47,12 +49,12 @@ func NewTLB(cfg TLBConfig) *TLB {
 	if cfg.Ways <= 0 {
 		panic("mem: TLB ways must be positive")
 	}
-	t := &TLB{cfg: cfg, setMask: uint64(cfg.Sets - 1)}
-	t.sets = make([][]tlbEntry, cfg.Sets)
-	for i := range t.sets {
-		t.sets[i] = make([]tlbEntry, cfg.Ways)
+	return &TLB{
+		cfg:     cfg,
+		setMask: uint64(cfg.Sets - 1),
+		entries: make([]tlbEntry, cfg.Sets*cfg.Ways),
+		ways:    cfg.Ways,
 	}
-	return t
 }
 
 // Config returns the TLB configuration.
@@ -69,11 +71,12 @@ func (t *TLB) ResetStats() { t.stats = TLBStats{} }
 // level resolves).
 func (t *TLB) Lookup(addr uint64) bool {
 	vpn := PageOf(addr)
-	set := vpn & t.setMask
+	setIdx := int(vpn & t.setMask)
+	set := t.entries[setIdx*t.ways : (setIdx+1)*t.ways]
 	t.tick++
 	t.stats.Accesses++
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
+	for i := range set {
+		e := &set[i]
 		if e.valid && e.vpn == vpn {
 			e.lru = t.tick
 			t.stats.Hits++
@@ -87,11 +90,12 @@ func (t *TLB) Lookup(addr uint64) bool {
 // Insert fills the translation for addr, evicting LRU.
 func (t *TLB) Insert(addr uint64) {
 	vpn := PageOf(addr)
-	set := vpn & t.setMask
+	setIdx := int(vpn & t.setMask)
+	set := t.entries[setIdx*t.ways : (setIdx+1)*t.ways]
 	t.tick++
 	victim := 0
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
+	for i := range set {
+		e := &set[i]
 		if e.valid && e.vpn == vpn {
 			e.lru = t.tick
 			return
@@ -100,11 +104,11 @@ func (t *TLB) Insert(addr uint64) {
 			victim = i
 			break
 		}
-		if e.lru < t.sets[set][victim].lru {
+		if e.lru < set[victim].lru {
 			victim = i
 		}
 	}
-	t.sets[set][victim] = tlbEntry{vpn: vpn, valid: true, lru: t.tick}
+	set[victim] = tlbEntry{vpn: vpn, valid: true, lru: t.tick}
 }
 
 // TLBHierarchyConfig sizes the translation structures.

@@ -1,0 +1,98 @@
+#!/bin/sh
+# bench_compare.sh — run the paired allocation benchmarks on a reference
+# revision and on the working tree, and print ns/op, B/op, allocs/op deltas.
+#
+# Usage:
+#   scripts/bench_compare.sh [REF] [BENCH_REGEX]
+#
+#   REF          git revision to compare against (default: HEAD). When the
+#                working tree is dirty the tree is stashed while the
+#                reference run executes and restored afterwards.
+#   BENCH_REGEX  -bench regex (default: the simulator-core pair
+#                'BenchmarkPipeline$|BenchmarkHierarchy$|ConvertSimulate').
+#
+# Environment:
+#   GO         go binary (default: go)
+#   BENCHTIME  -benchtime value (default: 3x — enough for stable allocs/op;
+#              raise for publication-quality ns/op)
+#
+# The script never runs benchmarks concurrently and pins -count 1, so the
+# two runs see the same machine state back to back.
+set -eu
+
+GO=${GO:-go}
+BENCHTIME=${BENCHTIME:-3x}
+REF=${1:-HEAD}
+BENCH=${2:-'BenchmarkPipeline$|BenchmarkHierarchy$|ConvertSimulate'}
+
+repo_root=$(git rev-parse --show-toplevel)
+cd "$repo_root"
+
+old_out=$(mktemp /tmp/bench_ref.XXXXXX)
+new_out=$(mktemp /tmp/bench_new.XXXXXX)
+trap 'rm -f "$old_out" "$new_out"' EXIT
+
+run_bench() {
+	"$GO" test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . 2>&1 |
+		grep -E '^Benchmark' || true
+}
+
+echo "== working tree =="
+run_bench | tee "$new_out"
+
+stashed=0
+if ! git diff --quiet || ! git diff --cached --quiet; then
+	git stash push --quiet --include-untracked -m bench_compare
+	stashed=1
+fi
+restore() {
+	if [ "$stashed" -eq 1 ]; then
+		git stash pop --quiet
+		stashed=0
+	fi
+	if [ -n "${orig_head:-}" ]; then
+		git checkout --quiet "$orig_head"
+		orig_head=
+	fi
+}
+trap 'restore; rm -f "$old_out" "$new_out"' EXIT
+
+orig_head=$(git rev-parse --abbrev-ref HEAD)
+[ "$orig_head" = "HEAD" ] && orig_head=$(git rev-parse HEAD)
+if [ "$(git rev-parse "$REF")" != "$(git rev-parse HEAD)" ]; then
+	git checkout --quiet "$REF"
+else
+	orig_head=
+fi
+
+echo
+echo "== reference ($REF) =="
+run_bench | tee "$old_out"
+
+restore
+
+echo
+echo "== deltas (reference -> working tree) =="
+awk '
+	# Columns shift when a benchmark reports extra metrics (e.g. MB/s), so
+	# locate each value by the unit label that follows it.
+	function metric(unit,   i) {
+		for (i = 2; i <= NF; i++) if ($i == unit) return $(i - 1)
+		return 0
+	}
+	function pct(o, n) {
+		if (o == 0) return (n == 0) ? "0%" : "n/a"
+		return sprintf("%+.1f%%", 100 * (n - o) / o)
+	}
+	NR == FNR {
+		ns[$1] = metric("ns/op"); b[$1] = metric("B/op"); a[$1] = metric("allocs/op")
+		next
+	}
+	{
+		if (!($1 in ns)) { printf "%-40s (new benchmark)\n", $1; next }
+		printf "%-40s ns/op %12d -> %12d (%s)   B/op %9d -> %9d (%s)   allocs/op %7d -> %7d (%s)\n",
+			$1, ns[$1], metric("ns/op"), pct(ns[$1], metric("ns/op")),
+			b[$1], metric("B/op"), pct(b[$1], metric("B/op")),
+			a[$1], metric("allocs/op"), pct(a[$1], metric("allocs/op"))
+	}
+' "$old_out" "$new_out"
