@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare
+.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,16 @@ bench:
 REF ?= HEAD
 bench-compare:
 	scripts/bench_compare.sh $(REF) $(BENCH)
+
+# Cold/warm result-cache pair against a fresh store: the warm run must be
+# near-instant with byte-identical output. See EXPERIMENTS.md "Warm/cold
+# cache benchmark workflow"; BENCH_4.json records the headline pair.
+STEP ?= 3
+bench-cache:
+	$(GO) build -o /tmp/rebase-bench ./cmd/rebase
+	@dir=$$(mktemp -d); \
+	echo "cache dir: $$dir"; \
+	/tmp/rebase-bench -exp all -step $(STEP) -cache-dir $$dir >/tmp/bench-cache-cold.out; \
+	/tmp/rebase-bench -exp all -step $(STEP) -cache-dir $$dir >/tmp/bench-cache-warm.out; \
+	cmp /tmp/bench-cache-cold.out /tmp/bench-cache-warm.out && echo "outputs identical"; \
+	rm -rf $$dir

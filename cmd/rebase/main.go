@@ -10,9 +10,19 @@
 // Tables 2–3 run the 50 IPC-1 traces on the develop and IPC-1 models
 // respectively.
 //
+// Results are served from a content-addressed cache when possible: the
+// whole pipeline is deterministic, so a (trace, variant, config) cell that
+// was simulated before — by this run, an earlier run, or a concurrent one —
+// is loaded from ~/.cache/tracerebase instead of recomputed, making warm
+// re-runs near-instant with byte-identical output. -cache-dir relocates
+// the store (as does $TRACEREBASE_CACHE_DIR), -no-cache disables it
+// entirely, and a cache summary line (hits/misses/bytes) is printed after
+// each run. Use `traceinfo -cachekey` to inspect a cell's key derivation.
+//
 // For performance work, -cpuprofile and -memprofile write pprof profiles
-// covering the whole run, and -bench-json records the wall-clock and
-// configuration of the run as a small JSON document (see BENCH_1.json).
+// covering the whole run, and -bench-json records the wall-clock,
+// configuration, and cache activity of the run as a small JSON document
+// (see BENCH_1.json, BENCH_4.json).
 //
 // rebase -selftest runs the conformance suite instead of an experiment:
 // golden-corpus verification, the differential battery over the synthetic
@@ -58,8 +68,27 @@ func run() (code int) {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON  = flag.String("bench-json", "", "write run timing and configuration as JSON to this file")
 		selftest   = flag.Bool("selftest", false, "run the conformance suite (positional args: trace files to validate)")
+		useCache   = flag.Bool("cache", true, "serve repeated (trace, variant, config) simulations from the result cache")
+		noCache    = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
+		cacheDir   = flag.String("cache-dir", "", "result cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir, e.g. ~/.cache/tracerebase)")
 	)
 	flag.Parse()
+
+	// Reject nonsensical run shapes before any work starts: a warm-up
+	// consuming the whole run would leave every measurement region empty,
+	// and negative counts have no meaning.
+	if *instrs <= 0 {
+		return fail("-instructions must be positive (got %d)", *instrs)
+	}
+	if !*selftest && *warmup >= uint64(*instrs) {
+		return fail("-warmup %d >= -instructions %d leaves an empty measurement region", *warmup, *instrs)
+	}
+	if *parallel < 0 {
+		return fail("-parallel must be >= 0 (got %d)", *parallel)
+	}
+	if *step < 1 {
+		return fail("-step must be >= 1 (got %d)", *step)
+	}
 
 	if *selftest {
 		log := io.Writer(os.Stderr)
@@ -113,6 +142,16 @@ func run() (code int) {
 		Instructions: *instrs,
 		Warmup:       *warmup,
 		Parallelism:  *parallel,
+	}
+	if *useCache && !*noCache {
+		cache, err := experiments.OpenResultCache(*cacheDir, 0)
+		if err != nil {
+			// A broken cache must never block the run; fall back to the
+			// uncached engine.
+			fmt.Fprintf(os.Stderr, "rebase: cache disabled: %v\n", err)
+		} else {
+			cfg.Cache = cache
+		}
 	}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
@@ -242,6 +281,12 @@ func run() (code int) {
 	}
 	elapsed := time.Since(start)
 	if !*quiet {
+		if cfg.Cache != nil {
+			s := cfg.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d corrupt, %d evicted, %.1f MB read, %.1f MB written (%s)\n",
+				s.Hits, s.MemHits, s.DiskHits, s.Misses, s.Corrupt, s.Evictions,
+				float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6, cfg.Cache.Dir())
+		}
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if *benchJSON != "" {
@@ -255,17 +300,31 @@ func run() (code int) {
 // benchRecord is the schema of -bench-json output: enough context to make
 // a recorded wall-clock comparable across machines and configurations.
 type benchRecord struct {
-	Experiment   string  `json:"experiment"`
-	Step         int     `json:"step"`
-	Instructions int     `json:"instructions"`
-	Warmup       uint64  `json:"warmup"`
-	Parallelism  int     `json:"parallelism"`
-	NumCPU       int     `json:"num_cpu"`
-	GOOS         string  `json:"goos"`
-	GOARCH       string  `json:"goarch"`
-	GoVersion    string  `json:"go_version"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	Timestamp    string  `json:"timestamp"`
+	Experiment   string      `json:"experiment"`
+	Step         int         `json:"step"`
+	Instructions int         `json:"instructions"`
+	Warmup       uint64      `json:"warmup"`
+	Parallelism  int         `json:"parallelism"`
+	NumCPU       int         `json:"num_cpu"`
+	GOOS         string      `json:"goos"`
+	GOARCH       string      `json:"goarch"`
+	GoVersion    string      `json:"go_version"`
+	WallSeconds  float64     `json:"wall_seconds"`
+	Timestamp    string      `json:"timestamp"`
+	Cache        *benchCache `json:"cache,omitempty"`
+}
+
+// benchCache records result-cache activity so a BENCH file distinguishes
+// cold runs (all misses) from warm runs (all hits).
+type benchCache struct {
+	Hits         uint64 `json:"hits"`
+	MemHits      uint64 `json:"mem_hits"`
+	DiskHits     uint64 `json:"disk_hits"`
+	Misses       uint64 `json:"misses"`
+	Corrupt      uint64 `json:"corrupt"`
+	Evictions    uint64 `json:"evictions"`
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
 }
 
 func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration) error {
@@ -285,6 +344,14 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 		GoVersion:    runtime.Version(),
 		WallSeconds:  elapsed.Seconds(),
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	if cfg.Cache != nil {
+		s := cfg.Cache.Stats()
+		rec.Cache = &benchCache{
+			Hits: s.Hits, MemHits: s.MemHits, DiskHits: s.DiskHits,
+			Misses: s.Misses, Corrupt: s.Corrupt, Evictions: s.Evictions,
+			BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
+		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

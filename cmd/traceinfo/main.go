@@ -5,6 +5,15 @@
 //
 //	traceinfo -t srv_0.cvp.gz
 //	traceinfo -t srv_0.champsim -format champsim -rules patched
+//
+// With -cachekey it instead prints the result-cache key derivation for a
+// synthetic trace and variant — every component hash (profile, options,
+// simulator config, code fingerprint) plus the final content address — so
+// an unexpected cache miss can be debugged by diffing components against
+// an earlier run:
+//
+//	traceinfo -cachekey -profile srv_0 -variant All_imps
+//	traceinfo -cachekey -profile server_023 -variant No_imp -model ipc1 -prefetcher epi
 package main
 
 import (
@@ -14,7 +23,11 @@ import (
 	"os"
 
 	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
 	"tracerebase/internal/cvp"
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
 )
 
 func main() {
@@ -22,10 +35,24 @@ func main() {
 		tracePath = flag.String("t", "", "input trace; '-' for stdin")
 		format    = flag.String("format", "cvp", "trace format: cvp or champsim")
 		rules     = flag.String("rules", "original", "branch deduction rules for champsim traces")
+
+		cachekey   = flag.Bool("cachekey", false, "print the result-cache key components for a synthetic trace/variant")
+		profile    = flag.String("profile", "", "synthetic trace name (public suite or IPC-1 suite) for -cachekey")
+		variant    = flag.String("variant", "All_imps", "converter variant or improvement name for -cachekey")
+		model      = flag.String("model", "develop", "simulator model for -cachekey: develop or ipc1")
+		prefetcher = flag.String("prefetcher", "none", "L1I prefetcher of the ipc1 model for -cachekey")
+		instrs     = flag.Int("instructions", 150000, "instructions per trace for -cachekey")
+		warmup     = flag.Uint64("warmup", 50000, "warm-up instructions for -cachekey")
 	)
 	flag.Parse()
+	if *cachekey {
+		if err := printCacheKey(*profile, *variant, *model, *prefetcher, *instrs, *warmup); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 	if *tracePath == "" {
-		fatalf("need -t trace")
+		fatalf("need -t trace (or -cachekey -profile NAME)")
 	}
 	in := os.Stdin
 	if *tracePath != "-" {
@@ -195,6 +222,82 @@ func champInfo(r *champtrace.Reader, rules champtrace.RuleSet) error {
 	fmt.Printf("stores:        %d (%.2f%%)\n", stores, pct(stores))
 	fmt.Printf("multi-address: %d (%.2f%%) — mem-footprint cacheline splits\n", multiAddr, pct(multiAddr))
 	return nil
+}
+
+// printCacheKey resolves the named synthetic trace and variant, derives
+// the result-cache key exactly as the sweep engine would, and prints every
+// component. Two runs disagreeing on the final key can be diagnosed by the
+// first component line that differs.
+func printCacheKey(profileName, variantName, model, prefetcher string, instructions int, warmup uint64) error {
+	if profileName == "" {
+		return fmt.Errorf("-cachekey needs -profile NAME (e.g. srv_0 or server_023)")
+	}
+	p, err := findProfile(profileName)
+	if err != nil {
+		return err
+	}
+	opts, err := findOptions(variantName)
+	if err != nil {
+		return err
+	}
+	var cfg sim.Config
+	switch model {
+	case "develop":
+		// Rules pair with the variant the same way the sweep pairs them.
+		cfg = experiments.DevelopConfigFor(opts)
+	case "ipc1":
+		rules := champtrace.RulesOriginal
+		if opts.BranchRegs {
+			rules = champtrace.RulesPatched
+		}
+		cfg = sim.ConfigIPC1(prefetcher, rules)
+	default:
+		return fmt.Errorf("unknown -model %q (develop or ipc1)", model)
+	}
+
+	info := experiments.CacheKey(p, opts, cfg, instructions, warmup)
+	fmt.Printf("trace:           %s (%s)\n", p.Name, p.Category)
+	fmt.Printf("variant:         %s (bits %#02x)\n", opts, opts.Bits())
+	fmt.Printf("model:           %s\n", cfg.Name)
+	fmt.Printf("instructions:    %d (warmup %d)\n", info.Instructions, info.Warmup)
+	fmt.Printf("schema version:  %d\n", info.SchemaVersion)
+	fmt.Printf("profile hash:    %s\n", info.ProfileHash)
+	fmt.Printf("options hash:    %s\n", info.OptionsHash)
+	fmt.Printf("config hash:     %s\n", info.ConfigHash)
+	fmt.Printf("fingerprint:     %s\n", info.Fingerprint)
+	fmt.Printf("cache key:       %s\n", info.Key)
+	fmt.Printf("config identity: %s\n", info.ConfigIdentity)
+	return nil
+}
+
+// findProfile resolves a trace name against the public suite, then the
+// IPC-1 suite (both its IPC-1 names and the underlying CVP names).
+func findProfile(name string) (synth.Profile, error) {
+	for _, p := range synth.PublicSuite() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	if tr, ok := synth.FindIPC1(name); ok {
+		return tr.Profile, nil
+	}
+	for _, tr := range synth.IPC1Suite() {
+		if tr.CVPName == name || tr.Profile.Name == name {
+			return tr.Profile, nil
+		}
+	}
+	return synth.Profile{}, fmt.Errorf("unknown trace %q (not in the public or IPC-1 suites)", name)
+}
+
+// findOptions resolves a variant label (sweep variant names like All_imps,
+// or any spelling core.ParseImprovement accepts).
+func findOptions(name string) (core.Options, error) {
+	for _, v := range experiments.Variants() {
+		if v.Name == name {
+			return v.Opts, nil
+		}
+	}
+	return core.ParseImprovement(name)
 }
 
 func fatalf(format string, args ...any) {

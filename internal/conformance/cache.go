@@ -1,0 +1,153 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/synth"
+)
+
+// CheckCacheTransparency is the differential oracle for the result cache:
+// the cache must be invisible in the output. It runs the same sweep four
+// ways — uncached, cold cache, warm cache (a fresh Cache instance over the
+// same directory, modelling a second process), and warm cache with one
+// entry deliberately corrupted on disk — and requires byte-identical
+// rendered output from all of them. It also asserts the cache behaved as
+// claimed: the warm run served everything from disk without computing, and
+// the corrupted entry was detected, discarded, and recomputed rather than
+// served.
+func CheckCacheTransparency(profiles []synth.Profile, instructions int, warmup uint64) error {
+	dir, err := os.MkdirTemp("", "tracerebase-cachecheck-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	baseCfg := experiments.SweepConfig{
+		Instructions: instructions,
+		Warmup:       warmup,
+		Parallelism:  2,
+		Variants:     nil, // all ten: every (options, rules) pairing is keyed
+	}
+	render := func(res []experiments.TraceResult) []byte {
+		// Figs. 1 and 5 together consume IPC, converter stats, and
+		// return-MPKI stats — a wide slice of the Result payload.
+		var buf bytes.Buffer
+		experiments.RenderFig1(&buf, experiments.Fig1(res))
+		experiments.RenderFig5(&buf, experiments.Fig5(res))
+		return buf.Bytes()
+	}
+	sweep := func(cache *experiments.ResultCache) ([]byte, []experiments.TraceResult, error) {
+		cfg := baseCfg
+		cfg.Cache = cache
+		res, err := experiments.RunSweep(profiles, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return render(res), res, nil
+	}
+
+	want, wantRes, err := sweep(nil)
+	if err != nil {
+		return fmt.Errorf("uncached sweep: %w", err)
+	}
+
+	cold, err := experiments.OpenResultCache(dir, 0)
+	if err != nil {
+		return err
+	}
+	coldOut, coldRes, err := sweep(cold)
+	if err != nil {
+		return fmt.Errorf("cold cached sweep: %w", err)
+	}
+	if !bytes.Equal(coldOut, want) {
+		return fmt.Errorf("cold cached sweep output differs from uncached output")
+	}
+	if !reflect.DeepEqual(coldRes, wantRes) {
+		return fmt.Errorf("cold cached sweep results differ structurally from uncached results")
+	}
+	jobs := uint64(len(profiles) * len(experiments.Variants()))
+	if s := cold.Stats(); s.Computes != jobs || s.Hits != 0 {
+		return fmt.Errorf("cold cache computed %d cells with %d hits, want %d computes and 0 hits", s.Computes, s.Hits, jobs)
+	}
+
+	// A fresh instance over the same directory stands in for a second
+	// process: everything must come from disk, nothing recomputed.
+	warm, err := experiments.OpenResultCache(dir, 0)
+	if err != nil {
+		return err
+	}
+	warmOut, warmRes, err := sweep(warm)
+	if err != nil {
+		return fmt.Errorf("warm cached sweep: %w", err)
+	}
+	if !bytes.Equal(warmOut, want) {
+		return fmt.Errorf("warm cached sweep output differs from fresh output")
+	}
+	if !reflect.DeepEqual(warmRes, wantRes) {
+		return fmt.Errorf("warm cached sweep results differ structurally from fresh results")
+	}
+	if s := warm.Stats(); s.Computes != 0 || s.DiskHits != jobs {
+		return fmt.Errorf("warm cache: %d computes, %d disk hits, want 0 and %d", s.Computes, s.DiskHits, jobs)
+	}
+
+	// Corrupt one stored entry mid-payload. The next (fresh-instance) run
+	// must detect it by checksum, discard it, recompute the cell, and
+	// still produce identical output.
+	victim, err := pickEntry(dir)
+	if err != nil {
+		return err
+	}
+	buf, err := os.ReadFile(victim)
+	if err != nil {
+		return err
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(victim, buf, 0o644); err != nil {
+		return err
+	}
+
+	hurt, err := experiments.OpenResultCache(dir, 0)
+	if err != nil {
+		return err
+	}
+	hurtOut, _, err := sweep(hurt)
+	if err != nil {
+		return fmt.Errorf("sweep over corrupted cache: %w", err)
+	}
+	if !bytes.Equal(hurtOut, want) {
+		return fmt.Errorf("corrupted cache entry leaked into the output")
+	}
+	if s := hurt.Stats(); s.Corrupt != 1 || s.Computes != 1 || s.DiskHits != jobs-1 {
+		return fmt.Errorf("corrupted-entry run: %d corrupt, %d computes, %d disk hits, want 1, 1, %d",
+			s.Corrupt, s.Computes, s.DiskHits, jobs-1)
+	}
+	return nil
+}
+
+// pickEntry returns the path of one cache entry file under dir.
+func pickEntry(dir string) (string, error) {
+	var found string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if found == "" && !d.IsDir() && strings.HasSuffix(d.Name(), ".rc") {
+			found = path
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if found == "" {
+		return "", fmt.Errorf("no cache entries found under %s", dir)
+	}
+	return found, nil
+}

@@ -1,0 +1,21 @@
+package conformance
+
+import (
+	"testing"
+
+	"tracerebase/internal/synth"
+)
+
+// TestCacheTransparency runs the cache differential oracle at test scale:
+// fresh vs warm runs of the same sweep must render byte-identically, and a
+// deliberately corrupted cache entry must be detected and recomputed, not
+// served. (The -selftest path runs the same oracle at larger scale.)
+func TestCacheTransparency(t *testing.T) {
+	profiles := []synth.Profile{
+		synth.PublicProfile(synth.ComputeInt, 3),
+		synth.PublicProfile(synth.Server, 5),
+	}
+	if err := CheckCacheTransparency(profiles, 1500, 300); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -160,7 +160,18 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckCacheMonotonic(cacheProfile, cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 4. User-supplied traces.
+	// 4. Result-cache transparency: cached, warm, and corruption-recovery
+	// sweeps must render byte-identically to the uncached engine.
+	resultCacheProfiles := []synth.Profile{
+		synth.PublicProfile(synth.ComputeInt, 3),
+		synth.PublicProfile(synth.Server, 5),
+	}
+	r.run(fmt.Sprintf("result cache: uncached vs cold vs warm vs corrupted sweeps of %d traces byte-identical",
+		len(resultCacheProfiles)), func() error {
+		return CheckCacheTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
+	})
+
+	// 5. User-supplied traces.
 	for _, path := range cfg.TraceFiles {
 		rep, err := ValidateTraceFile(path)
 		if err != nil {
@@ -302,13 +313,5 @@ func encodeCVP(instrs []cvp.Instruction) ([]byte, error) {
 
 // optionsFromBits maps the low six bits of b onto the six improvement
 // flags — the encoding the convert fuzzer uses to explore option space.
-func optionsFromBits(b uint8) core.Options {
-	return core.Options{
-		MemRegs:      b&1 != 0,
-		BaseUpdate:   b&2 != 0,
-		MemFootprint: b&4 != 0,
-		CallStack:    b&8 != 0,
-		BranchRegs:   b&16 != 0,
-		FlagReg:      b&32 != 0,
-	}
-}
+// It is core's canonical packing, shared with the result cache's keys.
+func optionsFromBits(b uint8) core.Options { return core.OptionsFromBits(b) }

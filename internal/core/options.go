@@ -100,6 +100,32 @@ func (o Options) String() string {
 	return strings.Join(names, "+")
 }
 
+// Bits packs the six improvement flags into the low six bits of a byte,
+// in Improvements (Table 1) order: mem-regs, base-update, mem-footprint,
+// call-stack, branch-regs, flag-reg. The encoding is the canonical compact
+// identity of an Options value — the conformance fuzzer explores option
+// space through it and the result cache keys on it.
+func (o Options) Bits() uint8 {
+	var b uint8
+	for i, imp := range Improvements {
+		if imp.Get(o) {
+			b |= 1 << i
+		}
+	}
+	return b
+}
+
+// OptionsFromBits is the inverse of Bits.
+func OptionsFromBits(b uint8) Options {
+	var o Options
+	for i, imp := range Improvements {
+		if b&(1<<i) != 0 {
+			imp.Set(&o)
+		}
+	}
+	return o
+}
+
 // Improvement describes one of the paper's Table 1 rows.
 type Improvement struct {
 	// Name is the artifact-style improvement name.

@@ -27,7 +27,9 @@ type FrontEndAblationResult struct {
 // FrontEndAblation runs the ablation over the given IPC-1 traces (nil =
 // an icache-heavy server subset) for each prefetcher in Table3Prefetchers.
 func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblationResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	if suite == nil {
 		for _, name := range []string{"server_023", "server_030", "server_033", "server_037"} {
 			tr, ok := synth.FindIPC1(name)
@@ -44,40 +46,67 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 	}
 	ratios := map[key][]float64{}
 
+	opts := core.OptionsAll()
 	for ti, trc := range suite {
-		instrs, err := trc.Profile.GenerateBatch(cfg.Instructions)
-		if err != nil {
-			return nil, err
+		// Generation and conversion are deferred into the first cache
+		// miss; the 18 simulations re-read the shared value slab through
+		// Reset without re-converting or boxing records.
+		var src *champtrace.ValuesSource
+		var convStats core.Stats
+		convert := func() error {
+			if src != nil {
+				return nil
+			}
+			instrs, err := trc.Profile.GenerateBatch(cfg.Instructions)
+			if err != nil {
+				return err
+			}
+			recs, cs, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), opts)
+			if err != nil {
+				return err
+			}
+			convStats = cs
+			src = champtrace.NewValuesSource(recs)
+			return nil
 		}
-		// Convert once into a value slab; the 18 simulations below re-read
-		// it through Reset without re-converting or boxing records.
-		recs, _, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), core.OptionsAll())
-		if err != nil {
-			return nil, err
+		runOne := func(simCfg sim.Config) (Result, error) {
+			compute := func() (Result, error) {
+				if err := convert(); err != nil {
+					return Result{}, err
+				}
+				src.Reset()
+				st, err := sim.Run(src, simCfg, cfg.Warmup, 0)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{IPC: st.IPC(), Sim: st, Conv: convStats}, nil
+			}
+			if cfg.Cache == nil {
+				return compute()
+			}
+			k := cacheKey(&trc.Profile, opts, simCfg, cfg.Instructions, cfg.Warmup)
+			return cfg.Cache.GetOrCompute(k, compute)
 		}
-		src := champtrace.NewValuesSource(recs)
 		for _, decoupled := range []bool{false, true} {
 			mk := func(pf string) sim.Config {
-				c := sim.ConfigIPC1(pf, champtrace.RulesPatched)
+				c := sim.ConfigIPC1(pf, rulesFor(opts))
 				c.Decoupled = decoupled
 				if decoupled {
 					c.FTQSize = 64
 				}
 				return c
 			}
-			src.Reset()
-			base, err := sim.Run(src, mk("none"), cfg.Warmup, 0)
+			base, err := runOne(mk("none"))
 			if err != nil {
 				return nil, err
 			}
 			for _, pf := range Table3Prefetchers {
-				src.Reset()
-				st, err := sim.Run(src, mk(pf), cfg.Warmup, 0)
+				st, err := runOne(mk(pf))
 				if err != nil {
 					return nil, err
 				}
 				k := key{pf, decoupled}
-				ratios[k] = append(ratios[k], st.IPC()/base.IPC())
+				ratios[k] = append(ratios[k], st.IPC/base.IPC)
 			}
 		}
 		if cfg.Progress != nil {

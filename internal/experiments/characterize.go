@@ -26,7 +26,6 @@ type CharRow struct {
 // Characterize runs the public suite (or a subset) under All_imps on the
 // develop model and returns per-trace characterization rows.
 func Characterize(profiles []synth.Profile, cfg SweepConfig) ([]CharRow, error) {
-	cfg.fill()
 	cfg.Variants = figureVariants(VariantAll)
 	if profiles == nil {
 		profiles = synth.PublicSuite()

@@ -16,7 +16,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
 	"tracerebase/internal/cvp"
 	"tracerebase/internal/sim"
@@ -121,6 +120,13 @@ type SweepConfig struct {
 	// for different traces may therefore arrive out of order, but each
 	// carries its own done count.
 	Progress func(done, total int)
+	// Cache, when non-nil, serves (trace, variant, config) Results by
+	// content address instead of recomputing them: the sweep consults it
+	// before dispatching work, skips generation and conversion entirely
+	// for fully-cached traces, and stores every freshly computed Result.
+	// Concurrent requests for the same key share one computation
+	// (single-flight). nil reproduces the uncached engine exactly.
+	Cache *ResultCache
 }
 
 // DefaultSweepConfig returns the configuration used by the rebase CLI:
@@ -132,16 +138,31 @@ func DefaultSweepConfig() SweepConfig {
 	return SweepConfig{Instructions: 150000, Warmup: 50000}
 }
 
-func (c *SweepConfig) fill() {
-	if c.Instructions <= 0 {
+// fill defaults the zero fields and rejects configurations that would
+// silently produce meaningless sweeps: a negative instruction count or
+// parallelism, and a warm-up consuming the whole run (the measurement
+// region would be empty, so every IPC would be 0/0).
+func (c *SweepConfig) fill() error {
+	if c.Instructions < 0 {
+		return fmt.Errorf("experiments: negative instruction count %d", c.Instructions)
+	}
+	if c.Instructions == 0 {
 		c.Instructions = 150000
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: negative parallelism %d", c.Parallelism)
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Warmup >= uint64(c.Instructions) {
+		return fmt.Errorf("experiments: warmup %d >= instructions %d leaves an empty measurement region",
+			c.Warmup, c.Instructions)
 	}
 	if c.Variants == nil {
 		c.Variants = Variants()
 	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.NumCPU()
-	}
+	return nil
 }
 
 // runVariant converts instrs under v and simulates the result on the
@@ -151,12 +172,10 @@ func (c *SweepConfig) fill() {
 func runVariant(instrs []cvp.Instruction, v Variant, warmup uint64) (Result, error) {
 	cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
 	defer cs.Close()
-	// Traces carrying branch-regs need the §3.2.2 ChampSim patch.
-	rules := champtrace.RulesOriginal
-	if v.Opts.BranchRegs {
-		rules = champtrace.RulesPatched
-	}
-	st, err := sim.Run(cs, sim.ConfigDevelop(rules), warmup, 0)
+	// Traces carrying branch-regs need the §3.2.2 ChampSim patch;
+	// DevelopConfigFor pairs rules with options for dispatch and cache
+	// keys alike.
+	st, err := sim.Run(cs, DevelopConfigFor(v.Opts), warmup, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -166,7 +185,9 @@ func runVariant(instrs []cvp.Instruction, v Variant, warmup uint64) (Result, err
 // RunTrace generates one trace and simulates it under every variant on the
 // develop-branch model.
 func RunTrace(p synth.Profile, cfg SweepConfig) (TraceResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return TraceResult{}, err
+	}
 	instrs, err := p.GenerateBatch(cfg.Instructions)
 	if err != nil {
 		return TraceResult{}, err
@@ -199,21 +220,33 @@ type traceState struct {
 // simulations, so sweep parallelism is trace×variant-wide rather than
 // trace-wide.
 //
+// With cfg.Cache set, each (trace, variant) cell is first looked up by its
+// content address; a hit skips generation, conversion, and simulation for
+// that cell — and a fully-cached trace is never generated at all, because
+// generation is deferred into the compute closure that only a cache miss
+// invokes. Concurrent misses on the same key (e.g. overlapping sweeps from
+// concurrent callers) share a single computation.
+//
 // Results are assembled deterministically: out[i] always corresponds to
 // profiles[i] regardless of completion order. On failure the returned
 // error is the errors.Join of every per-(trace, variant) failure, and out
 // still carries every result that did succeed — a trace whose generation
-// failed has an empty Results map, a trace with a failed variant is
-// missing only that variant's entry.
+// failed has an empty Results map (cached cells, which need no generation,
+// are still delivered), a trace with a failed variant is missing only that
+// variant's entry.
 func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	nv := len(cfg.Variants)
 	states := make([]traceState, len(profiles))
 	cells := make([][]Result, len(profiles))
+	cellOK := make([][]bool, len(profiles))
 	cellErrs := make([][]error, len(profiles))
 	for i := range profiles {
 		states[i].left.Store(int32(nv))
 		cells[i] = make([]Result, nv)
+		cellOK[i] = make([]bool, nv)
 		cellErrs[i] = make([]error, nv)
 	}
 
@@ -228,17 +261,34 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 			defer wg.Done()
 			for j := range jobs {
 				st := &states[j.ti]
-				st.once.Do(func() {
-					st.instrs, st.err = profiles[j.ti].GenerateBatch(cfg.Instructions)
-				})
-				if st.err == nil {
-					res, err := runVariant(st.instrs, cfg.Variants[j.vi], cfg.Warmup)
-					if err != nil {
-						cellErrs[j.ti][j.vi] = fmt.Errorf("experiments: %s/%s: %w",
-							profiles[j.ti].Name, cfg.Variants[j.vi].Name, err)
-					} else {
-						cells[j.ti][j.vi] = res
+				v := cfg.Variants[j.vi]
+				compute := func() (Result, error) {
+					st.once.Do(func() {
+						st.instrs, st.err = profiles[j.ti].GenerateBatch(cfg.Instructions)
+					})
+					if st.err != nil {
+						return Result{}, st.err
 					}
+					return runVariant(st.instrs, v, cfg.Warmup)
+				}
+				var res Result
+				var err error
+				if cfg.Cache != nil {
+					key := cacheKey(&profiles[j.ti], v.Opts, DevelopConfigFor(v.Opts), cfg.Instructions, cfg.Warmup)
+					res, err = cfg.Cache.GetOrCompute(key, compute)
+				} else {
+					res, err = compute()
+				}
+				switch {
+				case err == nil:
+					cells[j.ti][j.vi] = res
+					cellOK[j.ti][j.vi] = true
+				case st.err != nil:
+					// Generation failure: reported once per trace during
+					// assembly, not once per variant.
+				default:
+					cellErrs[j.ti][j.vi] = fmt.Errorf("experiments: %s/%s: %w",
+						profiles[j.ti].Name, v.Name, err)
 				}
 				if st.left.Add(-1) == 0 {
 					st.instrs = nil // last variant done: release the trace
@@ -270,14 +320,15 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 		if states[ti].err != nil {
 			errs = append(errs, fmt.Errorf("experiments: generate %s: %w",
 				profiles[ti].Name, states[ti].err))
-			continue
 		}
 		for vi, v := range cfg.Variants {
 			if err := cellErrs[ti][vi]; err != nil {
 				errs = append(errs, err)
 				continue
 			}
-			out[ti].Results[v.Name] = cells[ti][vi]
+			if cellOK[ti][vi] {
+				out[ti].Results[v.Name] = cells[ti][vi]
+			}
 		}
 	}
 	return out, errors.Join(errs...)

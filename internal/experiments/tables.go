@@ -55,7 +55,6 @@ type Table2Result struct {
 // fixes, comparing against the original conversion. A nil suite means all
 // 50 IPC-1 traces.
 func Table2(cfg SweepConfig, suite []synth.IPC1Trace) (Table2Result, error) {
-	cfg.fill()
 	cfg.Variants = figureVariants(VariantNone, VariantAll)
 	if suite == nil {
 		suite = synth.IPC1Suite()
@@ -145,8 +144,14 @@ type Table3Result struct {
 
 // Table3 re-runs the IPC-1 championship on both trace sets using the IPC-1
 // processor model. A nil suite means all 50 IPC-1 traces.
+//
+// Like RunSweep, Table3 consults cfg.Cache before every simulation:
+// generation and conversion are deferred into closures that only a cache
+// miss forces, so a fully-cached trace costs no simulation work at all.
 func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return Table3Result{}, err
+	}
 	fixedOpts := core.OptionsAll()
 	fixedOpts.MemFootprint = false // footnote 4
 
@@ -156,8 +161,8 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 		rules champtrace.RuleSet
 	}
 	sets := []set{
-		{"competition", core.OptionsNone(), champtrace.RulesOriginal},
-		{"fixed", fixedOpts, champtrace.RulesPatched},
+		{"competition", core.OptionsNone(), rulesFor(core.OptionsNone())},
+		{"fixed", fixedOpts, rulesFor(fixedOpts)},
 	}
 
 	if suite == nil {
@@ -170,29 +175,65 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 	}
 
 	for ti, trc := range suite {
-		instrs, err := trc.Profile.GenerateBatch(cfg.Instructions)
-		if err != nil {
-			return Table3Result{}, err
+		// The trace is generated at most once, and converted at most once
+		// per set, no matter how many of the 18 simulations miss — and not
+		// at all when every simulation hits the cache.
+		var instrs []cvp.Instruction
+		generate := func() error {
+			if instrs != nil {
+				return nil
+			}
+			var err error
+			instrs, err = trc.Profile.GenerateBatch(cfg.Instructions)
+			return err
 		}
 		for _, s := range sets {
-			// One conversion per set, re-simulated for every prefetcher via
-			// Reset on the shared value slab.
-			recs, _, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), s.opts)
-			if err != nil {
-				return Table3Result{}, err
+			var src *champtrace.ValuesSource
+			var convStats core.Stats
+			convert := func() error {
+				if src != nil {
+					return nil
+				}
+				if err := generate(); err != nil {
+					return err
+				}
+				recs, cs, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), s.opts)
+				if err != nil {
+					return err
+				}
+				convStats = cs
+				src = champtrace.NewValuesSource(recs)
+				return nil
 			}
-			src := champtrace.NewValuesSource(recs)
-			base, err := sim.Run(src, sim.ConfigIPC1("none", s.rules), cfg.Warmup, 0)
+			runOne := func(pf string) (Result, error) {
+				simCfg := sim.ConfigIPC1(pf, s.rules)
+				compute := func() (Result, error) {
+					if err := convert(); err != nil {
+						return Result{}, err
+					}
+					src.Reset()
+					st, err := sim.Run(src, simCfg, cfg.Warmup, 0)
+					if err != nil {
+						return Result{}, err
+					}
+					return Result{IPC: st.IPC(), Sim: st, Conv: convStats}, nil
+				}
+				if cfg.Cache == nil {
+					return compute()
+				}
+				key := cacheKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
+				return cfg.Cache.GetOrCompute(key, compute)
+			}
+			base, err := runOne("none")
 			if err != nil {
 				return Table3Result{}, err
 			}
 			for _, pf := range Table3Prefetchers {
-				src.Reset()
-				st, err := sim.Run(src, sim.ConfigIPC1(pf, s.rules), cfg.Warmup, 0)
+				st, err := runOne(pf)
 				if err != nil {
 					return Table3Result{}, err
 				}
-				speedups[s.name][pf] = append(speedups[s.name][pf], st.IPC()/base.IPC())
+				speedups[s.name][pf] = append(speedups[s.name][pf], st.IPC/base.IPC)
 			}
 		}
 		if cfg.Progress != nil {

@@ -1,0 +1,435 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Codec converts cached values to and from their stored payload bytes.
+// Encode must be deterministic enough for Decode(Encode(v)) == v; byte-level
+// stability across versions is not required (the record version and
+// SchemaVersion gate compatibility).
+type Codec[T any] interface {
+	Encode(T) ([]byte, error)
+	Decode([]byte) (T, error)
+}
+
+// GobCodec is a Codec backed by encoding/gob — sufficient for plain
+// exported-field result structs.
+type GobCodec[T any] struct{}
+
+// Encode implements Codec.
+func (GobCodec[T]) Encode(v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec[T]) Decode(b []byte) (T, error) {
+	var v T
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v)
+	return v, err
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the cache root. Entries live under Dir/v<SchemaVersion>/,
+	// sharded by the first key byte.
+	Dir string
+	// MaxBytes bounds the on-disk footprint; least-recently-used entries
+	// are evicted past it. <= 0 selects the 1 GiB default. The in-memory
+	// layer is not bounded: a process keeps every result it has touched.
+	MaxBytes int64
+}
+
+// DefaultMaxBytes is the on-disk budget when Config.MaxBytes is unset.
+const DefaultMaxBytes = 1 << 30
+
+// Stats counts cache activity since Open. Hits+Misses is the number of
+// resolved lookups (single-flight waiters sharing another goroutine's
+// computation are counted under SharedWaits, not as lookups of their own).
+type Stats struct {
+	// Hits = MemHits + DiskHits.
+	Hits, Misses uint64
+	// MemHits were served from the in-process map, DiskHits from disk.
+	MemHits, DiskHits uint64
+	// SharedWaits counts single-flight joins: lookups that blocked on an
+	// identical in-flight computation instead of duplicating it.
+	SharedWaits uint64
+	// Computes counts invocations of the caller's compute function;
+	// Errors counts the ones that failed (failures are never stored).
+	Computes, Errors uint64
+	// Corrupt counts entries that failed validation and were discarded;
+	// each also shows up as a miss and a recompute.
+	Corrupt uint64
+	// Evictions counts entries removed by the LRU size bound.
+	Evictions uint64
+	// WriteErrors counts store failures; the computed value is still
+	// returned to the caller, so a read-only cache degrades gracefully.
+	WriteErrors uint64
+	// BytesRead and BytesWritten count record bytes moved to/from disk.
+	BytesRead, BytesWritten uint64
+}
+
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+type diskEntry struct {
+	size  int64
+	atime int64 // logical LRU clock, not wall time
+}
+
+// Cache is a three-layer content-addressed result store: an unbounded
+// in-process map, a size-bounded on-disk store with atomic writes and
+// checksummed records, and a single-flight layer that collapses concurrent
+// computations of the same key into one. All methods are safe for
+// concurrent use.
+type Cache[T any] struct {
+	dir      string // versioned root: Config.Dir/v<SchemaVersion>
+	maxBytes int64
+	codec    Codec[T]
+
+	mu      sync.Mutex
+	mem     map[Key]T
+	flights map[Key]*flight[T]
+	disk    map[Key]diskEntry
+	total   int64 // sum of disk entry sizes
+	clock   int64 // LRU logical time
+	stats   Stats
+}
+
+// Open opens (creating if needed) the cache rooted at cfg.Dir and indexes
+// the entries already on disk. Leftover temp files from interrupted writes
+// are removed; files that do not look like entries are ignored.
+func Open[T any](cfg Config, codec Codec[T]) (*Cache[T], error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("resultcache: empty cache directory")
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	root := filepath.Join(cfg.Dir, fmt.Sprintf("v%d", SchemaVersion))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	c := &Cache[T]{
+		dir:      root,
+		maxBytes: cfg.MaxBytes,
+		codec:    codec,
+		mem:      make(map[Key]T),
+		flights:  make(map[Key]*flight[T]),
+		disk:     make(map[Key]diskEntry),
+	}
+	if err := c.scan(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scan builds the disk index. Entry ages are seeded from file mtimes so
+// LRU order survives across processes (Chtimes on disk hits refreshes
+// them).
+func (c *Cache[T]) scan() error {
+	shards, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	type aged struct {
+		key   Key
+		size  int64
+		mtime time.Time
+	}
+	var found []aged
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		shardDir := filepath.Join(c.dir, sh.Name())
+		files, err := os.ReadDir(shardDir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if strings.HasPrefix(name, "tmp-") {
+				// Leftover from an interrupted write: a partial temp file
+				// was never renamed into place, so it is not an entry.
+				os.Remove(filepath.Join(shardDir, name))
+				continue
+			}
+			if !strings.HasSuffix(name, ".rc") {
+				continue
+			}
+			key, err := ParseKey(strings.TrimSuffix(name, ".rc"))
+			if err != nil {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			found = append(found, aged{key, info.Size(), info.ModTime()})
+		}
+	}
+	// Oldest first, so assigned logical times preserve on-disk LRU order.
+	for i := 1; i < len(found); i++ {
+		for j := i; j > 0 && found[j].mtime.Before(found[j-1].mtime); j-- {
+			found[j], found[j-1] = found[j-1], found[j]
+		}
+	}
+	for _, e := range found {
+		c.clock++
+		c.disk[e.key] = diskEntry{size: e.size, atime: c.clock}
+		c.total += e.size
+	}
+	return nil
+}
+
+// EntryPath returns where the entry for key lives (or would live) on disk.
+func (c *Cache[T]) EntryPath(key Key) string {
+	hexKey := key.String()
+	return filepath.Join(c.dir, hexKey[:2], hexKey+".rc")
+}
+
+// Dir returns the versioned cache root.
+func (c *Cache[T]) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache[T]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// DiskBytes returns the indexed on-disk footprint.
+func (c *Cache[T]) DiskBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Get returns the cached value for key if it is resident in memory or
+// valid on disk. It never computes and never joins an in-flight
+// computation.
+func (c *Cache[T]) Get(key Key) (T, bool) {
+	c.mu.Lock()
+	if v, ok := c.mem[key]; ok {
+		c.stats.Hits++
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if v, ok := c.tryDisk(key); ok {
+		return v, true
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	var zero T
+	return zero, false
+}
+
+// GetOrCompute returns the value for key, computing and storing it on a
+// miss. Concurrent calls for the same key share one computation: exactly
+// one caller runs compute, the rest block and receive its result
+// (single-flight). A failed compute is returned to every waiter and is not
+// cached, so a later call retries. Store failures degrade to a warm
+// in-memory result rather than an error.
+func (c *Cache[T]) GetOrCompute(key Key, compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if v, ok := c.mem[key]; ok {
+		c.stats.Hits++
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.stats.SharedWaits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &flight[T]{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	fl.val, fl.err = c.fill(key, compute)
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// fill resolves a leader's lookup: disk, then compute+store.
+func (c *Cache[T]) fill(key Key, compute func() (T, error)) (T, error) {
+	if v, ok := c.tryDisk(key); ok {
+		return v, nil
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.stats.Computes++
+	c.mu.Unlock()
+	v, err := compute()
+	if err != nil {
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		return v, err
+	}
+	c.store(key, v)
+	return v, nil
+}
+
+// tryDisk attempts to load and validate the on-disk entry for key,
+// promoting it into the memory layer on success and discarding it on
+// corruption.
+func (c *Cache[T]) tryDisk(key Key) (T, bool) {
+	var zero T
+	path := c.EntryPath(key)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return zero, false
+	}
+	payload, err := decodeRecord(key, buf)
+	var v T
+	if err == nil {
+		v, err = c.codec.Decode(payload)
+	}
+	if err != nil {
+		// Corrupt or undecodable: discard so it is recomputed, never
+		// served.
+		os.Remove(path)
+		c.mu.Lock()
+		c.stats.Corrupt++
+		if e, ok := c.disk[key]; ok {
+			c.total -= e.size
+			delete(c.disk, key)
+		}
+		c.mu.Unlock()
+		return zero, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // refresh cross-process LRU age; best-effort
+	c.mu.Lock()
+	c.stats.Hits++
+	c.stats.DiskHits++
+	c.stats.BytesRead += uint64(len(buf))
+	c.mem[key] = v
+	c.clock++
+	if e, ok := c.disk[key]; ok {
+		e.atime = c.clock
+		c.disk[key] = e
+	} else {
+		// Written by another process after our scan.
+		c.disk[key] = diskEntry{size: int64(len(buf)), atime: c.clock}
+		c.total += int64(len(buf))
+	}
+	c.mu.Unlock()
+	return v, true
+}
+
+// store encodes v, writes it atomically (temp file + rename, so a crash
+// mid-write never leaves a partial entry visible), indexes it, and evicts
+// past the size bound. Failures are counted, not returned: the value is
+// already in memory and the run must not depend on a writable cache.
+func (c *Cache[T]) store(key Key, v T) {
+	c.mu.Lock()
+	c.mem[key] = v
+	c.mu.Unlock()
+
+	payload, err := c.codec.Encode(v)
+	if err != nil {
+		c.noteWriteError()
+		return
+	}
+	rec := encodeRecord(key, payload)
+	path := c.EntryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.noteWriteError()
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		c.noteWriteError()
+		return
+	}
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.noteWriteError()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.noteWriteError()
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.noteWriteError()
+		return
+	}
+
+	c.mu.Lock()
+	c.stats.BytesWritten += uint64(len(rec))
+	if e, ok := c.disk[key]; ok {
+		c.total -= e.size
+	}
+	c.clock++
+	c.disk[key] = diskEntry{size: int64(len(rec)), atime: c.clock}
+	c.total += int64(len(rec))
+	evict := c.collectEvictions(key)
+	c.mu.Unlock()
+	for _, k := range evict {
+		os.Remove(c.EntryPath(k))
+	}
+}
+
+// collectEvictions (mu held) trims the index to the size bound, oldest
+// first, sparing the just-written key, and returns the keys whose files
+// the caller must remove.
+func (c *Cache[T]) collectEvictions(justWritten Key) []Key {
+	var out []Key
+	for c.total > c.maxBytes {
+		var victim Key
+		var victimAge int64
+		found := false
+		for k, e := range c.disk {
+			if k == justWritten {
+				continue
+			}
+			if !found || e.atime < victimAge {
+				victim, victimAge, found = k, e.atime, true
+			}
+		}
+		if !found {
+			break // only the fresh entry remains; keep it even if oversized
+		}
+		c.total -= c.disk[victim].size
+		delete(c.disk, victim)
+		c.stats.Evictions++
+		out = append(out, victim)
+	}
+	return out
+}
+
+func (c *Cache[T]) noteWriteError() {
+	c.mu.Lock()
+	c.stats.WriteErrors++
+	c.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+package resultcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHasherDeterministic(t *testing.T) {
+	mk := func() Key {
+		return NewHasher("d").Str("abc").U64(7).I64(-1).F64(3.25).Bool(true).Bytes([]byte{1, 2}).Sum()
+	}
+	if mk() != mk() {
+		t.Fatal("identical field sequences hash differently")
+	}
+}
+
+// TestHasherUnambiguous: length delimiting must keep adjacent variable-
+// width fields from aliasing.
+func TestHasherUnambiguous(t *testing.T) {
+	a := NewHasher("d").Str("ab").Str("c").Sum()
+	b := NewHasher("d").Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal(`("ab","c") and ("a","bc") collide`)
+	}
+	c := NewHasher("d").Bytes([]byte("ab")).Bytes([]byte("c")).Sum()
+	d := NewHasher("d").Bytes([]byte("a")).Bytes([]byte("bc")).Sum()
+	if c == d {
+		t.Fatal("byte fields alias across boundaries")
+	}
+}
+
+func TestHasherDomainSeparation(t *testing.T) {
+	if NewHasher("x").U64(1).Sum() == NewHasher("y").U64(1).Sum() {
+		t.Fatal("domains do not separate key spaces")
+	}
+}
+
+func TestHasherFieldSensitivity(t *testing.T) {
+	base := NewHasher("d").Str("s").U64(1).Bool(false).Sum()
+	for name, k := range map[string]Key{
+		"string": NewHasher("d").Str("t").U64(1).Bool(false).Sum(),
+		"u64":    NewHasher("d").Str("s").U64(2).Bool(false).Sum(),
+		"bool":   NewHasher("d").Str("s").U64(1).Bool(true).Sum(),
+	} {
+		if k == base {
+			t.Fatalf("%s field change did not change the key", name)
+		}
+	}
+}
+
+func TestKeyHexRoundTrip(t *testing.T) {
+	k := NewHasher("d").Str("roundtrip").Sum()
+	parsed, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != k {
+		t.Fatal("hex round trip changed the key")
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("ParseKey accepted junk")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Fatal("ParseKey accepted a short key")
+	}
+}
+
+// TestFingerprintStable: the fingerprint is computed once, is non-empty,
+// and carries one of the three documented forms.
+func TestFingerprintStable(t *testing.T) {
+	fp := Fingerprint()
+	if fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if fp != Fingerprint() {
+		t.Fatal("fingerprint changed between calls")
+	}
+	if !strings.HasPrefix(fp, "vcs:") && !strings.HasPrefix(fp, "bin:") && fp != "unversioned" {
+		t.Fatalf("unexpected fingerprint form %q", fp)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	key := NewHasher("d").Str("rec").Sum()
+	payload := []byte("some result bytes")
+	rec := encodeRecord(key, payload)
+	got, err := decodeRecord(key, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+	// Every single-byte corruption must be caught.
+	for i := range rec {
+		mut := append([]byte(nil), rec...)
+		mut[i] ^= 0x01
+		if _, err := decodeRecord(key, mut); err == nil {
+			t.Fatalf("corruption at byte %d undetected", i)
+		}
+	}
+}

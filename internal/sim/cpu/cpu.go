@@ -107,6 +107,18 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Identity returns a canonical string covering every architectural
+// parameter of the configuration — the processor-model component of a
+// result-cache key. Two configurations with equal Identity simulate any
+// trace identically (the code fingerprint, hashed alongside it, covers
+// behavioural changes to the simulator itself). It renders the full field
+// set rather than just Name so that ad-hoc variations of a named config
+// (the front-end ablation's FTQ/decoupling edits, prefetcher swaps) key
+// separately.
+func (c Config) Identity() string {
+	return fmt.Sprintf("cpu.Config%+v", c)
+}
+
 // CacheStat is the per-level statistics surfaced in results.
 type CacheStat struct {
 	Accesses, Misses uint64

@@ -1,0 +1,56 @@
+package synth
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// GeneratorVersion identifies the trace-generation algorithm for cache
+// keying. Bump it whenever a change to the generator (or to Profile's
+// interpretation) can alter the instructions produced for an existing
+// profile; cached results keyed under the old version then become
+// unreachable instead of stale.
+const GeneratorVersion = 1
+
+// AppendCanonical appends a stable binary encoding of the profile to b and
+// returns the extended slice. Every field is encoded fixed-width (strings
+// length-prefixed, floats by IEEE-754 bits) in declaration order, prefixed
+// with GeneratorVersion, so two profiles encode identically iff they
+// generate identical traces under the same generator version. New fields
+// must be appended at the end alongside a GeneratorVersion bump.
+func (p *Profile) AppendCanonical(b []byte) []byte {
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	str := func(s string) { u64(uint64(len(s))); b = append(b, s...) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(GeneratorVersion)
+	str(p.Name)
+	str(string(p.Category))
+	u64(uint64(p.Seed))
+	u64(uint64(p.NumFuncs))
+	u64(uint64(p.FuncBodySites))
+	u64(uint64(p.LoopIterations))
+	u64(uint64(p.CallDepth))
+	f64(p.LoadFrac)
+	f64(p.StoreFrac)
+	f64(p.CondFrac)
+	f64(p.CallFrac)
+	f64(p.FPFrac)
+	f64(p.BranchBias)
+	f64(p.RandomTakenProb)
+	f64(p.CondRegFrac)
+	f64(p.BranchOnLoadFrac)
+	f64(p.IndirectCallFrac)
+	f64(p.BlrX30Frac)
+	u64(uint64(p.DispatchTargets))
+	f64(p.BaseUpdateFrac)
+	f64(p.PreIndexFrac)
+	f64(p.LoadPairFrac)
+	f64(p.PrefetchFrac)
+	f64(p.ChaseFrac)
+	f64(p.StrideFrac)
+	f64(p.CrossLineFrac)
+	f64(p.ZVAFrac)
+	u64(p.DataFootprint)
+	return b
+}
