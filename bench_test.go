@@ -412,6 +412,46 @@ func BenchmarkPipeline(b *testing.B) {
 	b.SetBytes(int64(len(recs)))
 }
 
+// BenchmarkPipelineIdleHeavy is BenchmarkPipeline on the stress profile the
+// event-horizon skipper was built for: a serialized pointer chase where the
+// core idles on DRAM for hundreds of cycles per instruction. The same
+// 0 allocs/op contract applies — the skipper's next-event register is plain
+// pipeline state — and the benchmark reports what fraction of simulated
+// cycles were jumped rather than ticked (the skipfrac metric).
+func BenchmarkPipelineIdleHeavy(b *testing.B) {
+	p := synth.StressIdle()
+	instrs, err := p.Generate(30000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := champtrace.NewSliceSource(recs)
+	pipe, err := cpu.New(sim.ConfigDevelop(champtrace.RulesPatched))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st sim.Stats
+	if st, err = pipe.Run(src, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	if st.SkippedCycles == 0 {
+		b.Fatal("idle-heavy trace skipped no cycles; the stress profile has lost its purpose")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		if st, err = pipe.Run(src, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+	b.ReportMetric(float64(st.SkippedCycles)/float64(st.Cycles), "skipfrac")
+}
+
 // BenchmarkHierarchy is BenchmarkPipeline's memory-side pair: a mixed
 // read/write stream against the full four-level hierarchy with the develop
 // configuration's data prefetchers attached, asserting the flat cache tables

@@ -43,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -68,6 +69,7 @@ func run() (code int) {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON  = flag.String("bench-json", "", "write run timing and configuration as JSON to this file")
 		selftest   = flag.Bool("selftest", false, "run the conformance suite (positional args: trace files to validate)")
+		noSkip     = flag.Bool("no-skip", false, "disable event-horizon cycle skipping (results are identical; for verification and benchmarking)")
 		useCache   = flag.Bool("cache", true, "serve repeated (trace, variant, config) simulations from the result cache")
 		noCache    = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
 		cacheDir   = flag.String("cache-dir", "", "result cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir, e.g. ~/.cache/tracerebase)")
@@ -142,6 +144,7 @@ func run() (code int) {
 		Instructions: *instrs,
 		Warmup:       *warmup,
 		Parallelism:  *parallel,
+		NoSkip:       *noSkip,
 	}
 	if *useCache && !*noCache {
 		cache, err := experiments.OpenResultCache(*cacheDir, 0)
@@ -171,6 +174,10 @@ func run() (code int) {
 	all := wants["all"]
 	needSweep := all || wants["fig1"] || wants["fig2"] || wants["fig3"] || wants["fig4"] || wants["fig5"]
 
+	// Per-category cycle-skipping telemetry, collected from the figure
+	// sweep (the one place full per-trace stats flow through this command).
+	var skipCats []benchSkip
+
 	start := time.Now()
 	if (all || wants["table1"]) && !*jsonOut {
 		experiments.RenderTable1(os.Stdout)
@@ -187,6 +194,7 @@ func run() (code int) {
 		if err != nil {
 			return fail("sweep: %v", err)
 		}
+		skipCats = skipFractions(results)
 		if *jsonOut {
 			report.FillFigures(results)
 		}
@@ -281,6 +289,13 @@ func run() (code int) {
 	}
 	elapsed := time.Since(start)
 	if !*quiet {
+		if len(skipCats) > 0 {
+			parts := make([]string, 0, len(skipCats))
+			for _, s := range skipCats {
+				parts = append(parts, fmt.Sprintf("%s %.1f%%", s.Category, 100*s.Fraction))
+			}
+			fmt.Fprintf(os.Stderr, "skip: cycles jumped per category: %s\n", strings.Join(parts, ", "))
+		}
 		if cfg.Cache != nil {
 			s := cfg.Cache.Stats()
 			fmt.Fprintf(os.Stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d corrupt, %d evicted, %.1f MB read, %.1f MB written (%s)\n",
@@ -290,11 +305,55 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed); err != nil {
+		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed, skipCats); err != nil {
 			return fail("bench-json: %v", err)
 		}
 	}
 	return 0
+}
+
+// benchSkip reports event-horizon cycle skipping for one trace category:
+// what fraction of the measured cycles the simulator jumped over instead of
+// ticking through. All zeros under -no-skip.
+type benchSkip struct {
+	Category      string  `json:"category"`
+	Cycles        uint64  `json:"cycles"`
+	SkippedCycles uint64  `json:"skipped_cycles"`
+	Skips         uint64  `json:"skips"`
+	Fraction      float64 `json:"fraction"`
+}
+
+// skipFractions aggregates cycle-skipping counters per trace category over
+// every (trace, variant) cell of a sweep, ordered by category name.
+func skipFractions(results []experiments.TraceResult) []benchSkip {
+	byCat := map[string]*benchSkip{}
+	for _, tr := range results {
+		cat := string(tr.Profile.Category)
+		agg := byCat[cat]
+		if agg == nil {
+			agg = &benchSkip{Category: cat}
+			byCat[cat] = agg
+		}
+		for _, res := range tr.Results {
+			agg.Cycles += res.Sim.Cycles
+			agg.SkippedCycles += res.Sim.SkippedCycles
+			agg.Skips += res.Sim.CycleSkips
+		}
+	}
+	cats := make([]string, 0, len(byCat))
+	for cat := range byCat {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	out := make([]benchSkip, 0, len(cats))
+	for _, cat := range cats {
+		s := *byCat[cat]
+		if s.Cycles > 0 {
+			s.Fraction = float64(s.SkippedCycles) / float64(s.Cycles)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // benchRecord is the schema of -bench-json output: enough context to make
@@ -309,9 +368,13 @@ type benchRecord struct {
 	GOOS         string      `json:"goos"`
 	GOARCH       string      `json:"goarch"`
 	GoVersion    string      `json:"go_version"`
+	NoSkip       bool        `json:"no_skip"`
 	WallSeconds  float64     `json:"wall_seconds"`
 	Timestamp    string      `json:"timestamp"`
 	Cache        *benchCache `json:"cache,omitempty"`
+	// Skip carries per-category cycle-skipping fractions when the run
+	// included the figure sweep.
+	Skip []benchSkip `json:"skip,omitempty"`
 }
 
 // benchCache records result-cache activity so a BENCH file distinguishes
@@ -327,7 +390,7 @@ type benchCache struct {
 	BytesWritten uint64 `json:"bytes_written"`
 }
 
-func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration) error {
+func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []benchSkip) error {
 	parallelism := cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -342,8 +405,10 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		GoVersion:    runtime.Version(),
+		NoSkip:       cfg.NoSkip,
 		WallSeconds:  elapsed.Seconds(),
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Skip:         skipCats,
 	}
 	if cfg.Cache != nil {
 		s := cfg.Cache.Stats()

@@ -1,0 +1,123 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
+)
+
+// CheckCycleSkipTransparency is the differential oracle for event-horizon
+// cycle skipping: jumping the simulator over provably dead cycles must be
+// invisible in every reported number. It runs the full develop-model sweep
+// (all ten variants) with skipping on and with -no-skip and requires
+// byte-identical rendered output plus per-cell agreement on every counter
+// except the skip telemetry itself, then repeats the comparison on the
+// coupled-front-end IPC-1 model, whose stall structure (demand icache
+// fetch, redirect penalty 1, ideal targets) differs from develop's. It also
+// asserts the check has teeth: the skipping runs must actually have jumped
+// cycles, and the -no-skip runs must report none.
+func CheckCycleSkipTransparency(profiles []synth.Profile, instructions int, warmup uint64) error {
+	// Develop model: the same sweep the figures derive from.
+	baseCfg := experiments.SweepConfig{
+		Instructions: instructions,
+		Warmup:       warmup,
+		Parallelism:  2,
+		Variants:     nil, // all ten: every stall structure the sweep can produce
+	}
+	render := func(res []experiments.TraceResult) []byte {
+		var buf bytes.Buffer
+		experiments.RenderFig1(&buf, experiments.Fig1(res))
+		experiments.RenderFig5(&buf, experiments.Fig5(res))
+		return buf.Bytes()
+	}
+	sweep := func(noSkip bool) ([]byte, []experiments.TraceResult, error) {
+		cfg := baseCfg
+		cfg.NoSkip = noSkip
+		res, err := experiments.RunSweep(profiles, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return render(res), res, nil
+	}
+
+	skipOut, skipRes, err := sweep(false)
+	if err != nil {
+		return fmt.Errorf("skipping sweep: %w", err)
+	}
+	slowOut, slowRes, err := sweep(true)
+	if err != nil {
+		return fmt.Errorf("-no-skip sweep: %w", err)
+	}
+	if !bytes.Equal(skipOut, slowOut) {
+		return fmt.Errorf("develop sweep with skipping renders differently from -no-skip")
+	}
+	var jumped uint64
+	for ti := range skipRes {
+		name := skipRes[ti].Profile.Name
+		for variant, got := range skipRes[ti].Results {
+			slow, ok := slowRes[ti].Results[variant]
+			if !ok {
+				return fmt.Errorf("%s/%s: cell missing from -no-skip sweep", name, variant)
+			}
+			if slow.Sim.SkippedCycles != 0 || slow.Sim.CycleSkips != 0 {
+				return fmt.Errorf("%s/%s: -no-skip run reports %d skipped cycles in %d jumps",
+					name, variant, slow.Sim.SkippedCycles, slow.Sim.CycleSkips)
+			}
+			jumped += got.Sim.SkippedCycles
+			// Erase the telemetry-only counters; every architectural
+			// number must then match exactly.
+			got.Sim.SkippedCycles, got.Sim.CycleSkips = 0, 0
+			if !reflect.DeepEqual(got, slow) {
+				return fmt.Errorf("%s/%s: skipping changed reported results:\n skip    %+v\n no-skip %+v",
+					name, variant, got, slow)
+			}
+		}
+	}
+	if jumped == 0 {
+		return fmt.Errorf("develop sweep never skipped a cycle — the transparency check is vacuous")
+	}
+
+	// IPC-1 model: coupled front-end with an instruction prefetcher, the
+	// other stall structure Table 3 and the ablation run.
+	opts := core.OptionsAll()
+	rules := champtrace.RulesOriginal
+	if opts.BranchRegs {
+		rules = champtrace.RulesPatched
+	}
+	jumped = 0
+	for _, p := range profiles {
+		instrs, err := p.GenerateBatch(instructions)
+		if err != nil {
+			return fmt.Errorf("generate %s: %w", p.Name, err)
+		}
+		cfg := sim.ConfigIPC1("fnl-mma", rules)
+		got, err := simulate(instrs, opts, cfg, warmup)
+		if err != nil {
+			return fmt.Errorf("ipc1 %s: %w", p.Name, err)
+		}
+		cfg.NoCycleSkip = true
+		slow, err := simulate(instrs, opts, cfg, warmup)
+		if err != nil {
+			return fmt.Errorf("ipc1 -no-skip %s: %w", p.Name, err)
+		}
+		if slow.SkippedCycles != 0 || slow.CycleSkips != 0 {
+			return fmt.Errorf("ipc1 %s: -no-skip run reports %d skipped cycles", p.Name, slow.SkippedCycles)
+		}
+		jumped += got.SkippedCycles
+		got.SkippedCycles, got.CycleSkips = 0, 0
+		if got != slow {
+			return fmt.Errorf("ipc1 %s: skipping changed reported stats:\n skip    %+v\n no-skip %+v",
+				p.Name, got, slow)
+		}
+	}
+	if jumped == 0 {
+		return fmt.Errorf("ipc1 runs never skipped a cycle — the transparency check is vacuous")
+	}
+	return nil
+}

@@ -171,7 +171,15 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckCacheTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 5. User-supplied traces.
+	// 5. Cycle-skip transparency: sweeps over the golden-corpus profiles
+	// with event-horizon skipping enabled must be byte-identical to
+	// -no-skip on both the develop and IPC-1 models.
+	r.run(fmt.Sprintf("cycle skipping: skip-on vs -no-skip sweeps of %d traces byte-identical (develop + ipc1)",
+		len(goldenProfiles())), func() error {
+		return CheckCycleSkipTransparency(goldenProfiles(), cfg.SimInstructions, cfg.Warmup)
+	})
+
+	// 6. User-supplied traces.
 	for _, path := range cfg.TraceFiles {
 		rep, err := ValidateTraceFile(path)
 		if err != nil {

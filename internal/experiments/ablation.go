@@ -90,6 +90,7 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 		for _, decoupled := range []bool{false, true} {
 			mk := func(pf string) sim.Config {
 				c := sim.ConfigIPC1(pf, rulesFor(opts))
+				c.NoCycleSkip = cfg.NoSkip
 				c.Decoupled = decoupled
 				if decoupled {
 					c.FTQSize = 64

@@ -120,6 +120,13 @@ type SweepConfig struct {
 	// for different traces may therefore arrive out of order, but each
 	// carries its own done count.
 	Progress func(done, total int)
+	// NoSkip disables the simulator's event-horizon cycle skipping
+	// (sim.Config.NoCycleSkip) for every simulation the sweep dispatches.
+	// Results are identical either way; the flag exists for verifying that
+	// claim and for benchmarking the skipper itself. It participates in
+	// result-cache keys through the config identity, so skip-on and
+	// skip-off runs never share cache entries.
+	NoSkip bool
 	// Cache, when non-nil, serves (trace, variant, config) Results by
 	// content address instead of recomputing them: the sweep consults it
 	// before dispatching work, skips generation and conversion entirely
@@ -165,17 +172,26 @@ func (c *SweepConfig) fill() error {
 	return nil
 }
 
-// runVariant converts instrs under v and simulates the result on the
-// develop-branch model, streaming conversion into the simulator batch by
-// batch instead of materializing the converted trace. instrs is read-only
-// and may be shared by concurrent callers.
-func runVariant(instrs []cvp.Instruction, v Variant, warmup uint64) (Result, error) {
+// simConfigFor returns the develop-branch model configuration for opts with
+// the sweep's cycle-skipping setting applied. Dispatch and cache keys share
+// it, so NoSkip results are keyed apart from skipping ones.
+func (c *SweepConfig) simConfigFor(opts core.Options) sim.Config {
+	sc := DevelopConfigFor(opts)
+	sc.NoCycleSkip = c.NoSkip
+	return sc
+}
+
+// runVariant converts instrs under v and simulates the result on simCfg
+// (the develop-branch model), streaming conversion into the simulator batch
+// by batch instead of materializing the converted trace. instrs is
+// read-only and may be shared by concurrent callers.
+func runVariant(instrs []cvp.Instruction, v Variant, simCfg sim.Config, warmup uint64) (Result, error) {
 	cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
 	defer cs.Close()
 	// Traces carrying branch-regs need the §3.2.2 ChampSim patch;
-	// DevelopConfigFor pairs rules with options for dispatch and cache
-	// keys alike.
-	st, err := sim.Run(cs, DevelopConfigFor(v.Opts), warmup, 0)
+	// simConfigFor (via DevelopConfigFor) pairs rules with options for
+	// dispatch and cache keys alike.
+	st, err := sim.Run(cs, simCfg, warmup, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -194,7 +210,7 @@ func RunTrace(p synth.Profile, cfg SweepConfig) (TraceResult, error) {
 	}
 	tr := TraceResult{Profile: p, Results: make(map[string]Result, len(cfg.Variants))}
 	for _, v := range cfg.Variants {
-		res, err := runVariant(instrs, v, cfg.Warmup)
+		res, err := runVariant(instrs, v, cfg.simConfigFor(v.Opts), cfg.Warmup)
 		if err != nil {
 			return tr, fmt.Errorf("experiments: %s/%s: %w", p.Name, v.Name, err)
 		}
@@ -269,12 +285,12 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 					if st.err != nil {
 						return Result{}, st.err
 					}
-					return runVariant(st.instrs, v, cfg.Warmup)
+					return runVariant(st.instrs, v, cfg.simConfigFor(v.Opts), cfg.Warmup)
 				}
 				var res Result
 				var err error
 				if cfg.Cache != nil {
-					key := cacheKey(&profiles[j.ti], v.Opts, DevelopConfigFor(v.Opts), cfg.Instructions, cfg.Warmup)
+					key := cacheKey(&profiles[j.ti], v.Opts, cfg.simConfigFor(v.Opts), cfg.Instructions, cfg.Warmup)
 					res, err = cfg.Cache.GetOrCompute(key, compute)
 				} else {
 					res, err = compute()

@@ -207,6 +207,7 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 			}
 			runOne := func(pf string) (Result, error) {
 				simCfg := sim.ConfigIPC1(pf, s.rules)
+				simCfg.NoCycleSkip = cfg.NoSkip
 				compute := func() (Result, error) {
 					if err := convert(); err != nil {
 						return Result{}, err

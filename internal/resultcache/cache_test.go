@@ -395,3 +395,42 @@ func mk(i int) func() (payload, error) {
 		return payload{N: i, Blob: []byte(fmt.Sprintf("payload-%d-%s", i, strings.Repeat("x", 64)))}, nil
 	}
 }
+
+// TestHitSplitInvariant pins the diagnosable-warmth contract the rebase
+// stderr summary and -bench-json rely on: Hits always equals
+// MemHits + DiskHits, a same-process re-read is a memory hit, and a fresh
+// instance over the same store (a second process) serves the same key from
+// disk — after which the now-promoted entry reads from memory again.
+func TestHitSplitInvariant(t *testing.T) {
+	dir := t.TempDir()
+	check := func(c *Cache[payload], wantMem, wantDisk uint64) {
+		t.Helper()
+		s := c.Stats()
+		if s.Hits != s.MemHits+s.DiskHits {
+			t.Fatalf("hit split broken: %d hits != %d mem + %d disk", s.Hits, s.MemHits, s.DiskHits)
+		}
+		if s.MemHits != wantMem || s.DiskHits != wantDisk {
+			t.Fatalf("stats %+v, want %d mem hits and %d disk hits", s, wantMem, wantDisk)
+		}
+	}
+	get := func(c *Cache[payload]) {
+		t.Helper()
+		if _, err := c.GetOrCompute(keyOf(9), func() (payload, error) {
+			return payload{N: 9}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c1 := testCache(t, dir, 0)
+	get(c1) // miss + compute
+	check(c1, 0, 0)
+	get(c1) // in-process re-read
+	check(c1, 1, 0)
+
+	c2 := testCache(t, dir, 0) // second process: memory layer is empty
+	get(c2)
+	check(c2, 0, 1)
+	get(c2) // the disk hit promoted the entry into memory
+	check(c2, 1, 1)
+}

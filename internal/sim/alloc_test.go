@@ -52,3 +52,40 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestIdleHeavyZeroAllocs is TestSteadyStateZeroAllocs on the idle-heavy
+// stress profile: long event-horizon jumps must not change the contract.
+// The skipper's state is two scalar fields on the pipeline, so a violation
+// here means a heap structure crept into the skip path.
+func TestIdleHeavyZeroAllocs(t *testing.T) {
+	p := synth.StressIdle()
+	instrs, err := p.Generate(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := champtrace.NewSliceSource(recs)
+	pipe, err := cpu.New(ConfigDevelop(champtrace.RulesPatched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipe.Run(src, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedCycles == 0 {
+		t.Fatal("idle-heavy run skipped no cycles; the test no longer covers the skip path")
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		src.Reset()
+		if _, err := pipe.Run(src, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("idle-heavy steady-state interval allocated %.0f times, want 0", allocs)
+	}
+}

@@ -85,24 +85,35 @@ func TestStaleGenerationReady(t *testing.T) {
 	// Slot 5 recycled: it now holds the uop with seq 5+cap. The ref's tag
 	// mismatches, so the original producer retired — ready.
 	p.arena[5] = uop{seq: 5 + cap}
-	if !p.depsReady(consumer) {
+	if ready, _ := p.depsReady(consumer); !ready {
 		t.Fatal("stale-generation dependency not treated as ready")
 	}
 	if consumer.deps[0] != noref {
 		t.Fatal("stale dependency ref not cleared after resolving")
 	}
 
-	// Same slot, matching generation, still executing: not ready.
+	// Same slot, matching generation, still executing: not ready, and with
+	// no wake-up horizon — the producer's completion cycle is unknown.
 	consumer.deps[0] = ref
 	p.arena[5] = uop{seq: 5, completed: false}
-	if p.depsReady(consumer) {
-		t.Fatal("live incomplete dependency treated as ready")
+	if ready, wakeAt := p.depsReady(consumer); ready || wakeAt != 0 {
+		t.Fatalf("live incomplete dependency: ready=%v wakeAt=%d, want not ready with no horizon", ready, wakeAt)
+	}
+
+	// Matching generation, completed but in the future: not ready, and the
+	// horizon is the producer's completion cycle.
+	p.arena[5].completed = true
+	p.arena[5].complete = 42
+	if ready, wakeAt := p.depsReady(consumer); ready || wakeAt != 42 {
+		t.Fatalf("executing dependency: ready=%v wakeAt=%d, want not ready with horizon 42", ready, wakeAt)
+	}
+	if consumer.deps[0] == noref {
+		t.Fatal("still-executing dependency ref must stay linked")
 	}
 
 	// Matching generation, completed in the past: ready, and resolved.
-	p.arena[5].completed = true
 	p.arena[5].complete = 0
-	if !p.depsReady(consumer) {
+	if ready, _ := p.depsReady(consumer); !ready {
 		t.Fatal("completed dependency not treated as ready")
 	}
 	if consumer.deps[0] != noref {

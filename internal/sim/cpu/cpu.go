@@ -73,6 +73,14 @@ type Config struct {
 	// StoreForwardLatency is the load latency when forwarded from the
 	// store queue.
 	StoreForwardLatency uint64
+
+	// NoCycleSkip disables event-horizon cycle skipping, forcing the
+	// classic one-tick-per-pass loop. Skipping is transparent — every
+	// reported counter is identical either way (the conformance suite's
+	// CheckCycleSkipTransparency proves it) — so this exists only for
+	// verification and benchmarking. The field participates in Identity(),
+	// keying cached results separately from skipping runs.
+	NoCycleSkip bool
 }
 
 // Validate fills defaults and rejects nonsensical configurations.
@@ -152,6 +160,13 @@ type Stats struct {
 	// ITLBMisses, DTLBMisses and STLBMisses count translation misses
 	// (zero when the configuration runs without TLBs).
 	ITLBMisses, DTLBMisses, STLBMisses uint64
+
+	// SkippedCycles counts measured-region cycles the event-horizon
+	// skipper jumped over instead of ticking through (a subset of Cycles,
+	// which is unchanged by skipping); CycleSkips counts the jumps. Both
+	// are zero under Config.NoCycleSkip. Host-performance telemetry only:
+	// no figure or table renders them.
+	SkippedCycles, CycleSkips uint64
 }
 
 // IPC returns instructions per cycle for the measured region.

@@ -130,6 +130,15 @@ type Pipeline struct {
 	seq     uint64
 	retired uint64
 
+	// Event-horizon cycle skipping. nextWake is a monotone next-event
+	// register: during each pass the stages min-accumulate the ready cycle
+	// of every blocker they observe, and progressed records whether any
+	// stage moved a uop. When a full pass makes no progress, Run jumps
+	// p.cycle to nextWake instead of ticking — every intermediate cycle is
+	// provably dead (see DESIGN.md "The event-horizon invariant").
+	nextWake   uint64
+	progressed bool
+
 	// stats for the measured region.
 	st            Stats
 	warmupCycles  uint64
@@ -140,6 +149,17 @@ type Pipeline struct {
 // at returns the arena uop a ref points to. The caller is responsible for
 // the generation check when the ref may be stale.
 func (p *Pipeline) at(r uref) *uop { return &p.arena[r&p.arenaMask] }
+
+// wake lowers the pass's event horizon to cycle c. Every stage that finds
+// itself blocked on a future cycle it already knows (a completion time, a
+// line fill, a decode latency, a redirect-penalty expiry) must report that
+// cycle here, or a zero-progress pass could jump past the moment the stage
+// would have unblocked.
+func (p *Pipeline) wake(c uint64) {
+	if c < p.nextWake {
+		p.nextWake = c
+	}
+}
 
 // Narrow interfaces so the pipeline file does not depend on concrete types
 // beyond what it exercises (and tests can substitute).
@@ -225,13 +245,27 @@ func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (S
 	if p.measuring {
 		p.beginMeasurement()
 	}
+	skip := !p.cfg.NoCycleSkip
 	for {
+		p.nextWake = ^uint64(0)
+		p.progressed = false
 		p.retire()
 		p.issue()
 		p.dispatch()
 		p.fetch()
 		p.bpuFill()
-		p.cycle++
+		if skip && !p.progressed && p.nextWake != ^uint64(0) && p.nextWake > p.cycle+1 {
+			// Zero-progress pass with a known horizon: every stage is
+			// blocked until at least nextWake, so the intervening cycles
+			// cannot change any state. Jump straight there. (Counters
+			// accumulate unconditionally; beginMeasurement resets them,
+			// exactly like the other warm-up-excluded stats.)
+			p.st.SkippedCycles += p.nextWake - p.cycle - 1
+			p.st.CycleSkips++
+			p.cycle = p.nextWake
+		} else {
+			p.cycle++
+		}
 
 		if !p.measuring && p.retired >= warmup {
 			p.measuring = true
@@ -286,8 +320,15 @@ func (p *Pipeline) retire() {
 		// The ROB head is the oldest live uop: sequence p.retired+1.
 		u := &p.arena[uint32(p.retired+1)&p.arenaMask]
 		if !u.completed || u.complete > p.cycle {
+			if u.completed {
+				// An executing head unblocks retire at its completion
+				// cycle; an unissued head is the scheduler's problem and
+				// registers its horizon in issue().
+				p.wake(u.complete)
+			}
 			return
 		}
+		p.progressed = true
 		// Stores write the data cache at retirement; the latency is off
 		// the critical path (drained from the store buffer) but the
 		// access trains caches and prefetchers and counts in MPKI.
@@ -310,31 +351,53 @@ func (p *Pipeline) issue() {
 			break
 		}
 		u := p.at(r)
-		if !p.depsReady(u) {
+		ready, wakeAt := p.depsReady(u)
+		if !ready {
+			if wakeAt > p.cycle {
+				p.wake(wakeAt)
+			}
 			keep = append(keep, r)
 			continue
 		}
 		issued++
+		p.progressed = true
 		p.execute(u)
 	}
 	p.pending = keep
 }
 
-func (p *Pipeline) depsReady(u *uop) bool {
+// depsReady reports whether all of u's source producers are complete as of
+// p.cycle. When they are not but every blocking producer has at least
+// executed, the second result is the cycle the last of them completes — the
+// uop's wake-up horizon. It is 0 when some producer has not executed yet:
+// such a uop has no horizon of its own, but the oldest pending uop always
+// does (its producers are strictly older, hence already issued), so a
+// zero-progress scheduler pass always registers at least one wake-up.
+func (p *Pipeline) depsReady(u *uop) (bool, uint64) {
+	ready, wakeAt := true, uint64(0)
 	for i := range u.deps {
 		r := u.deps[i]
 		if r == noref {
 			continue
 		}
 		d := p.at(r)
-		if uint32(d.seq) == r && (!d.completed || d.complete > p.cycle) {
-			return false
+		if uint32(d.seq) == r {
+			if !d.completed {
+				return false, 0
+			}
+			if d.complete > p.cycle {
+				ready = false
+				if d.complete > wakeAt {
+					wakeAt = d.complete
+				}
+				continue
+			}
 		}
 		// Stale ref (producer retired, slot recycled) or completed
 		// producer: resolved for good, never recheck.
 		u.deps[i] = noref
 	}
-	return true
+	return ready, wakeAt
 }
 
 func (p *Pipeline) execute(u *uop) {
@@ -398,8 +461,10 @@ func (p *Pipeline) dispatch() {
 		r := p.decq[p.decqHead]
 		u := p.at(r)
 		if u.decodeReady > p.cycle {
+			p.wake(u.decodeReady)
 			return
 		}
+		p.progressed = true
 		p.decqHead = (p.decqHead + 1) & p.decqMask
 		p.decqLen--
 		// Register rename: link sources to their producers and claim
@@ -436,8 +501,10 @@ func (p *Pipeline) fetch() {
 			p.curLineAt = p.accessICache(u.fetchLine)
 		}
 		if p.curLineAt > p.cycle {
+			p.wake(p.curLineAt)
 			return // line still in flight: in-order fetch stalls
 		}
+		p.progressed = true
 		p.ftqHead = (p.ftqHead + 1) & p.ftqMask
 		p.ftqLen--
 		u.decodeReady = p.cycle + p.cfg.DecodeLatency
@@ -483,9 +550,15 @@ func (p *Pipeline) bpuFill() {
 	if p.stalled {
 		u := p.at(p.stalledOn)
 		if !u.completed || u.complete+p.cfg.RedirectPenalty > p.cycle {
+			if u.completed {
+				// The redirect-penalty expiry is known once the branch
+				// executes; before that, issue() owns the horizon.
+				p.wake(u.complete + p.cfg.RedirectPenalty)
+			}
 			return
 		}
 		p.stalled = false
+		p.progressed = true
 	}
 	budget := p.cfg.FTQSize - p.ftqLen
 	if !p.cfg.Decoupled {
@@ -501,6 +574,7 @@ func (p *Pipeline) bpuFill() {
 			return
 		}
 		r, u := p.newUop(in, nextIP)
+		p.progressed = true
 		if u.btype != champtrace.NotBranch {
 			p.processBranch(u)
 		}

@@ -137,6 +137,35 @@ func PublicProfile(cat Category, idx int) Profile {
 	return p
 }
 
+// StressIdle returns an idle-heavy stress profile that is not part of the
+// public suite: every load site walks a serialized pointer chase over a
+// footprint far beyond the LLC, with near-zero memory-level parallelism and
+// almost perfectly predictable branches. The core spends nearly all of its
+// time stalled on one outstanding DRAM miss — the worst case for a
+// tick-per-cycle simulation loop and the best case for the event-horizon
+// cycle skipper, which is why the zero-allocation and skipper benchmarks
+// pin it.
+func StressIdle() Profile {
+	return Profile{
+		Name:            "stress_idle",
+		Category:        Server,
+		Seed:            0x1d7e,
+		NumFuncs:        2,
+		FuncBodySites:   64,
+		LoopIterations:  50,
+		CallDepth:       1,
+		DispatchTargets: 1,
+		LoadFrac:        0.30,
+		StoreFrac:       0.02,
+		CondFrac:        0.04,
+		BranchBias:      0.995,
+		RandomTakenProb: 0.30,
+		CondRegFrac:     0.2,
+		ChaseFrac:       1.0,
+		DataFootprint:   64 << 20,
+	}
+}
+
 // PublicSuite returns the 135 public-trace profiles.
 func PublicSuite() []Profile {
 	var out []Profile

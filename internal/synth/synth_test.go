@@ -423,3 +423,43 @@ func TestLoopCounterValues(t *testing.T) {
 		t.Errorf("only %d of %d counter restarts began at 1", ones, restarts)
 	}
 }
+
+// TestStressIdleProfile pins the stress profile's purpose: it must be
+// valid, deterministic, and chase-dominated — nearly every load forms a
+// serialized pointer chain (ClassLoad whose source register is written by
+// the preceding ALU of the same chase pair), with a footprint far beyond
+// any cache level.
+func TestStressIdleProfile(t *testing.T) {
+	p := StressIdle()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	instrs, err := p.Generate(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, chased := 0, 0
+	for _, in := range instrs {
+		if in.Class != cvp.ClassLoad {
+			continue
+		}
+		loads++
+		// A chase load reads a register in the 16..19 window the chase
+		// emitter owns (memory.go emitChaseLoad).
+		for _, r := range in.SrcRegs {
+			if r >= 16 && r < 20 {
+				chased++
+				break
+			}
+		}
+	}
+	if loads == 0 {
+		t.Fatal("stress profile generated no loads")
+	}
+	if frac := float64(chased) / float64(loads); frac < 0.95 {
+		t.Fatalf("only %.1f%% of loads are pointer chases, want >= 95%%", 100*frac)
+	}
+	if p.DataFootprint < 32<<20 {
+		t.Fatalf("footprint %d too small to guarantee DRAM-latency chases", p.DataFootprint)
+	}
+}

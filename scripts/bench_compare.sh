@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench_compare.sh — run the paired allocation benchmarks on a reference
 # revision and on the working tree, and print ns/op, B/op, allocs/op deltas.
 #
@@ -8,8 +8,8 @@
 #   REF          git revision to compare against (default: HEAD). When the
 #                working tree is dirty the tree is stashed while the
 #                reference run executes and restored afterwards.
-#   BENCH_REGEX  -bench regex (default: the simulator-core pair
-#                'BenchmarkPipeline$|BenchmarkHierarchy$|ConvertSimulate').
+#   BENCH_REGEX  -bench regex (default: the simulator-core set
+#                'BenchmarkPipeline$|BenchmarkPipelineIdleHeavy$|BenchmarkHierarchy$|ConvertSimulate').
 #
 # Environment:
 #   GO         go binary (default: go)
@@ -18,51 +18,71 @@
 #
 # The script never runs benchmarks concurrently and pins -count 1, so the
 # two runs see the same machine state back to back.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 BENCHTIME=${BENCHTIME:-3x}
 REF=${1:-HEAD}
-BENCH=${2:-'BenchmarkPipeline$|BenchmarkHierarchy$|ConvertSimulate'}
+BENCH=${2:-'BenchmarkPipeline$|BenchmarkPipelineIdleHeavy$|BenchmarkHierarchy$|ConvertSimulate'}
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
 
-old_out=$(mktemp /tmp/bench_ref.XXXXXX)
-new_out=$(mktemp /tmp/bench_new.XXXXXX)
-trap 'rm -f "$old_out" "$new_out"' EXIT
+tmpdir=$(mktemp -d /tmp/bench_compare.XXXXXX)
+old_out=$tmpdir/ref.out
+new_out=$tmpdir/new.out
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Refuse to "compare" a tree against itself: with a clean tree and REF at
+# HEAD there is no stash-able baseline, and the two runs would measure the
+# same code. (Without this check a stash that found nothing to save would
+# silently produce a do-nothing comparison.)
+dirty=0
+if ! git diff --quiet || ! git diff --cached --quiet; then
+	dirty=1
+fi
+if [ "$(git rev-parse "$REF^{commit}")" = "$(git rev-parse HEAD)" ] && [ "$dirty" -eq 0 ]; then
+	echo "bench_compare: nothing to compare: working tree is clean and REF ($REF) is HEAD." >&2
+	echo "bench_compare: make changes first, or compare two commits: make bench-compare REF=HEAD~1" >&2
+	exit 1
+fi
 
 run_bench() {
-	"$GO" test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . 2>&1 |
-		grep -E '^Benchmark' || true
+	# Capture the full go test output so a build or test failure aborts the
+	# comparison loudly instead of feeding an empty baseline to the deltas.
+	local out
+	if ! out=$("$GO" test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . 2>&1); then
+		printf '%s\n' "$out" >&2
+		return 1
+	fi
+	printf '%s\n' "$out" | grep -E '^Benchmark' || true
 }
 
 echo "== working tree =="
 run_bench | tee "$new_out"
 
 stashed=0
-if ! git diff --quiet || ! git diff --cached --quiet; then
+orig_head=
+if [ "$dirty" -eq 1 ]; then
 	git stash push --quiet --include-untracked -m bench_compare
 	stashed=1
 fi
 restore() {
+	if [ -n "$orig_head" ]; then
+		git checkout --quiet "$orig_head"
+		orig_head=
+	fi
 	if [ "$stashed" -eq 1 ]; then
 		git stash pop --quiet
 		stashed=0
 	fi
-	if [ -n "${orig_head:-}" ]; then
-		git checkout --quiet "$orig_head"
-		orig_head=
-	fi
 }
-trap 'restore; rm -f "$old_out" "$new_out"' EXIT
+trap 'restore; rm -rf "$tmpdir"' EXIT
 
-orig_head=$(git rev-parse --abbrev-ref HEAD)
-[ "$orig_head" = "HEAD" ] && orig_head=$(git rev-parse HEAD)
-if [ "$(git rev-parse "$REF")" != "$(git rev-parse HEAD)" ]; then
+if [ "$(git rev-parse "$REF^{commit}")" != "$(git rev-parse HEAD)" ]; then
+	orig_head=$(git rev-parse --abbrev-ref HEAD)
+	[ "$orig_head" = "HEAD" ] && orig_head=$(git rev-parse HEAD)
 	git checkout --quiet "$REF"
-else
-	orig_head=
 fi
 
 echo
