@@ -73,6 +73,11 @@ func run() (code int) {
 		useCache   = flag.Bool("cache", true, "serve repeated (trace, variant, config) simulations from the result cache")
 		noCache    = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
 		cacheDir   = flag.String("cache-dir", "", "result cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir, e.g. ~/.cache/tracerebase)")
+
+		sample       = flag.Bool("sample", false, "SMARTS-style interval sampling: short detailed intervals separated by functionally-warmed fast-forward gaps (several times faster; IPC carries a small sampling error, reported with a 95% CI)")
+		samplePeriod = flag.Uint64("sample-period", 12500, "sampled mode: instructions per sampling period (one detailed interval each)")
+		sampleDetail = flag.Uint64("sample-detail", 2500, "sampled mode: detailed instructions per interval (first half is unmeasured pipeline ramp)")
+		sampleWarm   = flag.Uint64("sample-warm", 2500, "sampled mode: fully-warmed instructions ahead of each interval (0 = warm whole gaps)")
 	)
 	flag.Parse()
 
@@ -90,6 +95,14 @@ func run() (code int) {
 	}
 	if *step < 1 {
 		return fail("-step must be >= 1 (got %d)", *step)
+	}
+	if *sample {
+		if *samplePeriod == 0 {
+			return fail("-sample-period must be positive")
+		}
+		if *sampleDetail == 0 || *sampleDetail >= *samplePeriod {
+			return fail("-sample-detail %d must be positive and below -sample-period %d", *sampleDetail, *samplePeriod)
+		}
 	}
 
 	if *selftest {
@@ -146,6 +159,11 @@ func run() (code int) {
 		Parallelism:  *parallel,
 		NoSkip:       *noSkip,
 	}
+	if *sample {
+		cfg.SamplePeriod = *samplePeriod
+		cfg.SampleDetail = *sampleDetail
+		cfg.SampleWarm = *sampleWarm
+	}
 	if *useCache && !*noCache {
 		cache, err := experiments.OpenResultCache(*cacheDir, 0)
 		if err != nil {
@@ -154,6 +172,14 @@ func run() (code int) {
 			fmt.Fprintf(os.Stderr, "rebase: cache disabled: %v\n", err)
 		} else {
 			cfg.Cache = cache
+		}
+		if *sample {
+			ckpts, err := experiments.OpenCheckpointCache(*cacheDir, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rebase: checkpoint cache disabled: %v\n", err)
+			} else {
+				cfg.Checkpoints = ckpts
+			}
 		}
 	}
 	if !*quiet {
@@ -174,9 +200,11 @@ func run() (code int) {
 	all := wants["all"]
 	needSweep := all || wants["fig1"] || wants["fig2"] || wants["fig3"] || wants["fig4"] || wants["fig5"]
 
-	// Per-category cycle-skipping telemetry, collected from the figure
-	// sweep (the one place full per-trace stats flow through this command).
+	// Per-category cycle-skipping and sampling telemetry, collected from
+	// the figure sweep (the one place full per-trace stats flow through
+	// this command).
 	var skipCats []benchSkip
+	var sampleCats []benchSample
 
 	start := time.Now()
 	if (all || wants["table1"]) && !*jsonOut {
@@ -195,6 +223,9 @@ func run() (code int) {
 			return fail("sweep: %v", err)
 		}
 		skipCats = skipFractions(results)
+		if cfg.SamplePeriod > 0 {
+			sampleCats = sampleSummary(results)
+		}
 		if *jsonOut {
 			report.FillFigures(results)
 		}
@@ -296,20 +327,86 @@ func run() (code int) {
 			}
 			fmt.Fprintf(os.Stderr, "skip: cycles jumped per category: %s\n", strings.Join(parts, ", "))
 		}
+		if len(sampleCats) > 0 {
+			parts := make([]string, 0, len(sampleCats))
+			for _, s := range sampleCats {
+				parts = append(parts, fmt.Sprintf("%s %.3f ±%.3f", s.Category, s.MeanIPC, s.MeanCI95))
+			}
+			fmt.Fprintf(os.Stderr, "sample: interval IPC ±95%% CI per category: %s\n", strings.Join(parts, ", "))
+		}
 		if cfg.Cache != nil {
 			s := cfg.Cache.Stats()
 			fmt.Fprintf(os.Stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d corrupt, %d evicted, %.1f MB read, %.1f MB written (%s)\n",
 				s.Hits, s.MemHits, s.DiskHits, s.Misses, s.Corrupt, s.Evictions,
 				float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6, cfg.Cache.Dir())
 		}
+		if cfg.Checkpoints != nil {
+			s := cfg.Checkpoints.Stats()
+			fmt.Fprintf(os.Stderr, "checkpoints: %d hits (%d mem, %d disk), %d misses, %.1f MB read, %.1f MB written\n",
+				s.Hits, s.MemHits, s.DiskHits, s.Misses,
+				float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
+		}
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed, skipCats); err != nil {
+		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed, skipCats, sampleCats); err != nil {
 			return fail("bench-json: %v", err)
 		}
 	}
 	return 0
+}
+
+// benchSample summarizes sampled-mode statistics for one trace category
+// across every (trace, variant) cell of the sweep: the average interval-mean
+// IPC, the average 95% confidence half-width around it, and how the
+// instruction budget split between detailed, warmed, and skipped phases.
+type benchSample struct {
+	Category     string  `json:"category"`
+	Runs         int     `json:"runs"`
+	Intervals    uint64  `json:"intervals"`
+	MeanIPC      float64 `json:"mean_ipc"`
+	MeanCI95     float64 `json:"mean_ci95"`
+	Instructions uint64  `json:"detailed_instructions"`
+	Warmed       uint64  `json:"warmed_instructions"`
+	Skipped      uint64  `json:"skipped_instructions"`
+}
+
+// sampleSummary aggregates per-run sampling statistics by trace category,
+// ordered by category name.
+func sampleSummary(results []experiments.TraceResult) []benchSample {
+	byCat := map[string]*benchSample{}
+	for _, tr := range results {
+		cat := string(tr.Profile.Category)
+		agg := byCat[cat]
+		if agg == nil {
+			agg = &benchSample{Category: cat}
+			byCat[cat] = agg
+		}
+		for _, res := range tr.Results {
+			agg.Runs++
+			agg.Intervals += res.Sim.SampleIntervals
+			agg.MeanIPC += res.Sim.SampleIPCMean
+			agg.MeanCI95 += res.Sim.SampleCI95
+			agg.Instructions += res.Sim.Instructions
+			agg.Warmed += res.Sim.WarmedInstructions
+			agg.Skipped += res.Sim.SkippedInstructions
+		}
+	}
+	cats := make([]string, 0, len(byCat))
+	for cat := range byCat {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	out := make([]benchSample, 0, len(cats))
+	for _, cat := range cats {
+		s := *byCat[cat]
+		if s.Runs > 0 {
+			s.MeanIPC /= float64(s.Runs)
+			s.MeanCI95 /= float64(s.Runs)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // benchSkip reports event-horizon cycle skipping for one trace category:
@@ -372,9 +469,23 @@ type benchRecord struct {
 	WallSeconds  float64     `json:"wall_seconds"`
 	Timestamp    string      `json:"timestamp"`
 	Cache        *benchCache `json:"cache,omitempty"`
+	// CheckpointCache records warmed-checkpoint reuse in sampled runs.
+	CheckpointCache *benchCache `json:"checkpoint_cache,omitempty"`
 	// Skip carries per-category cycle-skipping fractions when the run
 	// included the figure sweep.
 	Skip []benchSkip `json:"skip,omitempty"`
+	// Sample carries the sampling configuration and per-category interval
+	// statistics when the run used -sample.
+	Sample *benchSampleBlock `json:"sample,omitempty"`
+}
+
+// benchSampleBlock groups the sampling parameters with the per-category
+// interval statistics of the figure sweep.
+type benchSampleBlock struct {
+	Period     uint64        `json:"period"`
+	Detail     uint64        `json:"detail"`
+	Warm       uint64        `json:"warm"`
+	Categories []benchSample `json:"categories,omitempty"`
 }
 
 // benchCache records result-cache activity so a BENCH file distinguishes
@@ -390,7 +501,7 @@ type benchCache struct {
 	BytesWritten uint64 `json:"bytes_written"`
 }
 
-func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []benchSkip) error {
+func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []benchSkip, sampleCats []benchSample) error {
 	parallelism := cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -416,6 +527,22 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 			Hits: s.Hits, MemHits: s.MemHits, DiskHits: s.DiskHits,
 			Misses: s.Misses, Corrupt: s.Corrupt, Evictions: s.Evictions,
 			BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
+		}
+	}
+	if cfg.Checkpoints != nil {
+		s := cfg.Checkpoints.Stats()
+		rec.CheckpointCache = &benchCache{
+			Hits: s.Hits, MemHits: s.MemHits, DiskHits: s.DiskHits,
+			Misses: s.Misses, Corrupt: s.Corrupt, Evictions: s.Evictions,
+			BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
+		}
+	}
+	if cfg.SamplePeriod > 0 {
+		rec.Sample = &benchSampleBlock{
+			Period:     cfg.SamplePeriod,
+			Detail:     cfg.SampleDetail,
+			Warm:       cfg.SampleWarm,
+			Categories: sampleCats,
 		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

@@ -179,7 +179,33 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckCycleSkipTransparency(goldenProfiles(), cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 6. User-supplied traces.
+	// 6. Sampling: sampled runs must replay deterministically, resume from
+	// checkpoints without divergence, key apart from exact results, and
+	// stay scheduling-independent under parallel sweeps. The accuracy of
+	// sampled IPC itself is pinned by the golden corpus (step 1).
+	sampleProfiles := []synth.Profile{
+		synth.PublicProfile(synth.ComputeInt, 1),
+		synth.PublicProfile(synth.Server, 3),
+	}
+	for _, p := range sampleProfiles {
+		p := p
+		r.run(fmt.Sprintf("sampling: %s sampled twice, identical stats", p.Name), func() error {
+			return CheckSampledDeterminism(p, cfg.SimInstructions, cfg.Warmup)
+		})
+		r.run(fmt.Sprintf("sampling: %s checkpoint resume == uninterrupted run (sampled + exact)", p.Name), func() error {
+			return CheckCheckpointResume(p, cfg.SimInstructions, cfg.Warmup)
+		})
+	}
+	keyProfile := synth.PublicProfile(synth.ComputeInt, 1)
+	r.run(fmt.Sprintf("sampling: %s exact and sampled cache keys pairwise disjoint", keyProfile.Name), func() error {
+		return CheckSampledKeyDisjoint(keyProfile, cfg.SimInstructions, cfg.Warmup)
+	})
+	r.run(fmt.Sprintf("sampling: sampled sweep of %d traces, -parallel 1 vs %d byte-identical",
+		len(sweepProfiles), sweepPar), func() error {
+		return CheckSampledParallelism(sweepProfiles, cfg.SimInstructions, cfg.Warmup, sweepPar)
+	})
+
+	// 7. User-supplied traces.
 	for _, path := range cfg.TraceFiles {
 		rep, err := ValidateTraceFile(path)
 		if err != nil {

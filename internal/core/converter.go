@@ -399,7 +399,13 @@ func ConvertAll(src cvp.Source, opts Options) ([]*champtrace.Instruction, Stats,
 // growths.
 func ConvertAllBatch(src cvp.Source, opts Options) ([]champtrace.Instruction, Stats, error) {
 	c := New(opts)
-	out := make([]champtrace.Instruction, 0, 1024)
+	// Conversion is nearly 1:1, so sizing the slab off the source length
+	// (when known) turns a dozen grow-and-copy cycles into at most one.
+	hint := 1024
+	if l, ok := src.(interface{ Len() int }); ok && l.Len() > hint {
+		hint = l.Len() + l.Len()/16
+	}
+	out := make([]champtrace.Instruction, 0, hint)
 	for {
 		in, err := src.Next()
 		if err == io.EOF {

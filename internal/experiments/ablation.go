@@ -69,10 +69,29 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 			src = champtrace.NewValuesSource(recs)
 			return nil
 		}
+		// mkSource re-reads the shared value slab from the start; the
+		// checkpoint warmer and the resume each take a fresh pass, and the
+		// calls are strictly sequential, so Reset-sharing is safe here.
+		mkSource := func() (champtrace.Source, func() core.Stats, func()) {
+			src.Reset()
+			return src, func() core.Stats { return convStats }, func() {}
+		}
 		runOne := func(simCfg sim.Config) (Result, error) {
 			compute := func() (Result, error) {
 				if err := convert(); err != nil {
 					return Result{}, err
+				}
+				if cfg.Checkpoints != nil && simCfg.SamplePeriod > 0 && cfg.Warmup > 0 {
+					// Coupled and decoupled front-ends share WarmIdentity,
+					// so each (trace, prefetcher) pair warms once here.
+					k := checkpointKey(&trc.Profile, opts, simCfg, cfg.Instructions, cfg.Warmup)
+					res, ok, err := runCheckpointed(cfg.Checkpoints, cfg.ckptGate, k, mkSource, simCfg, cfg.Warmup)
+					if err != nil {
+						return Result{}, err
+					}
+					if ok {
+						return res, nil
+					}
 				}
 				src.Reset()
 				st, err := sim.Run(src, simCfg, cfg.Warmup, 0)
@@ -91,6 +110,7 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 			mk := func(pf string) sim.Config {
 				c := sim.ConfigIPC1(pf, rulesFor(opts))
 				c.NoCycleSkip = cfg.NoSkip
+				cfg.applySampling(&c)
 				c.Decoupled = decoupled
 				if decoupled {
 					c.FTQSize = 64

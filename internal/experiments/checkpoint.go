@@ -1,0 +1,134 @@
+package experiments
+
+// Checkpoint-first scheduling: when a sweep runs in sampled mode, the
+// warmed prefix of every (trace, options) pair is itself a cacheable
+// artifact. Checkpoints are produced by the functional warmer, whose state
+// evolution depends only on the instruction stream and the warm-relevant
+// configuration (sim.Config.WarmIdentity) — never on core geometry — so
+// one checkpoint serves every variant that agrees on WarmIdentity: the
+// ablation's coupled/decoupled pairs, ad-hoc core-geometry sweeps, and
+// re-runs with different sampling periods all resume from the same warmed
+// state instead of re-warming the prefix.
+
+import (
+	"path/filepath"
+	"sync"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/resultcache"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
+)
+
+// CheckpointCache stores warmed-prefix checkpoints by content address. It
+// lives in a "checkpoints" subdirectory of the cache root so result and
+// checkpoint entries never compete within one eviction budget.
+type CheckpointCache = resultcache.Cache[sim.Checkpoint]
+
+// OpenCheckpointCache opens the checkpoint cache under dir ("" = the
+// DefaultCacheDir resolution) with the given size bound (0 = the
+// resultcache default).
+func OpenCheckpointCache(dir string, maxBytes int64) (*CheckpointCache, error) {
+	if dir == "" {
+		var err error
+		dir, err = DefaultCacheDir()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resultcache.Open[sim.Checkpoint](
+		resultcache.Config{Dir: filepath.Join(dir, "checkpoints"), MaxBytes: maxBytes},
+		resultcache.GobCodec[sim.Checkpoint]{},
+	)
+}
+
+// checkpointKey derives the content address of a warmed-prefix checkpoint.
+// It covers everything the warmed state is a function of: the profile (and
+// generator version), the converter improvement set, the warm-relevant
+// configuration identity — WarmIdentity, not the full Identity, which is
+// precisely what lets core-geometry variants share — the generation length
+// and warm-up boundary, the schema version, and the code fingerprint.
+func checkpointKey(p *synth.Profile, opts core.Options, cfg sim.Config, instructions int, warmup uint64) resultcache.Key {
+	ph := profileHash(p)
+	oh := optionsHash(opts)
+	return resultcache.NewHasher("tracerebase/checkpoint").
+		U64(resultcache.SchemaVersion).
+		Str(resultcache.Fingerprint()).
+		Bytes(ph[:]).
+		Bytes(oh[:]).
+		Str(cfg.WarmIdentity()).
+		U64(uint64(instructions)).
+		U64(warmup).
+		Sum()
+}
+
+// checkpointGate decides whether a cell should warm through the checkpoint
+// cache at all. A warmed-prefix checkpoint is megabytes of serialized state;
+// computing and persisting one for a key no other cell will ever ask for is
+// pure overhead (Table 3's cells, for example, all differ in prefetcher and
+// so in WarmIdentity). The gate admits a key only once it is demonstrably
+// shared: the first cell to present a key runs plain (unless a previous
+// invocation already persisted the checkpoint), and every later cell with
+// the same key — proof of sharing within this run — takes the checkpoint
+// path. A group of m sharing cells therefore warms its prefix twice (the
+// plain first run and the checkpoint compute) instead of m times.
+type checkpointGate struct {
+	mu   sync.Mutex
+	seen map[resultcache.Key]struct{}
+}
+
+// admit reports whether key has been presented before.
+func (g *checkpointGate) admit(key resultcache.Key) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.seen[key]; ok {
+		return true
+	}
+	if g.seen == nil {
+		g.seen = make(map[resultcache.Key]struct{})
+	}
+	g.seen[key] = struct{}{}
+	return false
+}
+
+// runCheckpointed simulates one cell resuming from a shared warmed-prefix
+// checkpoint, fetching or computing the checkpoint through cache. mkSource
+// must return a fresh converted source over the same trace on every call
+// (the warm compute and the resume each consume one from the start). The
+// returned source's conversion statistics are the full-trace statistics —
+// RunFrom converts the checkpointed prefix too, it only skips simulating
+// it — so Result.Conv matches the plain path exactly.
+//
+// ok reports whether the checkpoint path applied; it is false for
+// configurations without snapshot support (stateful IPC-1 instruction
+// prefetchers) and for keys the gate has not yet seen shared, and the
+// caller falls back to a plain run.
+func runCheckpointed(cache *CheckpointCache, gate *checkpointGate, key resultcache.Key,
+	mkSource func() (champtrace.Source, func() core.Stats, func()),
+	simCfg sim.Config, warmup uint64) (res Result, ok bool, err error) {
+	if !sim.Checkpointable(simCfg) {
+		return Result{}, false, nil
+	}
+	ck, cached := cache.Get(key)
+	if !cached {
+		if gate != nil && !gate.admit(key) {
+			return Result{}, false, nil
+		}
+		ck, err = cache.GetOrCompute(key, func() (sim.Checkpoint, error) {
+			src, _, cleanup := mkSource()
+			defer cleanup()
+			return sim.WarmCheckpoint(src, simCfg, warmup)
+		})
+		if err != nil {
+			return Result{}, false, err
+		}
+	}
+	src, convStats, cleanup := mkSource()
+	defer cleanup()
+	st, err := sim.RunFrom(src, simCfg, ck, 0)
+	if err != nil {
+		return Result{}, false, err
+	}
+	return Result{IPC: st.IPC(), Sim: st, Conv: convStats()}, true, nil
+}

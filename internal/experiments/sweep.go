@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
 	"tracerebase/internal/cvp"
 	"tracerebase/internal/sim"
@@ -134,6 +135,25 @@ type SweepConfig struct {
 	// Concurrent requests for the same key share one computation
 	// (single-flight). nil reproduces the uncached engine exactly.
 	Cache *ResultCache
+	// SamplePeriod > 0 switches every simulation the sweep dispatches to
+	// SMARTS-style interval sampling (sim.Config.SamplePeriod): one
+	// SampleDetail-instruction detailed interval per SamplePeriod retired
+	// instructions, with SampleWarm instructions of functional warming
+	// ahead of each interval (0 = warm whole gaps). The parameters flow
+	// into the simulator configuration and therefore into result-cache
+	// keys, so sampled and exact results can never collide.
+	SamplePeriod, SampleDetail, SampleWarm uint64
+	// Checkpoints, when non-nil alongside sampling, serves warmed-prefix
+	// checkpoints by content address: cells sharing a warm identity
+	// (keyed by WarmIdentity, not the full config identity) resume from
+	// one shared checkpoint instead of each re-warming its prefix. A
+	// per-run gate (see checkpointGate) keeps cells with unshared keys on
+	// the plain path so no checkpoint is computed or persisted for them.
+	// nil, or an exact-mode sweep, bypasses checkpointing entirely.
+	Checkpoints *CheckpointCache
+	// ckptGate is shared by every copy of the config made after fill();
+	// it spans all cells of one experiment run.
+	ckptGate *checkpointGate
 }
 
 // DefaultSweepConfig returns the configuration used by the rebase CLI:
@@ -169,33 +189,63 @@ func (c *SweepConfig) fill() error {
 	if c.Variants == nil {
 		c.Variants = Variants()
 	}
+	if c.Checkpoints != nil && c.ckptGate == nil {
+		c.ckptGate = &checkpointGate{}
+	}
 	return nil
 }
 
+// applySampling copies the sweep's sampling parameters into a simulator
+// configuration. Every dispatch path (sweep, ablation, Table 3) routes
+// through it, so sampled runs are keyed apart from exact ones everywhere.
+func (c *SweepConfig) applySampling(sc *sim.Config) {
+	sc.SamplePeriod = c.SamplePeriod
+	sc.SampleDetail = c.SampleDetail
+	sc.SampleWarm = c.SampleWarm
+}
+
 // simConfigFor returns the develop-branch model configuration for opts with
-// the sweep's cycle-skipping setting applied. Dispatch and cache keys share
-// it, so NoSkip results are keyed apart from skipping ones.
+// the sweep's cycle-skipping and sampling settings applied. Dispatch and
+// cache keys share it, so NoSkip and sampled results are keyed apart from
+// default ones.
 func (c *SweepConfig) simConfigFor(opts core.Options) sim.Config {
 	sc := DevelopConfigFor(opts)
 	sc.NoCycleSkip = c.NoSkip
+	c.applySampling(&sc)
 	return sc
 }
 
 // runVariant converts instrs under v and simulates the result on simCfg
 // (the develop-branch model), streaming conversion into the simulator batch
 // by batch instead of materializing the converted trace. instrs is
-// read-only and may be shared by concurrent callers.
-func runVariant(instrs []cvp.Instruction, v Variant, simCfg sim.Config, warmup uint64) (Result, error) {
-	cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
-	defer cs.Close()
+// read-only and may be shared by concurrent callers. In sampled mode with a
+// checkpoint cache, the simulation resumes from a shared warmed-prefix
+// checkpoint rather than re-warming.
+func runVariant(p *synth.Profile, instrs []cvp.Instruction, v Variant, simCfg sim.Config, cfg *SweepConfig) (Result, error) {
+	mkSource := func() (champtrace.Source, func() core.Stats, func()) {
+		cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
+		return cs, cs.Stats, func() { cs.Close() }
+	}
+	if cfg.Checkpoints != nil && simCfg.SamplePeriod > 0 && cfg.Warmup > 0 {
+		key := checkpointKey(p, v.Opts, simCfg, cfg.Instructions, cfg.Warmup)
+		res, ok, err := runCheckpointed(cfg.Checkpoints, cfg.ckptGate, key, mkSource, simCfg, cfg.Warmup)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	cs, convStats, cleanup := mkSource()
+	defer cleanup()
 	// Traces carrying branch-regs need the §3.2.2 ChampSim patch;
 	// simConfigFor (via DevelopConfigFor) pairs rules with options for
 	// dispatch and cache keys alike.
-	st, err := sim.Run(cs, simCfg, warmup, 0)
+	st, err := sim.Run(cs, simCfg, cfg.Warmup, 0)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{IPC: st.IPC(), Sim: st, Conv: cs.Stats()}, nil
+	return Result{IPC: st.IPC(), Sim: st, Conv: convStats()}, nil
 }
 
 // RunTrace generates one trace and simulates it under every variant on the
@@ -210,7 +260,7 @@ func RunTrace(p synth.Profile, cfg SweepConfig) (TraceResult, error) {
 	}
 	tr := TraceResult{Profile: p, Results: make(map[string]Result, len(cfg.Variants))}
 	for _, v := range cfg.Variants {
-		res, err := runVariant(instrs, v, cfg.simConfigFor(v.Opts), cfg.Warmup)
+		res, err := runVariant(&p, instrs, v, cfg.simConfigFor(v.Opts), &cfg)
 		if err != nil {
 			return tr, fmt.Errorf("experiments: %s/%s: %w", p.Name, v.Name, err)
 		}
@@ -285,7 +335,7 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 					if st.err != nil {
 						return Result{}, st.err
 					}
-					return runVariant(st.instrs, v, cfg.simConfigFor(v.Opts), cfg.Warmup)
+					return runVariant(&profiles[j.ti], st.instrs, v, cfg.simConfigFor(v.Opts), &cfg)
 				}
 				var res Result
 				var err error

@@ -205,12 +205,30 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 				src = champtrace.NewValuesSource(recs)
 				return nil
 			}
+			mkSource := func() (champtrace.Source, func() core.Stats, func()) {
+				src.Reset()
+				return src, func() core.Stats { return convStats }, func() {}
+			}
 			runOne := func(pf string) (Result, error) {
 				simCfg := sim.ConfigIPC1(pf, s.rules)
 				simCfg.NoCycleSkip = cfg.NoSkip
+				cfg.applySampling(&simCfg)
 				compute := func() (Result, error) {
 					if err := convert(); err != nil {
 						return Result{}, err
+					}
+					if cfg.Checkpoints != nil && simCfg.SamplePeriod > 0 && cfg.Warmup > 0 {
+						// Only the prefetcher-less baseline is checkpointable
+						// (stateful IPC-1 prefetchers lack snapshot support);
+						// the rest fall through to a plain sampled run.
+						k := checkpointKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
+						res, ok, err := runCheckpointed(cfg.Checkpoints, cfg.ckptGate, k, mkSource, simCfg, cfg.Warmup)
+						if err != nil {
+							return Result{}, err
+						}
+						if ok {
+							return res, nil
+						}
 					}
 					src.Reset()
 					st, err := sim.Run(src, simCfg, cfg.Warmup, 0)

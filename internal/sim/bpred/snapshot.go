@@ -1,0 +1,178 @@
+package bpred
+
+// Warmed-state serialization for the checkpointing engine (see snap).
+// Every predictor serializes its durable tables and histories; per-branch
+// scratch set by Predict and consumed by the paired Update is excluded —
+// it is dead state between branches, and the warming stepper always runs
+// Predict/Update as a pair. The snapshot byte stream of two predictors is
+// equal iff their durable state is equal, which the functional-warming
+// equivalence tests rely on.
+
+import "tracerebase/internal/sim/snap"
+
+// Section tags, one per serialized component.
+const (
+	snapAlwaysTaken = 0xb9ed0001
+	snapBimodal     = 0xb9ed0002
+	snapGshare      = 0xb9ed0003
+	snapTAGE        = 0xb9ed0004
+	snapTAGESCL     = 0xb9ed0005
+)
+
+// Snapshot implements the checkpoint state codec (no durable state).
+func (AlwaysTaken) Snapshot(w *snap.Writer) { w.Mark(snapAlwaysTaken) }
+
+// Restore implements the checkpoint state codec.
+func (AlwaysTaken) Restore(r *snap.Reader) { r.Expect(snapAlwaysTaken) }
+
+// Snapshot serializes the counter table.
+func (b *Bimodal) Snapshot(w *snap.Writer) {
+	w.Mark(snapBimodal)
+	w.U32(uint32(len(b.table)))
+	for _, c := range b.table {
+		w.U8(uint8(c))
+	}
+}
+
+// Restore restores the counter table into a predictor of identical
+// geometry.
+func (b *Bimodal) Restore(r *snap.Reader) {
+	r.Expect(snapBimodal)
+	if n := r.Len(); n != len(b.table) {
+		r.Failf("bimodal table length mismatch: %d vs %d", n, len(b.table))
+		return
+	}
+	for i := range b.table {
+		b.table[i] = counter(r.U8())
+	}
+}
+
+// Snapshot serializes the counter table and global history.
+func (g *Gshare) Snapshot(w *snap.Writer) {
+	w.Mark(snapGshare)
+	w.U32(uint32(len(g.table)))
+	for _, c := range g.table {
+		w.U8(uint8(c))
+	}
+	w.U64(g.history)
+}
+
+// Restore restores table and history.
+func (g *Gshare) Restore(r *snap.Reader) {
+	r.Expect(snapGshare)
+	if n := r.Len(); n != len(g.table) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range g.table {
+		g.table[i] = counter(r.U8())
+	}
+	g.history = r.U64()
+}
+
+// Snapshot serializes the base bimodal, every tagged table, the folded
+// index/tag registers, the global history buffer, and the allocation
+// meta-state.
+func (t *TAGE) Snapshot(w *snap.Writer) {
+	w.Mark(snapTAGE)
+	t.base.Snapshot(w)
+	w.U32(uint32(len(t.tables)))
+	for _, e := range t.tables {
+		w.U16(e.tag)
+		w.I8(e.ctr)
+		w.U8(e.useful)
+	}
+	// Fold geometry (origLen/foldLen/outPoint) is configuration-derived;
+	// only the rolling values are state.
+	for _, f := range [][]foldedHistory{t.idxFold, t.tagFold1, t.tagFold2} {
+		w.U32(uint32(len(f)))
+		for i := range f {
+			w.U64(f[i].value)
+		}
+	}
+	w.U64s(t.ghist.bits)
+	w.I64(int64(t.allocs))
+	w.I8(t.useAltOnNA)
+}
+
+// Restore restores TAGE state into a predictor of identical geometry.
+func (t *TAGE) Restore(r *snap.Reader) {
+	r.Expect(snapTAGE)
+	t.base.Restore(r)
+	if n := r.Len(); n != len(t.tables) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range t.tables {
+		t.tables[i].tag = r.U16()
+		t.tables[i].ctr = r.I8()
+		t.tables[i].useful = r.U8()
+	}
+	for _, f := range [][]foldedHistory{t.idxFold, t.tagFold1, t.tagFold2} {
+		if n := r.Len(); n != len(f) {
+			r.Failf("snapshot geometry mismatch")
+			return
+		}
+		for i := range f {
+			f[i].value = r.U64()
+		}
+	}
+	r.U64s(t.ghist.bits)
+	t.allocs = int(r.I64())
+	t.useAltOnNA = r.I8()
+}
+
+// Snapshot serializes the embedded TAGE, loop table, statistical-corrector
+// weights, and the SC history register.
+func (p *TAGESCL) Snapshot(w *snap.Writer) {
+	w.Mark(snapTAGESCL)
+	p.tage.Snapshot(w)
+	w.U32(uint32(len(p.loop.table)))
+	for _, e := range p.loop.table {
+		w.U16(e.tag)
+		w.U16(e.tripCount)
+		w.U16(e.curCount)
+		w.U8(e.confidence)
+		w.Bool(e.valid)
+	}
+	w.U32(uint32(len(p.sc)))
+	for _, t := range p.sc {
+		w.U32(uint32(len(t.weights)))
+		for _, v := range t.weights {
+			w.I8(v)
+		}
+	}
+	w.U64(p.schist)
+}
+
+// Restore restores TAGE-SC-L state.
+func (p *TAGESCL) Restore(r *snap.Reader) {
+	r.Expect(snapTAGESCL)
+	p.tage.Restore(r)
+	if n := r.Len(); n != len(p.loop.table) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range p.loop.table {
+		e := &p.loop.table[i]
+		e.tag = r.U16()
+		e.tripCount = r.U16()
+		e.curCount = r.U16()
+		e.confidence = r.U8()
+		e.valid = r.Bool()
+	}
+	if n := r.Len(); n != len(p.sc) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for _, t := range p.sc {
+		if n := r.Len(); n != len(t.weights) {
+			r.Failf("snapshot geometry mismatch")
+			return
+		}
+		for i := range t.weights {
+			t.weights[i] = r.I8()
+		}
+	}
+	p.schist = r.U64()
+}

@@ -1,0 +1,139 @@
+package btb
+
+// Warmed-state serialization for the checkpointing engine. The BTB, RAS,
+// and ITTAGE serialize their durable tables; per-branch scratch set by
+// Predict and consumed by the paired Update is excluded (always rewritten
+// before its next read). TargetStats ride along so a restored pipeline's
+// warm-up counters match a replayed one exactly.
+
+import (
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/sim/snap"
+)
+
+// Section tags, one per serialized component.
+const (
+	snapBTB    = 0xb7b00001
+	snapRAS    = 0xb7b00002
+	snapITTAGE = 0xb7b00003
+	snapTarget = 0xb7b00004
+)
+
+// Snapshot serializes every BTB line and the LRU clock.
+func (b *BTB) Snapshot(w *snap.Writer) {
+	w.Mark(snapBTB)
+	w.U32(uint32(len(b.lines)))
+	for i := range b.lines {
+		l := &b.lines[i]
+		w.U64(l.tag)
+		w.U64(l.entry.Target)
+		w.U8(uint8(l.entry.Type))
+		w.Bool(l.valid)
+		w.U64(l.lru)
+	}
+	w.U64(b.tick)
+}
+
+// Restore restores BTB state into a table of identical geometry.
+func (b *BTB) Restore(r *snap.Reader) {
+	r.Expect(snapBTB)
+	if n := r.Len(); n != len(b.lines) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range b.lines {
+		l := &b.lines[i]
+		l.tag = r.U64()
+		l.entry.Target = r.U64()
+		l.entry.Type = champtrace.BranchType(r.U8())
+		l.valid = r.Bool()
+		l.lru = r.U64()
+	}
+	b.tick = r.U64()
+}
+
+// Snapshot serializes the circular return stack and its cursors.
+func (s *RAS) Snapshot(w *snap.Writer) {
+	w.Mark(snapRAS)
+	w.U64s(s.stack)
+	w.I64(int64(s.top))
+	w.I64(int64(s.pos))
+}
+
+// Restore restores RAS state.
+func (s *RAS) Restore(r *snap.Reader) {
+	r.Expect(snapRAS)
+	r.U64s(s.stack)
+	s.top = int(r.I64())
+	s.pos = int(r.I64())
+}
+
+// Snapshot serializes the tagged tables, base table, and path history.
+func (it *ITTAGE) Snapshot(w *snap.Writer) {
+	w.Mark(snapITTAGE)
+	w.U32(uint32(len(it.tables)))
+	for i := range it.tables {
+		e := &it.tables[i]
+		w.U16(e.tag)
+		w.U64(e.target)
+		w.I8(e.conf)
+		w.U8(e.useful)
+	}
+	w.U64s(it.base)
+	w.U64(it.path)
+}
+
+// Restore restores ITTAGE state into a predictor of identical geometry.
+func (it *ITTAGE) Restore(r *snap.Reader) {
+	r.Expect(snapITTAGE)
+	if n := r.Len(); n != len(it.tables) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range it.tables {
+		e := &it.tables[i]
+		e.tag = r.U16()
+		e.target = r.U64()
+		e.conf = r.I8()
+		e.useful = r.U8()
+	}
+	r.U64s(it.base)
+	it.path = r.U64()
+}
+
+// Snapshot serializes the full target-prediction machinery including its
+// counters; the optional ITTAGE section is preceded by a presence flag.
+func (tp *TargetPredictor) Snapshot(w *snap.Writer) {
+	w.Mark(snapTarget)
+	tp.BTB.Snapshot(w)
+	tp.RAS.Snapshot(w)
+	w.Bool(tp.ITTAGE != nil)
+	if tp.ITTAGE != nil {
+		tp.ITTAGE.Snapshot(w)
+	}
+	w.U64(tp.stats.TakenBranches)
+	w.U64(tp.stats.Mispredicts)
+	w.U64(tp.stats.BTBMisses)
+	w.U64(tp.stats.ReturnMispredicts)
+	w.U64(tp.stats.Returns)
+}
+
+// Restore restores target-prediction state.
+func (tp *TargetPredictor) Restore(r *snap.Reader) {
+	r.Expect(snapTarget)
+	tp.BTB.Restore(r)
+	tp.RAS.Restore(r)
+	hasITTAGE := r.Bool()
+	if hasITTAGE != (tp.ITTAGE != nil) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	if tp.ITTAGE != nil {
+		tp.ITTAGE.Restore(r)
+	}
+	tp.stats.TakenBranches = r.U64()
+	tp.stats.Mispredicts = r.U64()
+	tp.stats.BTBMisses = r.U64()
+	tp.stats.ReturnMispredicts = r.U64()
+	tp.stats.Returns = r.U64()
+}

@@ -81,6 +81,26 @@ type Config struct {
 	// verification and benchmarking. The field participates in Identity(),
 	// keying cached results separately from skipping runs.
 	NoCycleSkip bool
+
+	// SamplePeriod > 0 enables SMARTS-style interval sampling: every
+	// period instructions, SampleDetail instructions run through the full
+	// detailed pipeline and the rest of the period is fast-forwarded by
+	// the functional warmer (see sample.go). All three fields participate
+	// in Identity(), so sampled and exact results can never share a cache
+	// entry. Zero (the default) is exact mode, whose simulation path is
+	// untouched by sampling.
+	SamplePeriod uint64
+	// SampleDetail is the detailed-interval length in instructions; the
+	// first half of each interval is pipeline ramp-up excluded from
+	// measurement (see sampleRampDiv).
+	SampleDetail uint64
+	// SampleWarm bounds full functional warming inside each fast-forward
+	// gap: only the last SampleWarm instructions before the next detailed
+	// interval update every structure (branch predictors, BTB, RAS,
+	// prefetch hooks); the rest of the gap runs the light phase, which
+	// warms caches, TLBs, and data prefetchers only. Zero fully warms
+	// entire gaps (the classic SMARTS configuration).
+	SampleWarm uint64
 }
 
 // Validate fills defaults and rejects nonsensical configurations.
@@ -112,6 +132,15 @@ func (c *Config) Validate() error {
 	if c.RASSize <= 0 {
 		c.RASSize = 64
 	}
+	if c.SamplePeriod > 0 {
+		if c.SampleDetail == 0 {
+			c.SampleDetail = c.SamplePeriod / 10
+		}
+		if c.SampleDetail >= c.SamplePeriod {
+			return fmt.Errorf("cpu: sample detail %d must be smaller than sample period %d",
+				c.SampleDetail, c.SamplePeriod)
+		}
+	}
 	return nil
 }
 
@@ -125,6 +154,24 @@ func (c *Config) Validate() error {
 // separately.
 func (c Config) Identity() string {
 	return fmt.Sprintf("cpu.Config%+v", c)
+}
+
+// WarmIdentity returns a canonical string covering exactly the parameters
+// the functional warmer's state evolution depends on: rule set (branch
+// classification), predictor and target-structure geometry, the memory and
+// TLB hierarchies, the prefetchers, and SampleWarm (which sets how much of
+// a warmed prefix is skipped versus warmed — see warmPrefix). Core geometry
+// (widths, ROB, queues, latencies, decoupling) and the remaining sampling
+// knobs are deliberately excluded — two configurations with equal
+// WarmIdentity produce bit-identical warmed checkpoints over any prefix,
+// which is what lets a sweep variant differing only in core geometry resume
+// from a shared checkpoint.
+func (c Config) WarmIdentity() string {
+	return fmt.Sprintf("cpu.Warm{rules:%v pred:%s btb:%d/%d ras:%d ittage:%t ideal:%t hier:%+v dpf:%s/%s ipf:%s tlbs:%t %+v warm:%d}",
+		c.Rules, c.Predictor, c.BTBEntries, c.BTBWays, c.RASSize,
+		c.UseITTAGE, c.IdealTargets, c.Hierarchy,
+		c.L1DPrefetcher, c.L2Prefetcher, c.L1IPrefetcher,
+		c.UseTLBs, c.TLBs, c.SampleWarm)
 }
 
 // CacheStat is the per-level statistics surfaced in results.
@@ -167,6 +214,20 @@ type Stats struct {
 	// are zero under Config.NoCycleSkip. Host-performance telemetry only:
 	// no figure or table renders them.
 	SkippedCycles, CycleSkips uint64
+
+	// Sampling summary, populated only when Config.SamplePeriod > 0 (all
+	// zero in exact mode; omitted from JSON so exact output is unchanged).
+	// In sampled mode Instructions/Cycles and every counter above cover
+	// the union of the detailed measurement windows, so IPC() is the
+	// ratio-of-sums sampled estimate; SampleIPCMean/SampleCI95 give the
+	// mean of per-interval IPCs and its 95% confidence half-width.
+	// WarmedInstructions were fully functionally warmed; Skipped ones went
+	// through the light phase (cache and TLB warming only).
+	SampleIntervals     uint64  `json:",omitempty"`
+	WarmedInstructions  uint64  `json:",omitempty"`
+	SkippedInstructions uint64  `json:",omitempty"`
+	SampleIPCMean       float64 `json:",omitempty"`
+	SampleCI95          float64 `json:",omitempty"`
 }
 
 // IPC returns instructions per cycle for the measured region.

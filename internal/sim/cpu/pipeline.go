@@ -105,6 +105,11 @@ type Pipeline struct {
 	// entries are enqueued, ahead of fetch.
 	insertLine   uint64
 	insertLineAt uint64
+	// sampleSalt hashes the IPs consumed by functional warming; the
+	// sampling loop folds it into its placement RNG so every trace gets
+	// its own stratified interval schedule (sample.go). Checkpointed, so
+	// a resume draws the same schedule as an uninterrupted run.
+	sampleSalt uint64
 
 	// Back end. The ROB needs no storage of its own: it is exactly the
 	// oldest robCount live uops of the arena, in sequence order, with the
@@ -189,9 +194,12 @@ type iprefetchHook interface {
 // storage (the streaming converter) stay safe, and no per-record pointer
 // escapes to the heap.
 type lookahead struct {
-	src  champtrace.Source
-	cur  champtrace.Instruction
-	next champtrace.Instruction
+	src champtrace.Source
+	// buf ping-pongs: buf[idx] holds the buffered next instruction, and a
+	// pop promotes it to "current" by flipping idx instead of copying the
+	// record — the refill from the source is the only copy per pop.
+	buf  [2]champtrace.Instruction
+	idx  int
 	has  bool
 	done bool
 }
@@ -200,6 +208,7 @@ func (l *lookahead) init(src champtrace.Source) error {
 	l.src = src
 	l.has = false
 	l.done = false
+	l.idx = 0
 	in, err := src.Next()
 	if err == io.EOF {
 		l.done = true
@@ -208,7 +217,7 @@ func (l *lookahead) init(src champtrace.Source) error {
 	if err != nil {
 		return err
 	}
-	l.next = *in
+	l.buf[l.idx] = *in
 	l.has = true
 	return nil
 }
@@ -220,24 +229,30 @@ func (l *lookahead) pop() (*champtrace.Instruction, uint64, error) {
 	if !l.has {
 		return nil, 0, io.EOF
 	}
-	l.cur = l.next
+	cur := &l.buf[l.idx]
 	in, err := l.src.Next()
 	if err == io.EOF {
 		l.has = false
 		l.done = true
-		return &l.cur, 0, nil
+		return cur, 0, nil
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	l.next = *in
-	return &l.cur, l.next.IP, nil
+	l.idx ^= 1
+	l.buf[l.idx] = *in
+	return cur, l.buf[l.idx].IP, nil
 }
 
 // Run simulates the trace. Statistics cover instructions retired after the
 // first warmup instructions; the run ends when maxInstructions have retired
 // (0 = no limit) or the trace is exhausted and the pipeline drains.
 func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (Stats, error) {
+	if p.cfg.SamplePeriod > 0 {
+		// Interval sampling (sample.go). The exact path below is not
+		// shared with it and remains byte-identical to prior releases.
+		return p.runSampled(src, warmup, maxInstructions)
+	}
 	if err := p.la.init(src); err != nil {
 		return Stats{}, err
 	}

@@ -1,0 +1,80 @@
+package dprefetch
+
+// Warmed-state serialization: each prefetcher implements the optional
+// mem.StateSnapshotter interface so caches carrying one remain
+// checkpointable. NextLine is stateless and serializes a bare tag.
+
+import "tracerebase/internal/sim/snap"
+
+// Section tags, one per serialized component.
+const (
+	snapNextLine = 0xd9ef0001
+	snapIPStride = 0xd9ef0002
+	snapStream   = 0xd9ef0003
+)
+
+// Snapshot implements the checkpoint state codec (no durable state).
+func (p *NextLine) Snapshot(w *snap.Writer) { w.Mark(snapNextLine) }
+
+// Restore implements the checkpoint state codec.
+func (p *NextLine) Restore(r *snap.Reader) { r.Expect(snapNextLine) }
+
+// Snapshot serializes the stride-detection table.
+func (p *IPStride) Snapshot(w *snap.Writer) {
+	w.Mark(snapIPStride)
+	w.U32(uint32(len(p.table)))
+	for i := range p.table {
+		e := &p.table[i]
+		w.U64(e.tag)
+		w.U64(e.lastAddr)
+		w.I64(e.stride)
+		w.U8(e.conf)
+		w.Bool(e.valid)
+	}
+}
+
+// Restore restores the table into a prefetcher of identical geometry.
+func (p *IPStride) Restore(r *snap.Reader) {
+	r.Expect(snapIPStride)
+	if n := r.Len(); n != len(p.table) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range p.table {
+		e := &p.table[i]
+		e.tag = r.U64()
+		e.lastAddr = r.U64()
+		e.stride = r.I64()
+		e.conf = r.U8()
+		e.valid = r.Bool()
+	}
+}
+
+// Snapshot serializes the stream-detection table.
+func (p *Stream) Snapshot(w *snap.Writer) {
+	w.Mark(snapStream)
+	w.U32(uint32(len(p.table)))
+	for i := range p.table {
+		e := &p.table[i]
+		w.U64(e.lastLine)
+		w.I64(int64(e.dir))
+		w.U8(e.conf)
+		w.Bool(e.valid)
+	}
+}
+
+// Restore restores the table into a prefetcher of identical geometry.
+func (p *Stream) Restore(r *snap.Reader) {
+	r.Expect(snapStream)
+	if n := r.Len(); n != len(p.table) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range p.table {
+		e := &p.table[i]
+		e.lastLine = r.U64()
+		e.dir = int(r.I64())
+		e.conf = r.U8()
+		e.valid = r.Bool()
+	}
+}

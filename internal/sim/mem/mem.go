@@ -111,6 +111,17 @@ type Cache struct {
 	policy  Replacement // nil = built-in LRU
 	stats   Stats
 	setMask uint64
+	// tagShift is the precomputed bit offset of the tag within a line
+	// address (log2 of the set count).
+	tagShift uint
+	// warmHint remembers, per set, the way of the most recent warm-path
+	// hit or fill. Warm accesses probe it before scanning the set: the
+	// functional warmer touches every memory reference of the gap, so the
+	// hit path runs hundreds of times per detailed instruction and the
+	// MRU way wins often enough to skip most full scans. The hint is pure
+	// acceleration — hit bookkeeping is identical either way — and the
+	// detailed path does not consult it.
+	warmHint []uint8
 }
 
 // NewCache builds a cache in front of next. cfg.Sets must be a power of two.
@@ -132,10 +143,12 @@ func NewCache(cfg Config, next Level) *Cache {
 		cfg:         cfg,
 		next:        next,
 		setMask:     uint64(cfg.Sets - 1),
+		tagShift:    uint(trailingBits(uint64(cfg.Sets))),
 		policy:      pol,
 		lines:       make([]line, cfg.Sets*cfg.Ways),
 		ways:        cfg.Ways,
 		outstanding: make([]uint64, 0, 2*cfg.MSHRs),
+		warmHint:    make([]uint8, cfg.Sets),
 	}
 }
 
@@ -154,7 +167,7 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 func (c *Cache) index(addr uint64) (setIdx int, tag uint64) {
 	lineNo := addr / LineSize
-	return int(lineNo & c.setMask), lineNo >> uint(trailingBits(c.setMask+1))
+	return int(lineNo & c.setMask), lineNo >> c.tagShift
 }
 
 func trailingBits(n uint64) int {
@@ -185,6 +198,119 @@ func (c *Cache) AccessIP(addr, ip uint64, cycle uint64, kind AccessKind) uint64 
 		}
 	}
 	return done
+}
+
+// WarmAccess is the functional-warming counterpart of AccessIP: tags, LRU
+// state, replacement policy, statistics, and (when train is set) prefetcher
+// training evolve exactly as in a detailed access, but fill timing — MSHR
+// occupancy, latency propagation, the DRAM bank model — is skipped, since a
+// fast-forwarding simulator has no meaningful cycle to charge it to. Lines
+// filled this way are immediately ready.
+//
+// fill controls whether trained prefetches also insert their lines. The
+// full warm window preceding a detailed interval fills (matching what the
+// detailed engine would have done); the long light phase trains without
+// filling, because a functional fill is perfectly timed — no bandwidth,
+// MSHR, or latency constraints — and letting it run for a whole gap
+// idealizes the cache contents enough to visibly inflate interval IPC on
+// prefetch-friendly traces.
+func (c *Cache) WarmAccess(addr, ip uint64, kind AccessKind, train, fill bool) {
+	hit := c.warmTouch(addr, kind, train, fill)
+	if kind.IsDemand() && train && c.pf != nil {
+		c.pfBuf = c.pf.OnAccess(LineAddr(addr), ip, hit, c.pfBuf[:0])
+		if !fill {
+			return
+		}
+		for _, pa := range c.pfBuf {
+			c.stats.PrefetchIssued++
+			c.warmTouch(pa, Prefetch, train, fill)
+		}
+	}
+}
+
+// warmTouch performs the timing-free lookup-and-fill of WarmAccess and
+// reports whether it hit. Misses recurse into the next cache level (DRAM
+// has no warm-relevant state).
+func (c *Cache) warmTouch(addr uint64, kind AccessKind, train, fill bool) bool {
+	setIdx, tag := c.index(addr)
+	set := c.lines[setIdx*c.ways : (setIdx+1)*c.ways]
+	demand := kind.IsDemand()
+	if demand {
+		c.stats.Accesses++
+		if kind == Write {
+			c.stats.WriteAccesses++
+		}
+	}
+	c.lruTick++
+
+	way := int(c.warmHint[setIdx])
+	if way >= len(set) || !set[way].valid || set[way].tag != tag {
+		way = -1
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				way = i
+				c.warmHint[setIdx] = uint8(i)
+				break
+			}
+		}
+	}
+	if way >= 0 {
+		ln := &set[way]
+		ln.lru = c.lruTick
+		if c.policy != nil && demand {
+			c.policy.Hit(setIdx, way)
+		}
+		if demand {
+			c.stats.Hits++
+			if ln.prefetched {
+				c.stats.UsefulPrefetches++
+				ln.prefetched = false
+			}
+		}
+		return true
+	}
+
+	if demand {
+		c.stats.Misses++
+		if kind == Write {
+			c.stats.WriteMiss++
+		}
+	} else {
+		c.stats.PrefetchFills++
+	}
+	nextKind := kind
+	if kind == Write {
+		nextKind = Read
+	}
+	if next, ok := c.next.(*Cache); ok {
+		next.WarmAccess(addr, 0, nextKind, train, fill)
+	}
+
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		if c.policy != nil {
+			victim = c.policy.Victim(setIdx)
+		} else {
+			victim = 0
+			for i := range set {
+				if set[i].lru < set[victim].lru {
+					victim = i
+				}
+			}
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.lruTick, prefetched: kind == Prefetch}
+	c.warmHint[setIdx] = uint8(victim)
+	if c.policy != nil {
+		c.policy.Fill(setIdx, victim, kind == Prefetch)
+	}
+	return false
 }
 
 func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool) {

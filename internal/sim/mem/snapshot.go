@@ -1,0 +1,294 @@
+package mem
+
+// Warmed-state serialization for the checkpointing engine: cache lines and
+// replacement metadata, MSHR occupancy, DRAM bank clocks, and TLB entries.
+// Statistics counters are included so a pipeline restored mid-trace reports
+// the same warm-up-phase numbers as one that replayed the prefix.
+
+import "tracerebase/internal/sim/snap"
+
+// Section tags, one per serialized component.
+const (
+	snapCache = 0x3e300001
+	snapDRAM  = 0x3e300002
+	snapTLB   = 0x3e300003
+	snapHier  = 0x3e300004
+	snapTLBs  = 0x3e300005
+)
+
+// StateSnapshotter is the optional interface a prefetcher implements to be
+// checkpointable. Stateless prefetchers implement it trivially; a stateful
+// prefetcher without it makes the enclosing cache non-checkpointable.
+type StateSnapshotter interface {
+	Snapshot(w *snap.Writer)
+	Restore(r *snap.Reader)
+}
+
+// Checkpointable reports whether the cache's full state can be serialized:
+// the attached prefetcher, if any, must implement StateSnapshotter.
+func (c *Cache) Checkpointable() bool {
+	if c.pf == nil {
+		return true
+	}
+	_, ok := c.pf.(StateSnapshotter)
+	return ok
+}
+
+// Snapshot serializes lines, replacement state, MSHR occupancy, statistics,
+// and (when present and checkpointable) prefetcher state.
+func (c *Cache) Snapshot(w *snap.Writer) {
+	w.Mark(snapCache)
+	w.U32(uint32(len(c.lines)))
+	for i := range c.lines {
+		l := &c.lines[i]
+		w.U64(l.tag)
+		w.Bool(l.valid)
+		w.U64(l.ready)
+		w.U64(l.lru)
+		w.Bool(l.prefetched)
+	}
+	w.U64(c.lruTick)
+	w.U64s(c.outstanding)
+	w.U64(c.stats.Accesses)
+	w.U64(c.stats.Hits)
+	w.U64(c.stats.Misses)
+	w.U64(c.stats.PrefetchIssued)
+	w.U64(c.stats.PrefetchFills)
+	w.U64(c.stats.UsefulPrefetches)
+	w.U64(c.stats.MergedMisses)
+	w.U64(c.stats.WriteAccesses)
+	w.U64(c.stats.WriteMiss)
+	switch p := c.policy.(type) {
+	case nil:
+		w.U8(0)
+	case *SRRIP:
+		w.U8(1)
+		p.snapshot(w)
+	case *DRRIP:
+		w.U8(2)
+		p.snapshot(w)
+	default:
+		w.U8(0xff) // forces a restore failure for unknown policies
+	}
+	if s, ok := c.pf.(StateSnapshotter); ok {
+		w.Bool(true)
+		s.Snapshot(w)
+	} else {
+		w.Bool(false)
+	}
+}
+
+// Restore restores cache state into a cache of identical geometry.
+func (c *Cache) Restore(r *snap.Reader) {
+	r.Expect(snapCache)
+	if n := r.Len(); n != len(c.lines) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.tag = r.U64()
+		l.valid = r.Bool()
+		l.ready = r.U64()
+		l.lru = r.U64()
+		l.prefetched = r.Bool()
+	}
+	c.lruTick = r.U64()
+	n := r.Len()
+	if r.Err() != nil {
+		return
+	}
+	if cap(c.outstanding) < n {
+		c.outstanding = make([]uint64, n)
+	}
+	c.outstanding = c.outstanding[:n]
+	for i := range c.outstanding {
+		c.outstanding[i] = r.U64()
+	}
+	c.stats.Accesses = r.U64()
+	c.stats.Hits = r.U64()
+	c.stats.Misses = r.U64()
+	c.stats.PrefetchIssued = r.U64()
+	c.stats.PrefetchFills = r.U64()
+	c.stats.UsefulPrefetches = r.U64()
+	c.stats.MergedMisses = r.U64()
+	c.stats.WriteAccesses = r.U64()
+	c.stats.WriteMiss = r.U64()
+	kind := r.U8()
+	switch p := c.policy.(type) {
+	case nil:
+		if kind != 0 && r.Err() == nil {
+			r.Failf("snapshot geometry mismatch")
+			return
+		}
+	case *SRRIP:
+		if kind != 1 {
+			r.Failf("snapshot geometry mismatch")
+			return
+		}
+		p.restore(r)
+	case *DRRIP:
+		if kind != 2 {
+			r.Failf("snapshot geometry mismatch")
+			return
+		}
+		p.restore(r)
+	}
+	hasPF := r.Bool()
+	s, ok := c.pf.(StateSnapshotter)
+	if hasPF != ok {
+		if r.Err() == nil {
+			r.Failf("snapshot geometry mismatch")
+		}
+		return
+	}
+	if ok {
+		s.Restore(r)
+	}
+}
+
+func (s *SRRIP) snapshot(w *snap.Writer) {
+	w.U32(uint32(len(s.rrpv)))
+	for _, v := range s.rrpv {
+		w.U8(v)
+	}
+}
+
+func (s *SRRIP) restore(r *snap.Reader) {
+	if n := r.Len(); n != len(s.rrpv) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range s.rrpv {
+		s.rrpv[i] = r.U8()
+	}
+}
+
+func (d *DRRIP) snapshot(w *snap.Writer) {
+	w.I64(int64(d.psel))
+	w.U32(d.brc)
+	d.srrip.snapshot(w)
+}
+
+func (d *DRRIP) restore(r *snap.Reader) {
+	d.psel = int(r.I64())
+	d.brc = r.U32()
+	d.srrip.restore(r)
+}
+
+// Snapshot serializes bank clocks and the access counter.
+func (d *DRAM) Snapshot(w *snap.Writer) {
+	w.Mark(snapDRAM)
+	w.U64s(d.nextFree)
+	w.U64(d.accesses)
+}
+
+// Restore restores DRAM state.
+func (d *DRAM) Restore(r *snap.Reader) {
+	r.Expect(snapDRAM)
+	r.U64s(d.nextFree)
+	d.accesses = r.U64()
+}
+
+// Snapshot serializes TLB entries, the LRU clock, and statistics.
+func (t *TLB) Snapshot(w *snap.Writer) {
+	w.Mark(snapTLB)
+	w.U32(uint32(len(t.entries)))
+	for i := range t.entries {
+		e := &t.entries[i]
+		w.U64(e.vpn)
+		w.Bool(e.valid)
+		w.U64(e.lru)
+	}
+	w.U64(t.tick)
+	w.U64(t.stats.Accesses)
+	w.U64(t.stats.Hits)
+	w.U64(t.stats.Misses)
+}
+
+// Restore restores TLB state into a TLB of identical geometry.
+func (t *TLB) Restore(r *snap.Reader) {
+	r.Expect(snapTLB)
+	if n := r.Len(); n != len(t.entries) {
+		r.Failf("snapshot geometry mismatch")
+		return
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		e.vpn = r.U64()
+		e.valid = r.Bool()
+		e.lru = r.U64()
+	}
+	t.tick = r.U64()
+	t.stats.Accesses = r.U64()
+	t.stats.Hits = r.U64()
+	t.stats.Misses = r.U64()
+}
+
+// Checkpointable reports whether every level of the hierarchy can be
+// serialized.
+func (h *Hierarchy) Checkpointable() bool {
+	return h.L1I.Checkpointable() && h.L1D.Checkpointable() &&
+		h.L2.Checkpointable() && h.LLC.Checkpointable()
+}
+
+// Snapshot serializes all four cache levels and DRAM.
+func (h *Hierarchy) Snapshot(w *snap.Writer) {
+	w.Mark(snapHier)
+	h.L1I.Snapshot(w)
+	h.L1D.Snapshot(w)
+	h.L2.Snapshot(w)
+	h.LLC.Snapshot(w)
+	h.DRAM.Snapshot(w)
+}
+
+// Restore restores the full hierarchy.
+func (h *Hierarchy) Restore(r *snap.Reader) {
+	r.Expect(snapHier)
+	h.L1I.Restore(r)
+	h.L1D.Restore(r)
+	h.L2.Restore(r)
+	h.LLC.Restore(r)
+	h.DRAM.Restore(r)
+}
+
+// Snapshot serializes the three TLB levels.
+func (t *TLBHierarchy) Snapshot(w *snap.Writer) {
+	w.Mark(snapTLBs)
+	t.ITLB.Snapshot(w)
+	t.DTLB.Snapshot(w)
+	t.STLB.Snapshot(w)
+}
+
+// Restore restores the translation hierarchy.
+func (t *TLBHierarchy) Restore(r *snap.Reader) {
+	r.Expect(snapTLBs)
+	t.ITLB.Restore(r)
+	t.DTLB.Restore(r)
+	t.STLB.Restore(r)
+}
+
+// ValidTags returns the tags of all valid lines in set order; the
+// functional-warming equivalence tests compare the warmed and detailed
+// cache images through it.
+func (c *Cache) ValidTags() []uint64 {
+	var out []uint64
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].tag)
+		}
+	}
+	return out
+}
+
+// ValidVPNs returns the virtual page numbers of all valid entries in set
+// order, for the warming equivalence tests.
+func (t *TLB) ValidVPNs() []uint64 {
+	var out []uint64
+	for i := range t.entries {
+		if t.entries[i].valid {
+			out = append(out, t.entries[i].vpn)
+		}
+	}
+	return out
+}

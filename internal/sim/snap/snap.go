@@ -1,0 +1,191 @@
+// Package snap is the compact binary codec for microarchitectural state
+// snapshots. Checkpointed components (caches, TLBs, BTB, TAGE/ITTAGE
+// tables, predictor histories) serialize their warmed state through a
+// Writer and restore it through a Reader; the encoding is fixed-width
+// little-endian with per-component section tags, so a snapshot taken by
+// one pipeline restores bit-exactly into a freshly constructed pipeline of
+// identical warm-relevant configuration.
+//
+// The codec is hand-rolled rather than gob/reflect-based for two reasons:
+// the serialized structures keep their fields unexported (gob cannot see
+// them), and the byte stream doubles as an equality witness — the
+// functional-warming tests compare raw snapshot bytes of two predictors to
+// prove bit-identical state.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Writer accumulates a snapshot. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated snapshot.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Mark writes a section tag. Restore sides call Reader.Expect with the
+// same tag, turning any encode/decode drift into an immediate error
+// instead of silently misaligned state.
+func (w *Writer) Mark(tag uint32) { w.U32(tag) }
+
+// U64 appends a fixed-width uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// U32 appends a fixed-width uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U16 appends a fixed-width uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// I8 appends a signed byte.
+func (w *Writer) I8(v int8) { w.buf = append(w.buf, uint8(v)) }
+
+// I64 appends a signed 64-bit value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// U64s appends a length-prefixed slice of uint64.
+func (w *Writer) U64s(s []uint64) {
+	w.U32(uint32(len(s)))
+	for _, v := range s {
+		w.U64(v)
+	}
+}
+
+// Reader decodes a snapshot produced by Writer. Decoding errors latch:
+// after the first failure every read returns zero and Err reports the
+// failure, so restore code can decode a whole component and check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Done reports an error if decoding failed or trailing bytes remain.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("snap: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Failf latches a caller-detected decode failure (e.g. a geometry
+// mismatch between the snapshot and the restoring structure).
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snap: "+format, args...)
+	}
+}
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snap: truncated snapshot reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Expect consumes a section tag and fails if it does not match.
+func (r *Reader) Expect(tag uint32) {
+	got := r.U32()
+	if r.err == nil && got != tag {
+		r.err = fmt.Errorf("snap: section tag mismatch: got %#x, want %#x", got, tag)
+	}
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// U32 reads a fixed-width uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U16 reads a fixed-width uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2, "u16")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// I8 reads a signed byte.
+func (r *Reader) I8() int8 { return int8(r.U8()) }
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U64s reads a length-prefixed slice of uint64 into dst, which must have
+// exactly the serialized length (snapshots restore into structures of
+// identical geometry).
+func (r *Reader) U64s(dst []uint64) {
+	n := int(r.U32())
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.err = fmt.Errorf("snap: slice length mismatch: snapshot has %d, structure has %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U64()
+	}
+}
+
+// Len is the number of elements announced by a length prefix; helper for
+// variable-length sections.
+func (r *Reader) Len() int { return int(r.U32()) }
