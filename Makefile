@@ -33,7 +33,7 @@ fuzz-smoke:
 # A fast allocation check of the hot convert+simulate path: the streaming
 # source must stay well below the materializing baseline.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ConvertSimulate|SweepStreaming' -benchtime 3x .
+	$(GO) test -run xxx -bench 'ConvertSimulate|SweepStreaming|BenchmarkMultiCorePipeline$$' -benchtime 3x .
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -24,6 +24,15 @@
 // configuration, and cache activity of the run as a small JSON document
 // (see BENCH_1.json, BENCH_4.json).
 //
+// rebase -cores N -coschedule <spec>[,<spec>...] simulates co-scheduled
+// workload mixes on N lockstep cores over a shared LLC instead of the
+// single-core experiments, reporting per-core and aggregate IPC for every
+// converter variant. -llc-policy selects the shared replacement policy
+// (e.g. shared-srrip) and -mem-bandwidth adds an LLC<->DRAM port occupancy:
+//
+//	rebase -cores 2 -coschedule srvcrypto
+//	rebase -cores 4 -coschedule thrash,rack -llc-policy shared-srrip -mem-bandwidth 4
+//
 // rebase -selftest runs the conformance suite instead of an experiment:
 // golden-corpus verification, the differential battery over the synthetic
 // suite, and the metamorphic simulator checks. Any positional arguments are
@@ -74,6 +83,11 @@ func run() (code int) {
 		noCache    = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
 		cacheDir   = flag.String("cache-dir", "", "result cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir, e.g. ~/.cache/tracerebase)")
 
+		cores      = flag.Int("cores", 1, "simulate N lockstep cores over a shared LLC (requires -coschedule)")
+		coschedule = flag.String("coschedule", "", "comma-separated co-schedule scenarios to run on -cores cores: "+strings.Join(synth.CoScheduleSpecs(), ", "))
+		llcPolicy  = flag.String("llc-policy", "", "shared-LLC replacement policy for -coschedule runs (e.g. shared-srrip; default: the model's LLC policy)")
+		memBW      = flag.Uint64("mem-bandwidth", 0, "LLC<->DRAM port occupancy in cycles per access for -coschedule runs (0 = unlimited)")
+
 		sample       = flag.Bool("sample", false, "SMARTS-style interval sampling: short detailed intervals separated by functionally-warmed fast-forward gaps (several times faster; IPC carries a small sampling error, reported with a 95% CI)")
 		samplePeriod = flag.Uint64("sample-period", 12500, "sampled mode: instructions per sampling period (one detailed interval each)")
 		sampleDetail = flag.Uint64("sample-detail", 2500, "sampled mode: detailed instructions per interval (first half is unmeasured pipeline ramp)")
@@ -102,6 +116,24 @@ func run() (code int) {
 		}
 		if *sampleDetail == 0 || *sampleDetail >= *samplePeriod {
 			return fail("-sample-detail %d must be positive and below -sample-period %d", *sampleDetail, *samplePeriod)
+		}
+	}
+	if *cores < 1 {
+		return fail("-cores must be >= 1 (got %d)", *cores)
+	}
+	if *coschedule != "" {
+		if *cores < 2 {
+			return fail("-coschedule needs -cores >= 2 (got %d): co-scheduled scenarios only exist with neighbors", *cores)
+		}
+		if *sample {
+			return fail("-sample is single-core only; multi-core co-schedules run in exact mode")
+		}
+	} else {
+		if *cores > 1 {
+			return fail("-cores %d without -coschedule: single-core experiments ignore extra cores", *cores)
+		}
+		if *llcPolicy != "" || *memBW > 0 {
+			return fail("-llc-policy/-mem-bandwidth only apply to -coschedule runs")
 		}
 	}
 
@@ -163,6 +195,20 @@ func run() (code int) {
 		cfg.SamplePeriod = *samplePeriod
 		cfg.SampleDetail = *sampleDetail
 		cfg.SampleWarm = *sampleWarm
+	}
+	if *coschedule != "" {
+		cfg.Cores = *cores
+		cfg.LLCPolicy = *llcPolicy
+		cfg.MemBandwidth = *memBW
+		if *useCache && !*noCache {
+			mc, err := experiments.OpenMultiCache(*cacheDir, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rebase: cache disabled: %v\n", err)
+			} else {
+				cfg.MultiCache = mc
+			}
+		}
+		return runCoSchedules(strings.Split(*coschedule, ","), cfg, *jsonOut, *quiet, *benchJSON, *exp, *step)
 	}
 	if *useCache && !*noCache {
 		cache, err := experiments.OpenResultCache(*cacheDir, 0)
@@ -349,7 +395,7 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed, skipCats, sampleCats); err != nil {
+		if err := writeBenchJSON(*benchJSON, *exp, *step, cfg, elapsed, skipCats, sampleCats, nil); err != nil {
 			return fail("bench-json: %v", err)
 		}
 	}
@@ -477,6 +523,8 @@ type benchRecord struct {
 	// Sample carries the sampling configuration and per-category interval
 	// statistics when the run used -sample.
 	Sample *benchSampleBlock `json:"sample,omitempty"`
+	// Multi carries per-core cycle-skipping fractions for -coschedule runs.
+	Multi *benchMultiBlock `json:"multi,omitempty"`
 }
 
 // benchSampleBlock groups the sampling parameters with the per-category
@@ -501,7 +549,7 @@ type benchCache struct {
 	BytesWritten uint64 `json:"bytes_written"`
 }
 
-func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []benchSkip, sampleCats []benchSample) error {
+func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []benchSkip, sampleCats []benchSample, multi *benchMultiBlock) error {
 	parallelism := cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -520,6 +568,15 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 		WallSeconds:  elapsed.Seconds(),
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Skip:         skipCats,
+		Multi:        multi,
+	}
+	if cfg.MultiCache != nil {
+		s := cfg.MultiCache.Stats()
+		rec.Cache = &benchCache{
+			Hits: s.Hits, MemHits: s.MemHits, DiskHits: s.DiskHits,
+			Misses: s.Misses, Corrupt: s.Corrupt, Evictions: s.Evictions,
+			BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
+		}
 	}
 	if cfg.Cache != nil {
 		s := cfg.Cache.Stats()

@@ -148,6 +148,9 @@ type Manifest struct {
 	SampleWarm         uint64        `json:"sample_warm"`
 	MaxSampleErrPct    float64       `json:"max_sample_err_pct"`
 	Traces             []GoldenTrace `json:"traces"`
+	// Multi pins per-core and aggregate counters for fixed co-schedules on
+	// the N-core shared-LLC model (see goldenMultiScenarios).
+	Multi []GoldenMulti `json:"multi"`
 }
 
 // LoadManifest reads manifest.json from the corpus file system.
@@ -340,6 +343,13 @@ func WriteGolden(dir string) error {
 		}
 		m.Traces = append(m.Traces, gt)
 	}
+	for _, sc := range goldenMultiScenarios() {
+		gm, err := buildGoldenMulti(sc.Spec, sc.Cores)
+		if err != nil {
+			return err
+		}
+		m.Multi = append(m.Multi, gm)
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -365,6 +375,18 @@ func VerifyGolden(fsys fs.FS, r *Report) error {
 		}
 		if r != nil {
 			r.okf("golden %s: %d variants, %d pinned sims", gt.Name, len(gt.Variants), len(gt.Sim))
+		}
+	}
+	if len(m.Multi) == 0 {
+		return fmt.Errorf("golden manifest lists no multi-core pins — regenerate with `go generate ./internal/conformance`")
+	}
+	for _, gm := range m.Multi {
+		if err := verifyGoldenMulti(gm); err != nil {
+			return fmt.Errorf("golden multi %s: %w", gm.Scenario, err)
+		}
+		if r != nil {
+			r.okf("golden multi %s: %d cores (%s, mem-bandwidth %d), %d pinned sims",
+				gm.Scenario, gm.Cores, gm.LLCPolicy, gm.MemBandwidth, len(gm.Sim))
 		}
 	}
 	return nil

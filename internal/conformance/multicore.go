@@ -1,0 +1,346 @@
+package conformance
+
+// Multi-core conformance: oracles proving the N-core lockstep engine
+// degenerates exactly to the golden single-core behavior, stays
+// scheduling-independent, treats core IDs as labels, and keeps cycle
+// skipping invisible — plus the golden multi-core pins (per-core and
+// aggregate counters for fixed co-schedules on the shared-LLC model).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/cvp"
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
+)
+
+// simulateMulti generates and converts every workload under opts and runs
+// the co-schedule in lockstep on cfg. Empty-named slots stay idle.
+func simulateMulti(workloads []synth.Profile, opts core.Options, cfg sim.Config, instructions int, warmup uint64) ([]sim.Stats, error) {
+	srcs := make([]champtrace.Source, len(workloads))
+	for i := range workloads {
+		if workloads[i].Name == "" {
+			continue
+		}
+		instrs, err := workloads[i].GenerateBatch(instructions)
+		if err != nil {
+			return nil, fmt.Errorf("generate %s: %w", workloads[i].Name, err)
+		}
+		cs := core.NewConverterSource(cvp.NewValuesSource(instrs), opts)
+		defer cs.Close()
+		srcs[i] = cs
+	}
+	stats, err := sim.RunMulti(srcs, cfg, warmup, 0)
+	if err != nil {
+		return nil, err
+	}
+	return append([]sim.Stats(nil), stats...), nil
+}
+
+// multiCfg is the develop model extended with the shared-level mechanics
+// this PR introduces: n lockstep cores, per-core-aware SRRIP on the shared
+// LLC, and a 4-cycle LLC↔DRAM port occupancy.
+func multiCfg(opts core.Options, n int) sim.Config {
+	cfg := develCfg(opts)
+	cfg.Cores = n
+	cfg.Hierarchy.LLC.Policy = "shared-srrip"
+	cfg.MemBandwidth = 4
+	return cfg
+}
+
+// goldenMultiScenarios lists the co-schedules the corpus pins: one 2-core
+// and one 4-core scenario, both on the shared-srrip + bandwidth model so
+// the pins cover every new shared-level mechanism. srvcrypto spans the
+// server and crypto categories; thrash pairs a reuse-friendly compute_int
+// workload with streaming neighbors.
+func goldenMultiScenarios() []struct {
+	Spec  string
+	Cores int
+} {
+	return []struct {
+		Spec  string
+		Cores int
+	}{
+		{"srvcrypto", 2},
+		{"thrash", 4},
+	}
+}
+
+// GoldenMultiPin pins one variant's simulation of a co-schedule: the key
+// counters of every core (assignment order) and of the aggregate.
+type GoldenMultiPin struct {
+	PerCore   []GoldenSim `json:"per_core"`
+	Aggregate GoldenSim   `json:"aggregate"`
+}
+
+// GoldenMulti is one pinned co-schedule of the corpus. The traces are
+// regenerated from the named workloads at verification time (synth
+// determinism is itself a pinned corpus invariant), so no extra binaries
+// are checked in.
+type GoldenMulti struct {
+	Scenario     string                    `json:"scenario"`
+	Cores        int                       `json:"cores"`
+	LLCPolicy    string                    `json:"llc_policy"`
+	MemBandwidth uint64                    `json:"mem_bandwidth"`
+	Workloads    []string                  `json:"workloads"`
+	Sim          map[string]GoldenMultiPin `json:"sim"` // keyed by variant name
+}
+
+// buildGoldenMulti computes one co-schedule's pins on the No_imp and
+// All_imps variants, mirroring the single-core Sim pins.
+func buildGoldenMulti(spec string, cores int) (GoldenMulti, error) {
+	gm := GoldenMulti{
+		Scenario:     spec,
+		Cores:        cores,
+		LLCPolicy:    "shared-srrip",
+		MemBandwidth: 4,
+		Sim:          make(map[string]GoldenMultiPin),
+	}
+	workloads, err := synth.CoSchedule(spec, cores)
+	if err != nil {
+		return gm, err
+	}
+	for _, p := range workloads {
+		gm.Workloads = append(gm.Workloads, p.Name)
+	}
+	for _, v := range experiments.Variants() {
+		if v.Name != experiments.VariantNone && v.Name != experiments.VariantAll {
+			continue
+		}
+		stats, err := simulateMulti(workloads, v.Opts, multiCfg(v.Opts, cores), goldenInstructions, goldenWarmup)
+		if err != nil {
+			return gm, fmt.Errorf("%s/%s: %w", spec, v.Name, err)
+		}
+		pin := GoldenMultiPin{Aggregate: goldenSimFrom(sim.AggregateStats(stats))}
+		for _, st := range stats {
+			pin.PerCore = append(pin.PerCore, goldenSimFrom(st))
+		}
+		gm.Sim[v.Name] = pin
+	}
+	return gm, nil
+}
+
+// verifyGoldenMulti re-runs one pinned co-schedule and holds every core's
+// counters and the aggregate to the manifest, pointing at the first
+// diverging counter.
+func verifyGoldenMulti(gm GoldenMulti) error {
+	workloads, err := synth.CoSchedule(gm.Scenario, gm.Cores)
+	if err != nil {
+		return err
+	}
+	for i, p := range workloads {
+		if i >= len(gm.Workloads) || p.Name != gm.Workloads[i] {
+			return fmt.Errorf("core %d: scenario now assigns %s, manifest pinned %v", i, p.Name, gm.Workloads)
+		}
+	}
+	for _, v := range experiments.Variants() {
+		want, ok := gm.Sim[v.Name]
+		if !ok {
+			if v.Name == experiments.VariantNone || v.Name == experiments.VariantAll {
+				return fmt.Errorf("manifest lacks multi-core pin for variant %s", v.Name)
+			}
+			continue
+		}
+		cfg := develCfg(v.Opts)
+		cfg.Cores = gm.Cores
+		cfg.Hierarchy.LLC.Policy = gm.LLCPolicy
+		cfg.MemBandwidth = gm.MemBandwidth
+		stats, err := simulateMulti(workloads, v.Opts, cfg, goldenInstructions, goldenWarmup)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.Name, err)
+		}
+		if len(want.PerCore) != len(stats) {
+			return fmt.Errorf("variant %s: %d cores simulated, manifest pins %d", v.Name, len(stats), len(want.PerCore))
+		}
+		for i := range stats {
+			if diffs := want.PerCore[i].diff(goldenSimFrom(stats[i])); len(diffs) > 0 {
+				return fmt.Errorf("variant %s core %d (%s): counters diverge from golden:\n  %s",
+					v.Name, i, gm.Workloads[i], joinLines(diffs))
+			}
+		}
+		if diffs := want.Aggregate.diff(goldenSimFrom(sim.AggregateStats(stats))); len(diffs) > 0 {
+			return fmt.Errorf("variant %s aggregate: counters diverge from golden:\n  %s", v.Name, joinLines(diffs))
+		}
+	}
+	return nil
+}
+
+// CheckIdleNeighborIdentity is the degeneracy oracle: an N-core system in
+// which every core but one is idle must report statistics byte-identical to
+// the single-core simulator on the same trace — idle cores never step, the
+// default shared levels are transparent, and the per-core LLC accounting
+// must reproduce the solo numbers exactly. The active workload is placed on
+// the first and on the last core slot to also rule out index-dependent
+// behavior.
+func CheckIdleNeighborIdentity(p synth.Profile, cores, instructions int, warmup uint64) error {
+	instrs, err := p.GenerateBatch(instructions)
+	if err != nil {
+		return err
+	}
+	opts := core.OptionsAll()
+	solo, err := simulate(instrs, opts, develCfg(opts), warmup)
+	if err != nil {
+		return fmt.Errorf("single-core: %w", err)
+	}
+	for _, slot := range []int{0, cores - 1} {
+		cfg := develCfg(opts)
+		cfg.Cores = cores
+		srcs := make([]champtrace.Source, cores)
+		cs := core.NewConverterSource(cvp.NewValuesSource(instrs), opts)
+		srcs[slot] = cs
+		multi, err := sim.RunMulti(srcs, cfg, warmup, 0)
+		cs.Close()
+		if err != nil {
+			return fmt.Errorf("%d-core slot %d: %w", cores, slot, err)
+		}
+		if multi[slot] != solo {
+			return fmt.Errorf("%s on core %d of %d with idle neighbors diverges from single-core:\n solo  %+v\n multi %+v",
+				p.Name, slot, cores, solo, multi[slot])
+		}
+		for i := range multi {
+			if i != slot && multi[i] != (sim.Stats{}) {
+				return fmt.Errorf("idle core %d reports nonzero statistics: %+v", i, multi[i])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMultiParallelism runs the same co-scheduled sweep single-threaded
+// and with parallelism workers and requires byte-identical results — the
+// multi-core sweep engine must introduce no scheduling-dependent behavior.
+func CheckMultiParallelism(spec string, cores, instructions int, warmup uint64, parallelism int) error {
+	if parallelism < 2 {
+		parallelism = 4
+	}
+	workloads, err := synth.CoSchedule(spec, cores)
+	if err != nil {
+		return err
+	}
+	run := func(par int) ([]byte, error) {
+		res, err := experiments.RunMultiSweep(spec, workloads, experiments.SweepConfig{
+			Instructions: instructions,
+			Warmup:       warmup,
+			Parallelism:  par,
+			Cores:        cores,
+			LLCPolicy:    "shared-srrip",
+			MemBandwidth: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+	serial, err := run(1)
+	if err != nil {
+		return fmt.Errorf("-parallel 1: %w", err)
+	}
+	concurrent, err := run(parallelism)
+	if err != nil {
+		return fmt.Errorf("-parallel %d: %w", parallelism, err)
+	}
+	if !bytes.Equal(serial, concurrent) {
+		return fmt.Errorf("co-scheduled sweep %s differs between -parallel 1 and -parallel %d (%d vs %d JSON bytes)",
+			spec, parallelism, len(serial), len(concurrent))
+	}
+	return nil
+}
+
+// CheckCorePermutation is the symmetry oracle: core IDs are labels, so
+// permuting the workload→core assignment must permute the per-core
+// statistics the same way and leave the aggregate bit-identical.
+func CheckCorePermutation(spec string, cores, instructions int, warmup uint64) error {
+	workloads, err := synth.CoSchedule(spec, cores)
+	if err != nil {
+		return err
+	}
+	// Rotate the assignment by one slot: rotated core i runs the workload
+	// the original assignment placed on core (i+1) mod n.
+	rotated := make([]synth.Profile, cores)
+	for i := range rotated {
+		rotated[i] = workloads[(i+1)%cores]
+	}
+	cfg := experiments.SweepConfig{
+		Instructions: instructions,
+		Warmup:       warmup,
+		Parallelism:  2,
+		Cores:        cores,
+		LLCPolicy:    "shared-srrip",
+		MemBandwidth: 4,
+	}
+	orig, err := experiments.RunMultiSweep(spec, workloads, cfg)
+	if err != nil {
+		return fmt.Errorf("original assignment: %w", err)
+	}
+	rot, err := experiments.RunMultiSweep(spec+"-rotated", rotated, cfg)
+	if err != nil {
+		return fmt.Errorf("rotated assignment: %w", err)
+	}
+	for _, v := range experiments.Variants() {
+		a, okA := orig.Results[v.Name]
+		b, okB := rot.Results[v.Name]
+		if !okA || !okB {
+			return fmt.Errorf("variant %s missing from a sweep result", v.Name)
+		}
+		for i := 0; i < cores; i++ {
+			if b.Cores[i] != a.Cores[(i+1)%cores] {
+				return fmt.Errorf("%s/%s: rotated core %d (%s) diverges from original core %d:\n original %+v\n rotated  %+v",
+					spec, v.Name, i, rotated[i].Name, (i+1)%cores, a.Cores[(i+1)%cores], b.Cores[i])
+			}
+		}
+		if !reflect.DeepEqual(a.Aggregate, b.Aggregate) {
+			return fmt.Errorf("%s/%s: aggregate changed under a core permutation:\n original %+v\n rotated  %+v",
+				spec, v.Name, a.Aggregate, b.Aggregate)
+		}
+	}
+	return nil
+}
+
+// CheckMultiSkipTransparency generalizes the cycle-skipping oracle to N
+// cores: jumping all clocks to the minimum registered wake across cores
+// must be invisible in every per-core counter. It also asserts the check
+// has teeth (the skipping run jumped, the -no-skip run did not).
+func CheckMultiSkipTransparency(spec string, cores, instructions int, warmup uint64) error {
+	workloads, err := synth.CoSchedule(spec, cores)
+	if err != nil {
+		return err
+	}
+	opts := core.OptionsAll()
+	run := func(noSkip bool) ([]sim.Stats, error) {
+		cfg := multiCfg(opts, cores)
+		cfg.NoCycleSkip = noSkip
+		return simulateMulti(workloads, opts, cfg, instructions, warmup)
+	}
+	got, err := run(false)
+	if err != nil {
+		return fmt.Errorf("skipping run: %w", err)
+	}
+	slow, err := run(true)
+	if err != nil {
+		return fmt.Errorf("-no-skip run: %w", err)
+	}
+	var jumped uint64
+	for i := range got {
+		if slow[i].SkippedCycles != 0 || slow[i].CycleSkips != 0 {
+			return fmt.Errorf("core %d: -no-skip run reports %d skipped cycles in %d jumps",
+				i, slow[i].SkippedCycles, slow[i].CycleSkips)
+		}
+		jumped += got[i].SkippedCycles
+		g := got[i]
+		g.SkippedCycles, g.CycleSkips = 0, 0
+		if g != slow[i] {
+			return fmt.Errorf("core %d (%s): skipping changed reported stats:\n skip    %+v\n no-skip %+v",
+				i, workloads[i].Name, g, slow[i])
+		}
+	}
+	if jumped == 0 {
+		return fmt.Errorf("%d-core %s never skipped a cycle — the transparency check is vacuous", cores, spec)
+	}
+	return nil
+}

@@ -205,7 +205,24 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckSampledParallelism(sweepProfiles, cfg.SimInstructions, cfg.Warmup, sweepPar)
 	})
 
-	// 7. User-supplied traces.
+	// 7. Multi-core: the N-core lockstep engine must degenerate exactly to
+	// the single-core behavior (idle neighbors), stay scheduling- and
+	// label-independent, and keep cycle skipping invisible at N > 1.
+	idleProfile := synth.PublicProfile(synth.ComputeInt, 1)
+	r.run(fmt.Sprintf("multi-core: %s on 4 cores with idle neighbors byte-identical to single-core", idleProfile.Name), func() error {
+		return CheckIdleNeighborIdentity(idleProfile, 4, cfg.SimInstructions, cfg.Warmup)
+	})
+	r.run(fmt.Sprintf("multi-core: 2-core srvcrypto sweep, -parallel 1 vs %d byte-identical", sweepPar), func() error {
+		return CheckMultiParallelism("srvcrypto", 2, cfg.SimInstructions, cfg.Warmup, sweepPar)
+	})
+	r.run("multi-core: permuted workload->core assignment permutes per-core stats, aggregate bit-identical", func() error {
+		return CheckCorePermutation("srvcrypto", 4, cfg.SimInstructions, cfg.Warmup)
+	})
+	r.run("multi-core: 2-core thrash with cycle skipping vs -no-skip byte-identical", func() error {
+		return CheckMultiSkipTransparency("thrash", 2, cfg.SimInstructions, cfg.Warmup)
+	})
+
+	// 8. User-supplied traces.
 	for _, path := range cfg.TraceFiles {
 		rep, err := ValidateTraceFile(path)
 		if err != nil {

@@ -23,6 +23,8 @@ type JSONReport struct {
 	Table3   *Table3Result            `json:"table3,omitempty"`
 	Ablation []FrontEndAblationResult `json:"ablation,omitempty"`
 	Char     []CharRow                `json:"characterization,omitempty"`
+	// Multi carries co-scheduled multi-core sweep results (-coschedule).
+	Multi []MultiTraceResult `json:"multi,omitempty"`
 }
 
 // NewJSONReport seeds a report with the sweep settings.

@@ -143,6 +143,20 @@ type SweepConfig struct {
 	// into the simulator configuration and therefore into result-cache
 	// keys, so sampled and exact results can never collide.
 	SamplePeriod, SampleDetail, SampleWarm uint64
+	// Cores > 1 switches RunMultiSweep cells to N-core lockstep simulation
+	// over a shared LLC (single-core entry points ignore it). LLCPolicy
+	// optionally overrides the shared LLC replacement policy ("srrip",
+	// "drrip", or the multi-core-only "shared-srrip"); MemBandwidth sets
+	// the shared LLC↔DRAM port issue interval in cycles (0 = unmodeled).
+	// All three flow into the simulator configuration identity, so
+	// multi-core cells key disjointly in the result cache.
+	Cores        int
+	LLCPolicy    string
+	MemBandwidth uint64
+	// MultiCache, when non-nil, serves co-scheduled multi-core cell
+	// results by content address (a separate store from Cache — the value
+	// type differs). nil recomputes every multi-core cell.
+	MultiCache *MultiCache
 	// Checkpoints, when non-nil alongside sampling, serves warmed-prefix
 	// checkpoints by content address: cells sharing a warm identity
 	// (keyed by WarmIdentity, not the full config identity) resume from

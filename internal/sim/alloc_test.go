@@ -53,6 +53,52 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMultiCoreSteadyStateZeroAllocs extends the contract to the N-core
+// lockstep engine: four cores over a shared-srrip LLC and a bandwidth-
+// limited DRAM port, with each core owning its own arena — a warmed
+// MultiPipeline interval must not allocate at all.
+func TestMultiCoreSteadyStateZeroAllocs(t *testing.T) {
+	const cores = 4
+	cfg := ConfigDevelop(champtrace.RulesPatched)
+	cfg.Cores = cores
+	cfg.Hierarchy.LLC.Policy = "shared-srrip"
+	cfg.MemBandwidth = 4
+	srcs := make([]champtrace.Source, cores)
+	slices := make([]*champtrace.SliceSource, cores)
+	for i := 0; i < cores; i++ {
+		p := synth.PublicProfile(synth.ComputeInt, i)
+		instrs, err := p.Generate(15000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _, err := core.ConvertAll(cvp.NewSliceSource(instrs), core.OptionsAll())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := champtrace.NewSliceSource(recs)
+		slices[i] = s
+		srcs[i] = s
+	}
+	m, err := cpu.NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(srcs, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		for _, s := range slices {
+			s.Reset()
+		}
+		if _, err := m.Run(srcs, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("multi-core steady-state interval allocated %.0f times, want 0", allocs)
+	}
+}
+
 // TestIdleHeavyZeroAllocs is TestSteadyStateZeroAllocs on the idle-heavy
 // stress profile: long event-horizon jumps must not change the contract.
 // The skipper's state is two scalar fields on the pipeline, so a violation

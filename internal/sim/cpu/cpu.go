@@ -82,6 +82,20 @@ type Config struct {
 	// keying cached results separately from skipping runs.
 	NoCycleSkip bool
 
+	// Cores > 1 makes this an N-core lockstep configuration simulated via
+	// NewMulti/MultiPipeline: per-core private L1I/L1D/L2/TLBs and
+	// predictors in front of one shared LLC. The single-core entry points
+	// (Run, WarmTo, RunFrom) reject such configurations. Participates in
+	// Identity(), so multi-core cells key disjointly from single-core ones.
+	Cores int
+	// MemBandwidth is the LLC↔DRAM port issue interval in cycles (one
+	// request per MemBandwidth cycles; queueing when exceeded). Zero
+	// leaves the link unmodeled. Only meaningful at Cores > 1, where DRAM
+	// pressure is a cross-core effect; single-core configurations reject a
+	// nonzero value to keep the exact path byte-identical to prior
+	// releases.
+	MemBandwidth uint64
+
 	// SamplePeriod > 0 enables SMARTS-style interval sampling: every
 	// period instructions, SampleDetail instructions run through the full
 	// detailed pipeline and the rest of the period is fast-forwarded by
@@ -270,10 +284,27 @@ func (s Stats) ReturnMPKI() float64 {
 	return 1000 * float64(s.ReturnMispredicts) / float64(s.Instructions)
 }
 
-// New builds a Pipeline for the given configuration.
+// New builds a single-core Pipeline for the given configuration. Multi-core
+// configurations (Cores > 1) are built through NewMulti instead.
 func New(cfg Config) (*Pipeline, error) {
+	return newPipeline(cfg, nil, 0)
+}
+
+// newPipeline builds one core. hier == nil constructs a private hierarchy
+// from cfg.Hierarchy (the single-core path); the multi-core engine passes
+// each core's view of the shared hierarchy, plus the core's index for
+// per-core LLC attribution.
+func newPipeline(cfg Config, hier *mem.Hierarchy, coreID int) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if hier == nil {
+		if cfg.MemBandwidth > 0 {
+			return nil, fmt.Errorf("cpu: MemBandwidth models the shared LLC↔DRAM port and requires Cores > 1 (use NewMulti)")
+		}
+		if cfg.Hierarchy.LLC.Policy == "shared-srrip" {
+			return nil, fmt.Errorf("cpu: LLC policy %q is core-aware and requires Cores > 1 (use NewMulti)", cfg.Hierarchy.LLC.Policy)
+		}
 	}
 	pred, err := bpred.New(cfg.Predictor)
 	if err != nil {
@@ -282,7 +313,9 @@ func New(cfg Config) (*Pipeline, error) {
 	tp := btb.NewTargetPredictor(cfg.BTBEntries, cfg.BTBWays, cfg.RASSize, cfg.UseITTAGE)
 	tp.Ideal = cfg.IdealTargets
 
-	hier := mem.NewHierarchy(cfg.Hierarchy)
+	if hier == nil {
+		hier = mem.NewHierarchy(cfg.Hierarchy)
+	}
 	l1dpf, err := dprefetch.New(cfg.L1DPrefetcher)
 	if err != nil {
 		return nil, err
@@ -315,6 +348,7 @@ func New(cfg Config) (*Pipeline, error) {
 		pred:      pred,
 		tp:        tp,
 		hier:      hier,
+		coreID:    coreID,
 		ipf:       ipf,
 		arena:     make([]uop, arenaCap),
 		arenaMask: uint32(arenaCap - 1),

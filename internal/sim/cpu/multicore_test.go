@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tracerebase/internal/champtrace"
+)
+
+// TestMultiIdleCoresNeverRun: nil sources stay frozen and report zeros
+// while an active neighbor runs to completion.
+func TestMultiIdleCoresNeverRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cores = 3
+	m, err := NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := randomStream(rand.New(rand.NewSource(7)), 2000)
+	srcs := make([]champtrace.Source, 3)
+	srcs[1] = champtrace.NewSliceSource(stream)
+	out, err := m.Run(srcs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].Instructions != 2000 {
+		t.Errorf("active core retired %d of 2000", out[1].Instructions)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i] != (Stats{}) {
+			t.Errorf("idle core %d reports %+v", i, out[i])
+		}
+	}
+}
+
+// TestMultiRejectsBadShapes pins the constructor- and run-time guards of
+// the multi-core entry points.
+func TestMultiRejectsBadShapes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cores = 0
+	if _, err := NewMulti(cfg); err == nil {
+		t.Error("NewMulti accepted Cores=0")
+	}
+	cfg.Cores = 2
+	cfg.SamplePeriod = 1000
+	if _, err := NewMulti(cfg); err == nil {
+		t.Error("NewMulti accepted a sampled multi-core config")
+	}
+	cfg.SamplePeriod = 0
+	m, err := NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(make([]champtrace.Source, 3), 0, 0); err == nil {
+		t.Error("Run accepted a source count different from the core count")
+	}
+	// The single-core pipeline must refuse a multi-core configuration
+	// rather than silently simulate one core of it.
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(champtrace.NewSliceSource(nil), 0, 0); err == nil {
+		t.Error("single-core Run accepted Cores=2")
+	}
+}
+
+// TestQuickMultiCoreGeometries drives the lockstep engine across randomized
+// core counts, shared-LLC geometries, replacement policies, and port
+// bandwidths: every active core must retire its whole stream, respect the
+// retire-width IPC bound, and the whole system must be deterministic.
+func TestQuickMultiCoreGeometries(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cores := 1 + r.Intn(4)
+		cfg := testConfig()
+		cfg.Cores = cores
+		cfg.Hierarchy.LLC.Sets = 1 << (4 + r.Intn(4))
+		cfg.Hierarchy.LLC.Ways = 1 << (1 + r.Intn(3))
+		cfg.Hierarchy.LLC.MSHRs = 1 + r.Intn(8)
+		if r.Intn(2) == 1 {
+			cfg.Hierarchy.LLC.Policy = "shared-srrip"
+		}
+		cfg.MemBandwidth = uint64(r.Intn(5))
+		const n = 800
+		streams := make([][]*champtrace.Instruction, cores)
+		for i := range streams {
+			streams[i] = randomStream(r, n)
+		}
+		run := func() []Stats {
+			m, err := NewMulti(cfg)
+			if err != nil {
+				t.Logf("NewMulti: %v", err)
+				return nil
+			}
+			srcs := make([]champtrace.Source, cores)
+			for i := range srcs {
+				srcs[i] = champtrace.NewSliceSource(streams[i])
+			}
+			out, err := m.Run(srcs, 0, 0)
+			if err != nil {
+				t.Logf("Run: %v", err)
+				return nil
+			}
+			return append([]Stats(nil), out...)
+		}
+		a, b := run(), run()
+		if a == nil || b == nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("cores=%d: core %d diverges across identical runs", cores, i)
+				return false
+			}
+			if a[i].Instructions != n {
+				t.Logf("cores=%d: core %d retired %d of %d", cores, i, a[i].Instructions, n)
+				return false
+			}
+			if a[i].Cycles == 0 || a[i].IPC() > float64(cfg.RetireWidth) {
+				t.Logf("cores=%d: core %d IPC %v out of range", cores, i, a[i].IPC())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

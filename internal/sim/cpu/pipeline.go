@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"fmt"
 	"io"
 
 	"tracerebase/internal/champtrace"
@@ -149,6 +150,13 @@ type Pipeline struct {
 	warmupCycles  uint64
 	warmupRetired uint64
 	measuring     bool
+
+	// coreID is this core's index in a multi-core system (0 when single).
+	// llcBase snapshots the shared LLC's per-core counters at measurement
+	// start: shared counters cannot be reset per core, so the measured
+	// window is reported as a delta (see beginMeasurement).
+	coreID  int
+	llcBase mem.Stats
 }
 
 // at returns the arena uop a ref points to. The caller is responsible for
@@ -248,6 +256,9 @@ func (l *lookahead) pop() (*champtrace.Instruction, uint64, error) {
 // first warmup instructions; the run ends when maxInstructions have retired
 // (0 = no limit) or the trace is exhausted and the pipeline drains.
 func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (Stats, error) {
+	if p.cfg.Cores > 1 {
+		return Stats{}, fmt.Errorf("cpu: configuration %q has Cores=%d; single-core Run cannot simulate it, use NewMulti/MultiPipeline.Run", p.cfg.Name, p.cfg.Cores)
+	}
 	if p.cfg.SamplePeriod > 0 {
 		// Interval sampling (sample.go). The exact path below is not
 		// shared with it and remains byte-identical to prior releases.
@@ -262,22 +273,14 @@ func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (S
 	}
 	skip := !p.cfg.NoCycleSkip
 	for {
-		p.nextWake = ^uint64(0)
-		p.progressed = false
-		p.retire()
-		p.issue()
-		p.dispatch()
-		p.fetch()
-		p.bpuFill()
+		p.pass()
 		if skip && !p.progressed && p.nextWake != ^uint64(0) && p.nextWake > p.cycle+1 {
 			// Zero-progress pass with a known horizon: every stage is
 			// blocked until at least nextWake, so the intervening cycles
 			// cannot change any state. Jump straight there. (Counters
 			// accumulate unconditionally; beginMeasurement resets them,
 			// exactly like the other warm-up-excluded stats.)
-			p.st.SkippedCycles += p.nextWake - p.cycle - 1
-			p.st.CycleSkips++
-			p.cycle = p.nextWake
+			p.jumpTo(p.nextWake)
 		} else {
 			p.cycle++
 		}
@@ -289,14 +292,47 @@ func (p *Pipeline) Run(src champtrace.Source, warmup, maxInstructions uint64) (S
 		if maxInstructions > 0 && p.retired >= maxInstructions {
 			break
 		}
-		if p.la.done && p.robCount == 0 && p.ftqLen == 0 && p.decqLen == 0 {
+		if p.drained() {
 			break
 		}
 	}
+	return p.finalize(), nil
+}
+
+// pass runs one cycle's stage sequence, resetting the event horizon and
+// progress flag first. One pass of one core; the single-core Run loop and
+// the multi-core lockstep loop both build on it.
+func (p *Pipeline) pass() {
+	p.nextWake = ^uint64(0)
+	p.progressed = false
+	p.retire()
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	p.bpuFill()
+}
+
+// jumpTo performs an event-horizon jump to cycle wake, accounting the
+// skipped span. The caller has established that no stage can make progress
+// before wake.
+func (p *Pipeline) jumpTo(wake uint64) {
+	p.st.SkippedCycles += wake - p.cycle - 1
+	p.st.CycleSkips++
+	p.cycle = wake
+}
+
+// drained reports whether the trace is exhausted and every queue is empty —
+// the natural end of a run.
+func (p *Pipeline) drained() bool {
+	return p.la.done && p.robCount == 0 && p.ftqLen == 0 && p.decqLen == 0
+}
+
+// finalize closes the measured region and returns the statistics.
+func (p *Pipeline) finalize() Stats {
 	p.st.Instructions = p.retired - p.warmupRetired
 	p.st.Cycles = p.cycle - p.warmupCycles
 	p.collectCacheStats()
-	return p.st, nil
+	return p.st
 }
 
 func (p *Pipeline) beginMeasurement() {
@@ -305,6 +341,12 @@ func (p *Pipeline) beginMeasurement() {
 	// Preserve the measured-region counters only.
 	p.st = Stats{}
 	p.hier.ResetStats()
+	if p.hier.Shared {
+		// The shared LLC cannot be reset per core (ResetStats skipped it);
+		// snapshot this core's attributed counters instead and report the
+		// measured window as a delta in collectCacheStats.
+		p.llcBase = p.hier.LLC.CoreStats(p.coreID)
+	}
 	p.tp.ResetStats()
 	if p.tlbs != nil {
 		p.tlbs.ResetStats()
@@ -319,7 +361,12 @@ func (p *Pipeline) collectCacheStats() {
 	p.st.L1I = grab(p.hier.L1I)
 	p.st.L1D = grab(p.hier.L1D)
 	p.st.L2 = grab(p.hier.L2)
-	p.st.LLC = grab(p.hier.LLC)
+	if p.hier.Shared {
+		s := p.hier.LLC.CoreStats(p.coreID).Sub(p.llcBase)
+		p.st.LLC = CacheStat{Accesses: s.Accesses, Misses: s.Misses, UsefulPrefetches: s.UsefulPrefetches}
+	} else {
+		p.st.LLC = grab(p.hier.LLC)
+	}
 	if p.tlbs != nil {
 		p.st.ITLBMisses = p.tlbs.ITLB.Stats().Misses
 		p.st.DTLBMisses = p.tlbs.DTLB.Stats().Misses

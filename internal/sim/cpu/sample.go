@@ -463,6 +463,13 @@ type stateSnapshotter interface {
 // false only for exotic prefetcher implementations without Snapshot
 // support.
 func (p *Pipeline) Checkpointable() bool {
+	if p.cfg.Cores > 1 {
+		// The gob-framed snapshot covers exactly one core's state; restoring
+		// it into an N-core system would silently mis-restore. Multi-core
+		// checkpointing needs a per-core snapshot vector keyed by a warm
+		// identity covering the co-schedule, which does not exist yet.
+		return false
+	}
 	if _, ok := p.pred.(stateSnapshotter); !ok {
 		return false
 	}
@@ -554,6 +561,9 @@ func (p *Pipeline) RestoreCheckpoint(c Checkpoint) error {
 // from instruction n onward), so a caller can both publish the checkpoint
 // and keep simulating.
 func (p *Pipeline) WarmTo(src champtrace.Source, n uint64) (Checkpoint, error) {
+	if p.cfg.Cores > 1 {
+		return Checkpoint{}, fmt.Errorf("cpu: configuration %q has Cores=%d; checkpoints cover single-core state only and would silently mis-restore a multi-core system", p.cfg.Name, p.cfg.Cores)
+	}
 	if !p.Checkpointable() {
 		return Checkpoint{}, fmt.Errorf("cpu: configuration %q has components without snapshot support", p.cfg.Name)
 	}
@@ -574,6 +584,9 @@ func (p *Pipeline) WarmTo(src champtrace.Source, n uint64) (Checkpoint, error) {
 // returns stats identical to Run(src, warmup, max) — the checkpoint-resume
 // conformance oracle proves it.
 func (p *Pipeline) RunFrom(src champtrace.Source, ckpt Checkpoint, maxInstructions uint64) (Stats, error) {
+	if p.cfg.Cores > 1 {
+		return Stats{}, fmt.Errorf("cpu: configuration %q has Cores=%d; checkpoints cover single-core state only and would silently mis-restore a multi-core system", p.cfg.Name, p.cfg.Cores)
+	}
 	if err := p.la.init(src); err != nil {
 		return Stats{}, err
 	}
@@ -603,29 +616,18 @@ func (p *Pipeline) runExactBody(maxInstructions uint64) (Stats, error) {
 	p.beginMeasurement()
 	skip := !p.cfg.NoCycleSkip
 	for {
-		p.nextWake = ^uint64(0)
-		p.progressed = false
-		p.retire()
-		p.issue()
-		p.dispatch()
-		p.fetch()
-		p.bpuFill()
+		p.pass()
 		if skip && !p.progressed && p.nextWake != ^uint64(0) && p.nextWake > p.cycle+1 {
-			p.st.SkippedCycles += p.nextWake - p.cycle - 1
-			p.st.CycleSkips++
-			p.cycle = p.nextWake
+			p.jumpTo(p.nextWake)
 		} else {
 			p.cycle++
 		}
 		if maxInstructions > 0 && p.retired >= maxInstructions {
 			break
 		}
-		if p.la.done && p.robCount == 0 && p.ftqLen == 0 && p.decqLen == 0 {
+		if p.drained() {
 			break
 		}
 	}
-	p.st.Instructions = p.retired - p.warmupRetired
-	p.st.Cycles = p.cycle - p.warmupCycles
-	p.collectCacheStats()
-	return p.st, nil
+	return p.finalize(), nil
 }

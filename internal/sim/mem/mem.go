@@ -122,6 +122,56 @@ type Cache struct {
 	// acceleration — hit bookkeeping is identical either way — and the
 	// detailed path does not consult it.
 	warmHint []uint8
+	// requester is the index of the core currently driving accesses. It
+	// matters only on shared levels (see SetRequester) and stays 0 on
+	// private caches.
+	requester int
+	// coreStats, when non-nil, accumulates per-requester counters in
+	// parallel with stats. Enabled only on shared levels (EnablePerCore);
+	// nil on private caches, so the single-core hot path pays one
+	// predictable branch.
+	coreStats []Stats
+}
+
+// SetRequester tags subsequent accesses with the issuing core's index, for
+// per-core accounting and core-aware replacement on shared levels. The
+// multi-core engine calls it before each core's pipeline pass.
+func (c *Cache) SetRequester(core int) {
+	c.requester = core
+	if p, ok := c.policy.(interface{ SetRequester(int) }); ok {
+		p.SetRequester(core)
+	}
+}
+
+// EnablePerCore switches on per-requester statistics for n cores. Shared
+// counters cannot be reset per core (resetting for one core would destroy
+// the others' warm-up baselines), so consumers snapshot CoreStats at
+// measurement start and subtract.
+func (c *Cache) EnablePerCore(n int) { c.coreStats = make([]Stats, n) }
+
+// CoreStats returns the counters attributed to core i. Zero-valued unless
+// EnablePerCore was called.
+func (c *Cache) CoreStats(i int) Stats {
+	if c.coreStats == nil {
+		return Stats{}
+	}
+	return c.coreStats[i]
+}
+
+// Sub returns s minus b, counter by counter — the per-core measurement
+// window delta on a shared level.
+func (s Stats) Sub(b Stats) Stats {
+	return Stats{
+		Accesses:         s.Accesses - b.Accesses,
+		Hits:             s.Hits - b.Hits,
+		Misses:           s.Misses - b.Misses,
+		PrefetchIssued:   s.PrefetchIssued - b.PrefetchIssued,
+		PrefetchFills:    s.PrefetchFills - b.PrefetchFills,
+		UsefulPrefetches: s.UsefulPrefetches - b.UsefulPrefetches,
+		MergedMisses:     s.MergedMisses - b.MergedMisses,
+		WriteAccesses:    s.WriteAccesses - b.WriteAccesses,
+		WriteMiss:        s.WriteMiss - b.WriteMiss,
+	}
 }
 
 // NewCache builds a cache in front of next. cfg.Sets must be a power of two.
@@ -194,6 +244,9 @@ func (c *Cache) AccessIP(addr, ip uint64, cycle uint64, kind AccessKind) uint64 
 		c.pfBuf = c.pf.OnAccess(LineAddr(addr), ip, hit, c.pfBuf[:0])
 		for _, pa := range c.pfBuf {
 			c.stats.PrefetchIssued++
+			if c.coreStats != nil {
+				c.coreStats[c.requester].PrefetchIssued++
+			}
 			c.lookup(pa, cycle, Prefetch)
 		}
 	}
@@ -316,11 +369,21 @@ func (c *Cache) warmTouch(addr uint64, kind AccessKind, train, fill bool) bool {
 func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool) {
 	setIdx, tag := c.index(addr)
 	set := c.lines[setIdx*c.ways : (setIdx+1)*c.ways]
+	var cs *Stats
+	if c.coreStats != nil {
+		cs = &c.coreStats[c.requester]
+	}
 	demand := kind.IsDemand()
 	if demand {
 		c.stats.Accesses++
 		if kind == Write {
 			c.stats.WriteAccesses++
+		}
+		if cs != nil {
+			cs.Accesses++
+			if kind == Write {
+				cs.WriteAccesses++
+			}
 		}
 	}
 	c.lruTick++
@@ -334,12 +397,21 @@ func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool
 			}
 			if demand {
 				c.stats.Hits++
+				if cs != nil {
+					cs.Hits++
+				}
 				if ln.prefetched {
 					c.stats.UsefulPrefetches++
+					if cs != nil {
+						cs.UsefulPrefetches++
+					}
 					ln.prefetched = false
 				}
 				if ln.ready > cycle {
 					c.stats.MergedMisses++
+					if cs != nil {
+						cs.MergedMisses++
+					}
 				}
 			}
 			return max64(cycle, ln.ready) + c.cfg.Latency, true
@@ -352,8 +424,17 @@ func (c *Cache) lookup(addr uint64, cycle uint64, kind AccessKind) (uint64, bool
 		if kind == Write {
 			c.stats.WriteMiss++
 		}
+		if cs != nil {
+			cs.Misses++
+			if kind == Write {
+				cs.WriteMiss++
+			}
+		}
 	} else {
 		c.stats.PrefetchFills++
+		if cs != nil {
+			cs.PrefetchFills++
+		}
 	}
 
 	// MSHR occupancy: if all miss registers are busy, the request waits
@@ -470,10 +551,16 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// Hierarchy bundles the four cache levels of the simulated core.
+// Hierarchy bundles the four cache levels of the simulated core. In a
+// multi-core system each core holds its own Hierarchy view: private
+// L1I/L1D/L2 plus pointers to the shared LLC and DRAM (Shared set).
 type Hierarchy struct {
 	L1I, L1D, L2, LLC *Cache
 	DRAM              *DRAM
+	// Shared marks this view as one core's slice of a SharedHierarchy:
+	// the LLC (and DRAM) are owned jointly, so per-core operations must
+	// not mutate them (see ResetStats).
+	Shared bool
 }
 
 // HierarchyConfig sizes the four levels.
@@ -512,10 +599,14 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	}
 }
 
-// ResetStats clears the counters of every level (end of warm-up).
+// ResetStats clears the counters of every level (end of warm-up). On a
+// shared view the LLC is skipped: its global counters belong to all cores,
+// and per-core windows are measured by CoreStats deltas instead.
 func (h *Hierarchy) ResetStats() {
 	h.L1I.ResetStats()
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
-	h.LLC.ResetStats()
+	if !h.Shared {
+		h.LLC.ResetStats()
+	}
 }

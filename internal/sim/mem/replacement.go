@@ -160,3 +160,73 @@ func (d *DRRIP) Fill(set, way int, pf bool) {
 
 // Victim implements Replacement.
 func (d *DRRIP) Victim(set int) int { return d.srrip.Victim(set) }
+
+// Shared-LLC insertion classification thresholds: a core is treated as
+// thrashing once it has at least sharedProbation fills on record and fewer
+// than one hit per sharedReuseShift fills; counters halve every
+// sharedEpoch fills so a core can rehabilitate after a phase change.
+const (
+	sharedProbation  = 32
+	sharedReuseShift = 3 // reuse ratio threshold 1/8
+	sharedEpoch      = 8192
+)
+
+// SharedSRRIP is the core-aware variant of SRRIP for a shared LLC: each
+// core's demand fills are classified by that core's observed reuse. Cores
+// whose lines get re-referenced insert at the normal long interval
+// (rripMax-1); cores that stream — many fills, almost no hits, the
+// cache-thrashing neighbor — insert distant (rripMax), so their lines are
+// the first victims and a co-runner's working set survives. Victim
+// selection and hit promotion are plain SRRIP; only insertion is
+// per-core.
+type SharedSRRIP struct {
+	srrip *SRRIP
+	core  int // current requester, set by the owning cache
+	fills []uint64
+	hits  []uint64
+}
+
+// NewSharedSRRIP builds the policy for an n-core shared cache.
+func NewSharedSRRIP(n, sets, ways int) *SharedSRRIP {
+	return &SharedSRRIP{
+		srrip: NewSRRIP(sets, ways),
+		fills: make([]uint64, n),
+		hits:  make([]uint64, n),
+	}
+}
+
+// Name implements Replacement.
+func (s *SharedSRRIP) Name() string { return "shared-srrip" }
+
+// SetRequester records the core issuing subsequent accesses; the owning
+// cache forwards its SetRequester calls here.
+func (s *SharedSRRIP) SetRequester(core int) { s.core = core }
+
+// Hit implements Replacement.
+func (s *SharedSRRIP) Hit(set, way int) {
+	s.hits[s.core]++
+	s.srrip.Hit(set, way)
+}
+
+// thrashing reports whether the current core's fills should insert distant.
+func (s *SharedSRRIP) thrashing() bool {
+	f := s.fills[s.core]
+	return f >= sharedProbation && s.hits[s.core] < f>>sharedReuseShift
+}
+
+// Fill implements Replacement.
+func (s *SharedSRRIP) Fill(set, way int, pf bool) {
+	v := uint8(rripMax - 1)
+	if pf || s.thrashing() {
+		v = rripMax
+	}
+	s.srrip.rrpv[set*s.srrip.ways+way] = v
+	s.fills[s.core]++
+	if s.fills[s.core] >= sharedEpoch {
+		s.fills[s.core] >>= 1
+		s.hits[s.core] >>= 1
+	}
+}
+
+// Victim implements Replacement.
+func (s *SharedSRRIP) Victim(set int) int { return s.srrip.Victim(set) }

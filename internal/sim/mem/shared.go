@@ -1,0 +1,104 @@
+package mem
+
+// Multi-core memory sharing: N private L1I/L1D/L2 trees in front of one
+// shared LLC, with a bandwidth-limited port between the LLC and DRAM.
+//
+// The shared LLC reuses the single-core Cache unchanged — one line array,
+// one MSHR list, one replacement policy — so cross-core contention falls
+// out of the existing mechanics: two cores missing the same line within a
+// fill window coalesce via hit-under-fill (MergedMisses), misses to
+// different lines compete for the same MSHR pool, and fills from one core
+// evict the other's lines under whatever policy the LLC runs. Per-core
+// attribution comes from SetRequester + EnablePerCore.
+
+// Port is a bandwidth/queueing model on a memory link: requests issue at
+// most one per Interval cycles, and a request arriving while the link is
+// busy queues until it frees. Interval 0 makes the port fully transparent
+// (a plain pass-through, byte-identical to wiring the levels directly),
+// which is the default so single-core-degenerate configurations keep their
+// golden outputs.
+type Port struct {
+	next Level
+	// Interval is the minimum cycle spacing between issued requests;
+	// 0 disables the model entirely.
+	Interval uint64
+
+	nextFree uint64
+	requests uint64
+	// queued accumulates cycles spent waiting for the link.
+	queued uint64
+}
+
+// NewPort wraps next behind a link issuing one request per interval cycles.
+func NewPort(next Level, interval uint64) *Port {
+	return &Port{next: next, Interval: interval}
+}
+
+// Access implements Level.
+func (p *Port) Access(addr uint64, cycle uint64, kind AccessKind) uint64 {
+	if p.Interval == 0 {
+		return p.next.Access(addr, cycle, kind)
+	}
+	p.requests++
+	start := max64(cycle, p.nextFree)
+	p.queued += start - cycle
+	p.nextFree = start + p.Interval
+	return p.next.Access(addr, start, kind)
+}
+
+// Requests returns the number of requests that crossed the (non-transparent)
+// port.
+func (p *Port) Requests() uint64 { return p.requests }
+
+// QueuedCycles returns the total cycles requests spent waiting for the link.
+func (p *Port) QueuedCycles() uint64 { return p.queued }
+
+// SharedHierarchy is the N-core memory system: per-core private hierarchies
+// over one LLC, one LLC↔DRAM port, and one DRAM.
+type SharedHierarchy struct {
+	// Cores holds one private view per core (L1I/L1D/L2 private, LLC and
+	// DRAM pointing at the shared instances, Shared set).
+	Cores []*Hierarchy
+	LLC   *Cache
+	Port  *Port
+	DRAM  *DRAM
+}
+
+// NewSharedHierarchy builds the shared memory system for n cores from one
+// per-core level configuration. cfg.LLC.Policy may additionally name
+// "shared-srrip", the core-aware policy that only exists at this level;
+// portInterval is the LLC↔DRAM issue spacing (0 = transparent).
+func NewSharedHierarchy(n int, cfg HierarchyConfig, portInterval uint64) *SharedHierarchy {
+	if n <= 0 {
+		panic("mem: shared hierarchy needs at least one core")
+	}
+	dram := NewDRAM(cfg.DRAMLatency, cfg.DRAMService, cfg.DRAMBanks)
+	port := NewPort(dram, portInterval)
+	llcCfg := cfg.LLC
+	var pol Replacement
+	if llcCfg.Policy == "shared-srrip" {
+		pol = NewSharedSRRIP(n, llcCfg.Sets, llcCfg.Ways)
+		llcCfg.Policy = "" // NewCache would reject the name; install below
+	}
+	llc := NewCache(llcCfg, port)
+	if pol != nil {
+		llc.policy = pol
+	}
+	llc.EnablePerCore(n)
+	sh := &SharedHierarchy{LLC: llc, Port: port, DRAM: dram}
+	for i := 0; i < n; i++ {
+		l2 := NewCache(cfg.L2, llc)
+		sh.Cores = append(sh.Cores, &Hierarchy{
+			L1I:    NewCache(cfg.L1I, l2),
+			L1D:    NewCache(cfg.L1D, l2),
+			L2:     l2,
+			LLC:    llc,
+			DRAM:   dram,
+			Shared: true,
+		})
+	}
+	return sh
+}
+
+// SetRequester tags the shared levels with the core about to access them.
+func (sh *SharedHierarchy) SetRequester(core int) { sh.LLC.SetRequester(core) }

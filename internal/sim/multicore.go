@@ -1,0 +1,79 @@
+// Multi-core facade: N-core lockstep simulation over a shared LLC.
+//
+// A multi-core configuration is an ordinary Config with Cores > 1 (plus,
+// optionally, Hierarchy.LLC.Policy = "shared-srrip" and MemBandwidth for
+// the shared-level models). Because Identity() renders the full field set,
+// multi-core cells automatically key disjointly from single-core ones in
+// the result cache.
+
+package sim
+
+import (
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/sim/cpu"
+)
+
+// RunMulti simulates len(srcs) sources in lockstep on cfg.Cores cores over
+// a shared memory hierarchy. srcs[i] == nil marks core i idle (it never
+// steps). warmup and maxInstructions apply per core. The returned slice
+// holds one Stats per core, idle cores all-zero.
+func RunMulti(srcs []champtrace.Source, cfg Config, warmup, maxInstructions uint64) ([]Stats, error) {
+	m, err := cpu.NewMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(srcs, warmup, maxInstructions)
+}
+
+// AggregateStats summarizes per-core results as system throughput: measured
+// instructions summed across cores over the longest per-core measured cycle
+// count, so IPC() is the rack-style aggregate (total work over the window
+// in which it was done). Counter fields other than Instructions/Cycles are
+// summed.
+func AggregateStats(cores []Stats) Stats {
+	var agg Stats
+	for _, s := range cores {
+		instr, cyc := agg.Instructions, agg.Cycles
+		aggregateAdd(&agg, s)
+		agg.Instructions = instr + s.Instructions
+		if cyc > s.Cycles {
+			agg.Cycles = cyc
+		} else {
+			agg.Cycles = s.Cycles
+		}
+	}
+	return agg
+}
+
+// aggregateAdd sums the event counters of o into s (Instructions/Cycles are
+// overwritten by the caller's sum/max convention).
+func aggregateAdd(s *Stats, o Stats) {
+	s.Branches += o.Branches
+	s.CondBranches += o.CondBranches
+	s.TakenBranches += o.TakenBranches
+	s.Mispredicts += o.Mispredicts
+	s.DirMispredicts += o.DirMispredicts
+	s.TargetMispredicts += o.TargetMispredicts
+	s.Returns += o.Returns
+	s.ReturnMispredicts += o.ReturnMispredicts
+	s.BTBMisses += o.BTBMisses
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.L1I.Accesses += o.L1I.Accesses
+	s.L1I.Misses += o.L1I.Misses
+	s.L1I.UsefulPrefetches += o.L1I.UsefulPrefetches
+	s.L1D.Accesses += o.L1D.Accesses
+	s.L1D.Misses += o.L1D.Misses
+	s.L1D.UsefulPrefetches += o.L1D.UsefulPrefetches
+	s.L2.Accesses += o.L2.Accesses
+	s.L2.Misses += o.L2.Misses
+	s.L2.UsefulPrefetches += o.L2.UsefulPrefetches
+	s.LLC.Accesses += o.LLC.Accesses
+	s.LLC.Misses += o.LLC.Misses
+	s.LLC.UsefulPrefetches += o.LLC.UsefulPrefetches
+	s.ITLBMisses += o.ITLBMisses
+	s.DTLBMisses += o.DTLBMisses
+	s.STLBMisses += o.STLBMisses
+	s.SkippedCycles += o.SkippedCycles
+	s.CycleSkips += o.CycleSkips
+}

@@ -1,0 +1,86 @@
+package synth
+
+// Co-scheduled workload scenarios — multi-core workload mixes that only
+// exist at N > 1. Each scenario maps N core slots to profiles; the
+// experiments layer simulates them in lockstep over a shared LLC.
+
+import "fmt"
+
+// StressThrash returns the cache-thrashing neighbor: a streaming workload
+// whose strided loads sweep a footprint far beyond the LLC with high
+// memory-level parallelism and near-perfectly predicted branches. Run next
+// to a reuse-friendly workload it evicts the neighbor's working set as fast
+// as the DRAM port allows — the canonical destructive co-runner, and the
+// workload the shared-srrip policy exists to contain.
+func StressThrash() Profile {
+	return Profile{
+		Name:            "stress_thrash",
+		Category:        ComputeInt,
+		Seed:            0x7a54,
+		NumFuncs:        2,
+		FuncBodySites:   64,
+		LoopIterations:  50,
+		CallDepth:       1,
+		DispatchTargets: 1,
+		LoadFrac:        0.35,
+		StoreFrac:       0.04,
+		CondFrac:        0.05,
+		BranchBias:      0.995,
+		RandomTakenProb: 0.30,
+		CondRegFrac:     0.2,
+		StrideFrac:      0.95,
+		DataFootprint:   32 << 20,
+	}
+}
+
+// Instance returns a copy of p re-seeded and renamed for one core slot, so
+// homogeneous co-schedules (the same workload on every core) still generate
+// disjoint address spaces — separate processes, not magic line sharing.
+func Instance(p Profile, slot int) Profile {
+	q := p
+	q.Name = fmt.Sprintf("%s@c%d", p.Name, slot)
+	q.Seed = int64(splitmix64(uint64(q.Seed)+uint64(slot)*0x5851f42d4c957f2d) | 1)
+	return q
+}
+
+// CoScheduleSpecs lists the co-schedule scenario names CoSchedule accepts.
+func CoScheduleSpecs() []string { return []string{"thrash", "srvcrypto", "rack"} }
+
+// CoSchedule builds the named n-core scenario, returning one profile per
+// core slot:
+//
+//   - thrash: core 0 runs a reuse-friendly compute_int workload; every
+//     other core runs a (re-seeded) cache-thrashing streaming neighbor.
+//   - srvcrypto: the srv+crypto co-location mix — even slots run server
+//     profiles, odd slots crypto.
+//   - rack: a homogeneous throughput rack — n re-seeded instances of one
+//     server workload.
+func CoSchedule(spec string, n int) ([]Profile, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("synth: co-schedule needs at least 1 core, got %d", n)
+	}
+	out := make([]Profile, n)
+	switch spec {
+	case "thrash":
+		out[0] = PublicProfile(ComputeInt, 0)
+		for i := 1; i < n; i++ {
+			out[i] = Instance(StressThrash(), i)
+		}
+	case "srvcrypto":
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				out[i] = PublicProfile(Server, (i/2)%numServer)
+			} else {
+				out[i] = PublicProfile(Crypto, (i/2)%numCrypto)
+			}
+		}
+	case "rack":
+		base := PublicProfile(Server, 3)
+		for i := 0; i < n; i++ {
+			out[i] = Instance(base, i)
+		}
+	default:
+		return nil, fmt.Errorf("synth: unknown co-schedule %q (want one of %v)", spec, CoScheduleSpecs())
+	}
+	return out, nil
+}
