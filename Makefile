@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache
+.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache bench-slabs
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,10 @@ fuzz-smoke:
 	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzConvert$$' -fuzztime $(FUZZTIME)
 
 # A fast allocation check of the hot convert+simulate path: the streaming
-# source must stay well below the materializing baseline.
+# source must stay well below the materializing baseline, and a resident
+# slab hit (BenchmarkSlabLoad) must run at 0 B/op.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ConvertSimulate|SweepStreaming|BenchmarkMultiCorePipeline$$' -benchtime 3x .
+	$(GO) test -run xxx -bench 'ConvertSimulate|SweepStreaming|BenchmarkMultiCorePipeline$$|BenchmarkSlab' -benchtime 3x .
 
 bench:
 	$(GO) test -bench . -benchmem .
@@ -59,4 +60,18 @@ bench-cache:
 	/tmp/rebase-bench -exp all -step $(STEP) -cache-dir $$dir >/tmp/bench-cache-cold.out; \
 	/tmp/rebase-bench -exp all -step $(STEP) -cache-dir $$dir >/tmp/bench-cache-warm.out; \
 	cmp /tmp/bench-cache-cold.out /tmp/bench-cache-warm.out && echo "outputs identical"; \
+	rm -rf $$dir
+
+# Slab-cold/slab-warm pair with the result cache disabled, so every
+# simulation recomputes and the delta isolates the compiled-trace store
+# (generation + conversion hoisted out of the warm run). The warm run must
+# be faster with byte-identical output. BENCH_8.json records the headline
+# pair. See EXPERIMENTS.md "Warm-slab benchmark workflow".
+bench-slabs:
+	$(GO) build -o /tmp/rebase-bench ./cmd/rebase
+	@dir=$$(mktemp -d); \
+	echo "slab dir: $$dir"; \
+	time /tmp/rebase-bench -exp all -step $(STEP) -no-cache -trace-store-dir $$dir >/tmp/bench-slabs-cold.out; \
+	time /tmp/rebase-bench -exp all -step $(STEP) -no-cache -trace-store-dir $$dir >/tmp/bench-slabs-warm.out; \
+	cmp /tmp/bench-slabs-cold.out /tmp/bench-slabs-warm.out && echo "outputs identical"; \
 	rm -rf $$dir

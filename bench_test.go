@@ -15,12 +15,14 @@ import (
 	"tracerebase/internal/cvp"
 	"tracerebase/internal/cvpsim"
 	"tracerebase/internal/experiments"
+	"tracerebase/internal/resultcache"
 	"tracerebase/internal/sim"
 	"tracerebase/internal/sim/bpred"
 	"tracerebase/internal/sim/cpu"
 	"tracerebase/internal/sim/dprefetch"
 	"tracerebase/internal/sim/mem"
 	"tracerebase/internal/synth"
+	"tracerebase/internal/tracestore"
 	"tracerebase/internal/vp"
 )
 
@@ -354,6 +356,86 @@ func BenchmarkSweepStreaming(b *testing.B) {
 		if _, err := experiments.RunSweep(profiles, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Compiled-trace store benchmarks ----
+
+// benchSlabKey derives a distinct slab key per iteration for the store
+// benchmarks (the production keying lives in the experiments layer).
+func benchSlabKey(i int) tracestore.Key {
+	return resultcache.NewHasher("tracerebase/bench-slab").U64(uint64(i)).Sum()
+}
+
+// BenchmarkSlabConvert measures a cold slab-store miss end to end: convert
+// into the store's recycled scratch, persist the slab file, and remap it for
+// serving. Steady-state allocations stay near zero because the conversion
+// scratch cycles through the store's pool.
+func BenchmarkSlabConvert(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.GenerateBatch(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := tracestore.Open(tracestore.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl, err := store.GetOrConvert(benchSlabKey(i), func(scratch []champtrace.Instruction) ([]champtrace.Instruction, core.Stats, error) {
+			return core.ConvertAllInto(scratch, cvp.NewValuesSource(instrs), core.OptionsAll())
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sl.Release()
+	}
+	b.SetBytes(20000)
+}
+
+// BenchmarkSlabLoad measures the warm path a sweep variant sees: taking a
+// reference on a resident slab, walking its zero-copy record view, and
+// releasing it. The contract is 0 B/op — a slab hit must allocate nothing.
+func BenchmarkSlabLoad(b *testing.B) {
+	p := synth.PublicProfile(synth.ComputeInt, 7)
+	instrs, err := p.GenerateBatch(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := tracestore.Open(tracestore.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	key := benchSlabKey(0)
+	warm, err := store.GetOrConvert(key, func(scratch []champtrace.Instruction) ([]champtrace.Instruction, core.Stats, error) {
+		return core.ConvertAllInto(scratch, cvp.NewValuesSource(instrs), core.OptionsAll())
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recCount := len(warm.Records())
+	warm.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ips uint64
+	for i := 0; i < b.N; i++ {
+		sl, ok := store.Get(key)
+		if !ok {
+			b.Fatal("resident slab missed")
+		}
+		recs := sl.Records()
+		for j := range recs {
+			ips += recs[j].IP
+		}
+		sl.Release()
+	}
+	b.SetBytes(int64(recCount * champtrace.RecordSize))
+	if ips == 0 {
+		b.Fatal("empty records")
 	}
 }
 

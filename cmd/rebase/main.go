@@ -83,6 +83,11 @@ func run() (code int) {
 		noCache    = flag.Bool("no-cache", false, "disable the result cache (overrides -cache)")
 		cacheDir   = flag.String("cache-dir", "", "result cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir, e.g. ~/.cache/tracerebase)")
 
+		traceStore    = flag.Bool("trace-store", true, "serve converted traces from the compiled-trace slab store (zero-copy mmap, shared across runs and processes)")
+		noTraceStore  = flag.Bool("no-trace-store", false, "disable the compiled-trace store (overrides -trace-store)")
+		traceStoreDir = flag.String("trace-store-dir", "", "compiled-trace store directory (default <cache dir>/slabs)")
+		memLimit      = flag.String("mem-limit", "auto", "soft memory limit: auto (parallelism-scaled, bounded by available RAM), off, or a size like 2GiB; ignored when $GOMEMLIMIT is set")
+
 		cores      = flag.Int("cores", 1, "simulate N lockstep cores over a shared LLC (requires -coschedule)")
 		coschedule = flag.String("coschedule", "", "comma-separated co-schedule scenarios to run on -cores cores: "+strings.Join(synth.CoScheduleSpecs(), ", "))
 		llcPolicy  = flag.String("llc-policy", "", "shared-LLC replacement policy for -coschedule runs (e.g. shared-srrip; default: the model's LLC policy)")
@@ -135,6 +140,14 @@ func run() (code int) {
 		if *llcPolicy != "" || *memBW > 0 {
 			return fail("-llc-policy/-mem-bandwidth only apply to -coschedule runs")
 		}
+	}
+
+	memPar := *parallel
+	if memPar <= 0 {
+		memPar = runtime.NumCPU()
+	}
+	if err := applyMemLimit(*memLimit, memPar); err != nil {
+		return fail("mem-limit: %v", err)
 	}
 
 	if *selftest {
@@ -195,6 +208,26 @@ func run() (code int) {
 		cfg.SamplePeriod = *samplePeriod
 		cfg.SampleDetail = *sampleDetail
 		cfg.SampleWarm = *sampleWarm
+	}
+	if *traceStore && !*noTraceStore {
+		// The slab store is independent of the result cache: -no-cache runs
+		// (which recompute every simulation) still skip generation and
+		// conversion when warm slabs exist.
+		dir := *traceStoreDir
+		if dir == "" && *cacheDir != "" {
+			dir = *cacheDir + "/slabs"
+		}
+		store, err := experiments.OpenSlabStore(dir, 0, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "rebase: "+format+"\n", args...)
+		})
+		if err != nil {
+			// A broken store must never block the run; fall back to
+			// streaming conversion.
+			fmt.Fprintf(os.Stderr, "rebase: trace store disabled: %v\n", err)
+		} else {
+			cfg.Slabs = store
+			defer store.Close()
+		}
 	}
 	if *coschedule != "" {
 		cfg.Cores = *cores
@@ -392,6 +425,7 @@ func run() (code int) {
 				s.Hits, s.MemHits, s.DiskHits, s.Misses,
 				float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
 		}
+		printSlabStats(cfg.Slabs)
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if *benchJSON != "" {
@@ -525,6 +559,37 @@ type benchRecord struct {
 	Sample *benchSampleBlock `json:"sample,omitempty"`
 	// Multi carries per-core cycle-skipping fractions for -coschedule runs.
 	Multi *benchMultiBlock `json:"multi,omitempty"`
+	// TraceStore records compiled-trace slab store activity: a warm store
+	// shows disk hits and zero converts.
+	TraceStore *benchTraceStore `json:"trace_store,omitempty"`
+}
+
+// benchTraceStore records slab-store activity so a BENCH file distinguishes
+// slab-cold runs (all converts) from slab-warm runs (all mapped hits).
+type benchTraceStore struct {
+	Hits         uint64 `json:"hits"`
+	MemHits      uint64 `json:"mem_hits"`
+	DiskHits     uint64 `json:"disk_hits"`
+	Misses       uint64 `json:"misses"`
+	Converts     uint64 `json:"converts"`
+	Prefetches   uint64 `json:"prefetches"`
+	Corrupt      uint64 `json:"corrupt"`
+	Evictions    uint64 `json:"evictions"`
+	WriteErrors  uint64 `json:"write_errors"`
+	BytesMapped  uint64 `json:"bytes_mapped"`
+	BytesWritten uint64 `json:"bytes_written"`
+}
+
+// printSlabStats prints the compiled-trace store trailer line (no-op when
+// the store is disabled).
+func printSlabStats(store *experiments.SlabStore) {
+	if store == nil {
+		return
+	}
+	s := store.Stats()
+	fmt.Fprintf(os.Stderr, "slabs: %d hits (%d mem, %d disk), %d misses, %d converted, %d prefetched, %d corrupt, %.1f MB mapped, %.1f MB written (%s)\n",
+		s.Hits, s.MemHits, s.DiskHits, s.Misses, s.Converts, s.Prefetches, s.Corrupt,
+		float64(s.BytesMapped)/1e6, float64(s.BytesWritten)/1e6, store.Dir())
 }
 
 // benchSampleBlock groups the sampling parameters with the per-category
@@ -592,6 +657,15 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 			Hits: s.Hits, MemHits: s.MemHits, DiskHits: s.DiskHits,
 			Misses: s.Misses, Corrupt: s.Corrupt, Evictions: s.Evictions,
 			BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
+		}
+	}
+	if cfg.Slabs != nil {
+		s := cfg.Slabs.Stats()
+		rec.TraceStore = &benchTraceStore{
+			Hits: s.Hits, MemHits: s.MemHits, DiskHits: s.DiskHits,
+			Misses: s.Misses, Converts: s.Converts, Prefetches: s.Prefetches,
+			Corrupt: s.Corrupt, Evictions: s.Evictions, WriteErrors: s.WriteErrors,
+			BytesMapped: s.BytesMapped, BytesWritten: s.BytesWritten,
 		}
 	}
 	if cfg.SamplePeriod > 0 {

@@ -1,0 +1,112 @@
+// Soft memory limit for the run (-mem-limit). The pipeline recycles its big
+// allocations — conversion scratch through the slab store's pools, simulator
+// state across cells — so the steady-state live set is small and most GC
+// cycles at the default GOGC=100 are wasted work. Setting a runtime memory
+// limit and disabling the percentage trigger lets the heap float up to a
+// bound sized from the run's parallelism (and clamped to what the machine
+// can actually spare), collecting only when it matters.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+)
+
+const (
+	memLimitBase    = 1 << 30   // fixed budget: slabs, caches, result assembly
+	memLimitPerWork = 256 << 20 // per concurrent simulation
+	memLimitFloor   = 256 << 20
+)
+
+// applyMemLimit configures the runtime's soft memory limit from the
+// -mem-limit flag: "auto" derives a parallelism-scaled bound, "off" leaves
+// the runtime defaults, anything else parses as an explicit size. A
+// GOMEMLIMIT environment setting always wins — the flag then does nothing.
+func applyMemLimit(spec string, parallelism int) error {
+	if spec == "" || spec == "off" {
+		return nil
+	}
+	if os.Getenv("GOMEMLIMIT") != "" {
+		return nil
+	}
+	var limit int64
+	if spec == "auto" {
+		limit = autoMemLimit(parallelism, readMemAvailable())
+	} else {
+		var err error
+		limit, err = parseMemSpec(spec)
+		if err != nil {
+			return err
+		}
+	}
+	debug.SetMemoryLimit(limit)
+	debug.SetGCPercent(-1)
+	return nil
+}
+
+// autoMemLimit sizes the soft limit: a fixed base plus a per-worker
+// allowance, clamped to 80% of the machine's available memory (when known)
+// and floored so a loaded machine still gets a workable heap.
+func autoMemLimit(parallelism int, available int64) int64 {
+	limit := int64(memLimitBase) + int64(parallelism)*memLimitPerWork
+	if available > 0 {
+		if ceil := available * 8 / 10; limit > ceil {
+			limit = ceil
+		}
+	}
+	if limit < memLimitFloor {
+		limit = memLimitFloor
+	}
+	return limit
+}
+
+// readMemAvailable returns the kernel's MemAvailable estimate in bytes, or
+// 0 where /proc/meminfo is absent (non-Linux) or unreadable.
+func readMemAvailable() int64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// parseMemSpec parses an explicit -mem-limit size: a positive integer with
+// an optional binary suffix (KiB, MiB, GiB, TiB) or bare bytes.
+func parseMemSpec(spec string) (int64, error) {
+	mult := int64(1)
+	num := spec
+	for suffix, m := range map[string]int64{
+		"KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30, "TiB": 1 << 40,
+	} {
+		if strings.HasSuffix(spec, suffix) {
+			mult = m
+			num = strings.TrimSuffix(spec, suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 2GiB, 512MiB, or bytes)", spec)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", spec)
+	}
+	return n * mult, nil
+}

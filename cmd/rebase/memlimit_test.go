@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestParseMemSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"2GiB", 2 << 30, false},
+		{"512MiB", 512 << 20, false},
+		{"64KiB", 64 << 10, false},
+		{"1TiB", 1 << 40, false},
+		{"123456", 123456, false},
+		{"0", 0, true},
+		{"-5MiB", 0, true},
+		{"2GB", 0, true}, // decimal suffixes are not accepted
+		{"GiB", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseMemSpec(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseMemSpec(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("parseMemSpec(%q) = %d, %v, want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestAutoMemLimit(t *testing.T) {
+	// Unclamped: base + per-worker allowance.
+	if got, want := autoMemLimit(4, 0), int64(memLimitBase)+4*memLimitPerWork; got != want {
+		t.Errorf("autoMemLimit(4, unknown) = %d, want %d", got, want)
+	}
+	// Clamped to 80% of available.
+	avail := int64(1 << 30)
+	if got, want := autoMemLimit(16, avail), avail*8/10; got != want {
+		t.Errorf("autoMemLimit(16, 1GiB) = %d, want %d", got, want)
+	}
+	// Floored on a starved machine.
+	if got := autoMemLimit(1, 64<<20); got != memLimitFloor {
+		t.Errorf("autoMemLimit(1, 64MiB) = %d, want floor %d", got, memLimitFloor)
+	}
+}

@@ -67,6 +67,7 @@ func runCoSchedules(specs []string, cfg experiments.SweepConfig, jsonOut, quiet 
 				s.Hits, s.MemHits, s.DiskHits, s.Misses, s.Corrupt, s.Evictions,
 				float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6, cfg.MultiCache.Dir())
 		}
+		printSlabStats(cfg.Slabs)
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if benchPath != "" {

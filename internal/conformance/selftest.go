@@ -171,7 +171,16 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckCacheTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 5. Cycle-skip transparency: sweeps over the golden-corpus profiles
+	// 5. Slab-store transparency: sweeps fed from the compiled-trace store
+	// — cold, warm (second process), and with a slab corrupted or truncated
+	// on disk — must render byte-identically to the streaming engine, with
+	// damaged slabs discarded and reconverted, never served.
+	r.run(fmt.Sprintf("trace store: store-off vs cold vs warm vs corrupted vs truncated sweeps of %d traces byte-identical",
+		len(resultCacheProfiles)), func() error {
+		return CheckSlabTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
+	})
+
+	// 6. Cycle-skip transparency: sweeps over the golden-corpus profiles
 	// with event-horizon skipping enabled must be byte-identical to
 	// -no-skip on both the develop and IPC-1 models.
 	r.run(fmt.Sprintf("cycle skipping: skip-on vs -no-skip sweeps of %d traces byte-identical (develop + ipc1)",
@@ -179,7 +188,7 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckCycleSkipTransparency(goldenProfiles(), cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 6. Sampling: sampled runs must replay deterministically, resume from
+	// 7. Sampling: sampled runs must replay deterministically, resume from
 	// checkpoints without divergence, key apart from exact results, and
 	// stay scheduling-independent under parallel sweeps. The accuracy of
 	// sampled IPC itself is pinned by the golden corpus (step 1).
@@ -205,7 +214,7 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckSampledParallelism(sweepProfiles, cfg.SimInstructions, cfg.Warmup, sweepPar)
 	})
 
-	// 7. Multi-core: the N-core lockstep engine must degenerate exactly to
+	// 8. Multi-core: the N-core lockstep engine must degenerate exactly to
 	// the single-core behavior (idle neighbors), stay scheduling- and
 	// label-independent, and keep cycle skipping invisible at N > 1.
 	idleProfile := synth.PublicProfile(synth.ComputeInt, 1)
@@ -222,7 +231,7 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckMultiSkipTransparency("thrash", 2, cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 8. User-supplied traces.
+	// 9. User-supplied traces.
 	for _, path := range cfg.TraceFiles {
 		rep, err := ValidateTraceFile(path)
 		if err != nil {

@@ -1,0 +1,202 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+
+	"tracerebase/internal/experiments"
+	"tracerebase/internal/synth"
+	"tracerebase/internal/tracestore"
+)
+
+// warnLog captures store warnings from concurrent sweep workers.
+type warnLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *warnLog) warnf(format string, args ...any) {
+	w.mu.Lock()
+	fmt.Fprintf(&w.buf, format+"\n", args...)
+	w.mu.Unlock()
+}
+
+func (w *warnLog) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// CheckSlabTransparency is the differential oracle for the compiled-trace
+// store: slabs must be invisible in the output. It runs the same sweep five
+// ways — store-off, cold store, warm store (a fresh Store over the same
+// directory, modelling a second process), warm store with one slab
+// corrupted mid-records, and warm store with one slab truncated — and
+// requires byte-identical rendered output (and structurally identical
+// results, converter statistics included) from all of them. It also asserts
+// the store behaved as claimed: the cold run converted once per
+// (trace, option class), the warm run mapped everything from disk without
+// converting, and each damaged slab was detected by checksum, discarded
+// with a pointed warning, and reconverted — never served, never a crash.
+func CheckSlabTransparency(profiles []synth.Profile, instructions int, warmup uint64) error {
+	dir, err := os.MkdirTemp("", "tracerebase-slabcheck-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	baseCfg := experiments.SweepConfig{
+		Instructions: instructions,
+		Warmup:       warmup,
+		Parallelism:  2,
+		Variants:     nil, // all ten: every converter-option class gets a slab
+	}
+	render := func(res []experiments.TraceResult) []byte {
+		// Figs. 1, 4, and 5 together consume IPC, the converter statistics
+		// persisted in the slab meta region, and return-MPKI stats.
+		var buf bytes.Buffer
+		experiments.RenderFig1(&buf, experiments.Fig1(res))
+		experiments.RenderFig4(&buf, experiments.Fig4(res))
+		experiments.RenderFig5(&buf, experiments.Fig5(res))
+		return buf.Bytes()
+	}
+	sweep := func(store *experiments.SlabStore) ([]byte, []experiments.TraceResult, error) {
+		cfg := baseCfg
+		cfg.Slabs = store
+		res, err := experiments.RunSweep(profiles, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return render(res), res, nil
+	}
+	open := func(warn func(string, ...any)) (*experiments.SlabStore, error) {
+		return tracestore.Open(tracestore.Config{Dir: dir, Warn: warn})
+	}
+
+	want, wantRes, err := sweep(nil)
+	if err != nil {
+		return fmt.Errorf("store-off sweep: %w", err)
+	}
+
+	jobs := uint64(len(profiles) * len(experiments.Variants()))
+	cold, err := open(nil)
+	if err != nil {
+		return err
+	}
+	coldOut, coldRes, err := sweep(cold)
+	cold.Close()
+	if err != nil {
+		return fmt.Errorf("cold-store sweep: %w", err)
+	}
+	if !bytes.Equal(coldOut, want) {
+		return fmt.Errorf("cold-store sweep output differs from store-off output")
+	}
+	if !reflect.DeepEqual(coldRes, wantRes) {
+		return fmt.Errorf("cold-store sweep results differ structurally from store-off results")
+	}
+	if s := cold.Stats(); s.Converts != jobs || s.Hits != 0 {
+		return fmt.Errorf("cold store converted %d slabs with %d hits, want %d converts and 0 hits", s.Converts, s.Hits, jobs)
+	}
+
+	// A fresh Store over the same directory stands in for a second process:
+	// every slab must map from disk, nothing reconverted or resynthesized.
+	warm, err := open(nil)
+	if err != nil {
+		return err
+	}
+	warmOut, warmRes, err := sweep(warm)
+	warm.Close()
+	if err != nil {
+		return fmt.Errorf("warm-store sweep: %w", err)
+	}
+	if !bytes.Equal(warmOut, want) {
+		return fmt.Errorf("warm-store sweep output differs from store-off output")
+	}
+	if !reflect.DeepEqual(warmRes, wantRes) {
+		return fmt.Errorf("warm-store sweep results differ structurally from store-off results")
+	}
+	if s := warm.Stats(); s.Converts != 0 || s.DiskHits != jobs {
+		return fmt.Errorf("warm store: %d converts, %d disk hits, want 0 and %d", s.Converts, s.DiskHits, jobs)
+	}
+
+	// Damage one slab per mode — a byte flipped mid-records, then a
+	// truncation — and re-run with a fresh Store each time. The damage must
+	// be caught by checksum (or size), warned about, and repaired by
+	// reconversion; the rendered output must not move.
+	damage := []struct {
+		name  string
+		apply func(path string) error
+	}{
+		{"corrupted", func(path string) error {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			buf[len(buf)/2] ^= 0xff
+			return os.WriteFile(path, buf, 0o644)
+		}},
+		{"truncated", func(path string) error {
+			return os.Truncate(path, 4096+64)
+		}},
+	}
+	for _, d := range damage {
+		victim, err := pickSlab(dir)
+		if err != nil {
+			return err
+		}
+		if err := d.apply(victim); err != nil {
+			return err
+		}
+		var warns warnLog
+		hurt, err := open(warns.warnf)
+		if err != nil {
+			return err
+		}
+		hurtOut, _, err := sweep(hurt)
+		hurt.Close()
+		if err != nil {
+			return fmt.Errorf("sweep over %s slab: %w", d.name, err)
+		}
+		if !bytes.Equal(hurtOut, want) {
+			return fmt.Errorf("%s slab leaked into the output", d.name)
+		}
+		if s := hurt.Stats(); s.Corrupt != 1 || s.Converts != 1 || s.DiskHits != jobs-1 {
+			return fmt.Errorf("%s-slab run: %d corrupt, %d converts, %d disk hits, want 1, 1, %d",
+				d.name, s.Corrupt, s.Converts, s.DiskHits, jobs-1)
+		}
+		if w := warns.String(); !strings.Contains(w, "corrupt slab") {
+			return fmt.Errorf("%s-slab run produced no pointed warning (got %q)", d.name, w)
+		}
+		if _, err := os.Stat(victim); err != nil {
+			return fmt.Errorf("%s slab was not rewritten after reconversion: %v", d.name, err)
+		}
+	}
+	return nil
+}
+
+// pickSlab returns the path of one slab file under dir.
+func pickSlab(dir string) (string, error) {
+	var found string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if found == "" && !d.IsDir() && strings.HasSuffix(d.Name(), ".slab") {
+			found = path
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if found == "" {
+		return "", fmt.Errorf("no slab files found under %s", dir)
+	}
+	return found, nil
+}

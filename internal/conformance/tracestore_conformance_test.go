@@ -1,0 +1,22 @@
+package conformance
+
+import (
+	"testing"
+
+	"tracerebase/internal/synth"
+)
+
+// TestSlabTransparency runs the compiled-trace-store differential oracle at
+// test scale: store-off, cold, warm, corrupted-slab, and truncated-slab
+// sweeps of the same traces must render byte-identically, and damaged slabs
+// must be discarded and reconverted, never served. (The -selftest path runs
+// the same oracle at larger scale.)
+func TestSlabTransparency(t *testing.T) {
+	profiles := []synth.Profile{
+		synth.PublicProfile(synth.ComputeInt, 3),
+		synth.PublicProfile(synth.Server, 5),
+	}
+	if err := CheckSlabTransparency(profiles, 1500, 300); err != nil {
+		t.Fatal(err)
+	}
+}

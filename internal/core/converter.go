@@ -11,6 +11,17 @@ import (
 // improvement and by DC ZVA alignment.
 const CachelineSize = 64
 
+// ConverterVersion identifies the conversion algorithm for content
+// addressing. The compiled-trace store keys converted slabs on it instead
+// of on the build fingerprint, so slabs survive rebuilds that leave the
+// converter untouched. Bump it whenever a change to the converter can alter
+// the records produced for a given (instruction stream, Options) pair;
+// slabs keyed under the old version then become unreachable instead of
+// stale. The slab-transparency conformance oracle (rebase -selftest)
+// catches a forgotten bump by differencing store-on against store-off
+// sweeps.
+const ConverterVersion = 1
+
 // Stats accumulates conversion statistics. The percentages quoted in §4.2
 // of the paper (9.4% memory instructions without destinations, 5.2%
 // multi-destination loads, 0.3% cacheline-crossing accesses, 0.87%
@@ -390,22 +401,29 @@ func ConvertAll(src cvp.Source, opts Options) ([]*champtrace.Instruction, Stats,
 	}
 }
 
-// ConvertStream converts src and writes the records to w, returning the
-// statistics. It mirrors the artifact's cvp2champsim CLI data path.
 // ConvertAllBatch converts src to completion into one contiguous value
 // slab — the representation to pair with champtrace.NewValuesSource when
 // the same converted trace is simulated repeatedly. Unlike ConvertAll it
 // performs no per-record boxing: the whole trace costs a handful of slab
 // growths.
 func ConvertAllBatch(src cvp.Source, opts Options) ([]champtrace.Instruction, Stats, error) {
-	c := New(opts)
 	// Conversion is nearly 1:1, so sizing the slab off the source length
 	// (when known) turns a dozen grow-and-copy cycles into at most one.
 	hint := 1024
 	if l, ok := src.(interface{ Len() int }); ok && l.Len() > hint {
 		hint = l.Len() + l.Len()/16
 	}
-	out := make([]champtrace.Instruction, 0, hint)
+	return ConvertAllInto(make([]champtrace.Instruction, 0, hint), src, opts)
+}
+
+// ConvertAllInto is ConvertAllBatch appending into dst (rewound to length
+// zero), so callers recycling full-trace slabs — the trace store's
+// conversion scratch pool — pay no per-conversion slab allocation once the
+// scratch has grown to trace size. The returned slice shares dst's backing
+// array unless conversion outgrew it.
+func ConvertAllInto(dst []champtrace.Instruction, src cvp.Source, opts Options) ([]champtrace.Instruction, Stats, error) {
+	c := New(opts)
+	out := dst[:0]
 	for {
 		in, err := src.Next()
 		if err == io.EOF {
@@ -418,6 +436,8 @@ func ConvertAllBatch(src cvp.Source, opts Options) ([]champtrace.Instruction, St
 	}
 }
 
+// ConvertStream converts src and writes the records to w, returning the
+// statistics. It mirrors the artifact's cvp2champsim CLI data path.
 func ConvertStream(src cvp.Source, w *champtrace.Writer, opts Options) (Stats, error) {
 	c := New(opts)
 	buf := make([]champtrace.Instruction, 0, 4)

@@ -10,6 +10,7 @@ import (
 	"tracerebase/internal/sim"
 	"tracerebase/internal/stats"
 	"tracerebase/internal/synth"
+	"tracerebase/internal/tracestore"
 )
 
 // FrontEndAblationResult quantifies §4.4's closing argument (after Ishii et
@@ -50,14 +51,29 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 	for ti, trc := range suite {
 		// Generation and conversion are deferred into the first cache
 		// miss; the 18 simulations re-read the shared value slab through
-		// Reset without re-converting or boxing records.
+		// Reset without re-converting or boxing records. With a slab store
+		// the conversion additionally resolves through the store.
 		var src *champtrace.ValuesSource
 		var convStats core.Stats
+		var slab *tracestore.Slab
 		convert := func() error {
 			if src != nil {
 				return nil
 			}
-			instrs, err := trc.Profile.GenerateBatch(cfg.Instructions)
+			generate := func() ([]cvp.Instruction, error) {
+				return trc.Profile.GenerateBatch(cfg.Instructions)
+			}
+			if cfg.Slabs != nil {
+				sl, err := acquireSlab(cfg.Slabs, &trc.Profile, opts, cfg.Instructions, generate)
+				if err != nil {
+					return err
+				}
+				slab = sl
+				convStats = sl.Conv()
+				src = champtrace.NewValuesSource(sl.Records())
+				return nil
+			}
+			instrs, err := generate()
 			if err != nil {
 				return err
 			}
@@ -68,6 +84,12 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 			convStats = cs
 			src = champtrace.NewValuesSource(recs)
 			return nil
+		}
+		releaseSlab := func() {
+			if slab != nil {
+				slab.Release()
+				slab = nil
+			}
 		}
 		// mkSource re-reads the shared value slab from the start; the
 		// checkpoint warmer and the resume each take a fresh pass, and the
@@ -119,17 +141,20 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 			}
 			base, err := runOne(mk("none"))
 			if err != nil {
+				releaseSlab()
 				return nil, err
 			}
 			for _, pf := range Table3Prefetchers {
 				st, err := runOne(mk(pf))
 				if err != nil {
+					releaseSlab()
 					return nil, err
 				}
 				k := key{pf, decoupled}
 				ratios[k] = append(ratios[k], st.IPC/base.IPC)
 			}
 		}
+		releaseSlab()
 		if cfg.Progress != nil {
 			cfg.Progress(ti+1, len(suite))
 		}

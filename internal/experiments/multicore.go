@@ -152,8 +152,11 @@ func canonicalize(workloads []synth.Profile) (canon []synth.Profile, canonOf []i
 }
 
 // runMultiVariant converts each canonical workload under v and simulates
-// the co-schedule in lockstep. instrs is indexed canonically and read-only.
-func runMultiVariant(canon []synth.Profile, instrs [][]cvp.Instruction, v Variant, simCfg sim.Config, cfg *SweepConfig) (CoSchedResult, error) {
+// the co-schedule in lockstep. generate fills instrs (indexed canonically,
+// read-only once filled) on first call; with a slab store it is deferred
+// into the store misses, so a fully slab-warm co-schedule never
+// synthesizes at all. Two cores running the same workload share one slab.
+func runMultiVariant(canon []synth.Profile, generate func() error, instrs [][]cvp.Instruction, v Variant, simCfg sim.Config, cfg *SweepConfig) (CoSchedResult, error) {
 	n := len(canon)
 	srcs := make([]champtrace.Source, n)
 	convStats := make([]func() core.Stats, n)
@@ -163,9 +166,31 @@ func runMultiVariant(canon []synth.Profile, instrs [][]cvp.Instruction, v Varian
 			c()
 		}
 	}()
+	if cfg.Slabs == nil {
+		if err := generate(); err != nil {
+			return CoSchedResult{}, err
+		}
+	}
 	for i := range canon {
 		if canon[i].Name == "" {
 			continue // idle slot
+		}
+		if cfg.Slabs != nil {
+			sl, err := acquireSlab(cfg.Slabs, &canon[i], v.Opts, cfg.Instructions,
+				func() ([]cvp.Instruction, error) {
+					if err := generate(); err != nil {
+						return nil, err
+					}
+					return instrs[i], nil
+				})
+			if err != nil {
+				return CoSchedResult{}, err
+			}
+			conv := sl.Conv()
+			srcs[i] = champtrace.NewValuesSource(sl.Records())
+			convStats[i] = func() core.Stats { return conv }
+			cleanups = append(cleanups, sl.Release)
+			continue
 		}
 		cs := core.NewConverterSource(cvp.NewValuesSource(instrs[i]), v.Opts)
 		srcs[i] = cs
@@ -243,10 +268,7 @@ func RunMultiSweep(scenario string, workloads []synth.Profile, cfg SweepConfig) 
 				v := cfg.Variants[vi]
 				simCfg := cfg.multiSimConfigFor(v.Opts)
 				compute := func() (CoSchedResult, error) {
-					if err := generate(); err != nil {
-						return CoSchedResult{}, err
-					}
-					return runMultiVariant(canon, instrs, v, simCfg, &cfg)
+					return runMultiVariant(canon, generate, instrs, v, simCfg, &cfg)
 				}
 				var res CoSchedResult
 				var err error

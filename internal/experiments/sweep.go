@@ -21,6 +21,7 @@ import (
 	"tracerebase/internal/cvp"
 	"tracerebase/internal/sim"
 	"tracerebase/internal/synth"
+	"tracerebase/internal/tracestore"
 )
 
 // Variant is one converter configuration of the evaluation.
@@ -157,6 +158,14 @@ type SweepConfig struct {
 	// results by content address (a separate store from Cache — the value
 	// type differs). nil recomputes every multi-core cell.
 	MultiCache *MultiCache
+	// Slabs, when non-nil, serves converted instruction slabs by content
+	// address: conversion is hoisted out of the per-variant loop into
+	// converter-option equivalence classes (convert once per trace and
+	// class, feed every cell in the class from one shared read-only slab),
+	// warm slabs load zero-copy from disk instead of reconverting, and the
+	// next trace's slabs are prefetched while the current one simulates.
+	// nil reproduces the streaming-conversion engine exactly.
+	Slabs *SlabStore
 	// Checkpoints, when non-nil alongside sampling, serves warmed-prefix
 	// checkpoints by content address: cells sharing a warm identity
 	// (keyed by WarmIdentity, not the full config identity) resume from
@@ -229,17 +238,14 @@ func (c *SweepConfig) simConfigFor(opts core.Options) sim.Config {
 	return sc
 }
 
-// runVariant converts instrs under v and simulates the result on simCfg
-// (the develop-branch model), streaming conversion into the simulator batch
-// by batch instead of materializing the converted trace. instrs is
-// read-only and may be shared by concurrent callers. In sampled mode with a
-// checkpoint cache, the simulation resumes from a shared warmed-prefix
-// checkpoint rather than re-warming.
-func runVariant(p *synth.Profile, instrs []cvp.Instruction, v Variant, simCfg sim.Config, cfg *SweepConfig) (Result, error) {
-	mkSource := func() (champtrace.Source, func() core.Stats, func()) {
-		cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
-		return cs, cs.Stats, func() { cs.Close() }
-	}
+// runVariantSource simulates one cell from an abstract source factory on
+// simCfg (the develop-branch model). mkSource must return a fresh
+// start-of-trace source on every call (the checkpoint path invokes it more
+// than once) together with a converter-statistics getter valid after the
+// source is drained. In sampled mode with a checkpoint cache, the
+// simulation resumes from a shared warmed-prefix checkpoint rather than
+// re-warming.
+func runVariantSource(p *synth.Profile, mkSource func() (champtrace.Source, func() core.Stats, func()), v Variant, simCfg sim.Config, cfg *SweepConfig) (Result, error) {
 	if cfg.Checkpoints != nil && simCfg.SamplePeriod > 0 && cfg.Warmup > 0 {
 		key := checkpointKey(p, v.Opts, simCfg, cfg.Instructions, cfg.Warmup)
 		res, ok, err := runCheckpointed(cfg.Checkpoints, cfg.ckptGate, key, mkSource, simCfg, cfg.Warmup)
@@ -260,6 +266,34 @@ func runVariant(p *synth.Profile, instrs []cvp.Instruction, v Variant, simCfg si
 		return Result{}, err
 	}
 	return Result{IPC: st.IPC(), Sim: st, Conv: convStats()}, nil
+}
+
+// runVariant converts instrs under v and simulates the result, streaming
+// conversion into the simulator batch by batch instead of materializing
+// the converted trace — the slab-store-off path. instrs is read-only and
+// may be shared by concurrent callers.
+func runVariant(p *synth.Profile, instrs []cvp.Instruction, v Variant, simCfg sim.Config, cfg *SweepConfig) (Result, error) {
+	mkSource := func() (champtrace.Source, func() core.Stats, func()) {
+		cs := core.NewConverterSource(cvp.NewValuesSource(instrs), v.Opts)
+		return cs, cs.Stats, func() { cs.Close() }
+	}
+	return runVariantSource(p, mkSource, v, simCfg, cfg)
+}
+
+// runVariantSlab simulates one cell straight from a store slab: conversion
+// already happened (this run or a previous process), so the cell is pure
+// simulation over the shared read-only record view. The slab's persisted
+// converter statistics stand in for the streaming converter's end-of-trace
+// statistics — they are equal by construction, which the slab-transparency
+// conformance oracle enforces.
+func runVariantSlab(p *synth.Profile, sl *tracestore.Slab, v Variant, simCfg sim.Config, cfg *SweepConfig) (Result, error) {
+	conv := sl.Conv()
+	recs := sl.Records()
+	mkSource := func() (champtrace.Source, func() core.Stats, func()) {
+		src := champtrace.NewValuesSource(recs)
+		return src, func() core.Stats { return conv }, func() {}
+	}
+	return runVariantSource(p, mkSource, v, simCfg, cfg)
 }
 
 // RunTrace generates one trace and simulates it under every variant on the
@@ -285,12 +319,62 @@ func RunTrace(p synth.Profile, cfg SweepConfig) (TraceResult, error) {
 
 // traceState is the per-trace shared state of a sweep: the generated
 // instruction slab (produced once, read-only across the trace's variant
-// workers) and the count of variants still outstanding.
+// workers), the count of variants still outstanding, and — with a slab
+// store — one cell per converter-option equivalence class.
 type traceState struct {
 	once   sync.Once
 	instrs []cvp.Instruction
 	err    error
 	left   atomic.Int32
+	// classes is indexed by equivalence-class id (see converterClasses);
+	// nil when the sweep runs without a slab store.
+	classes []classCell
+}
+
+// classCell is the per-(trace, converter-option-class) slab hold: acquired
+// once by whichever cell of the class gets there first, shared read-only
+// across the class's variants, and released when the last cell drains.
+type classCell struct {
+	once sync.Once
+	slab *tracestore.Slab
+	err  error
+	left atomic.Int32
+}
+
+// release drops the class's slab reference once the last cell has
+// finished. The once.Do here is load-bearing even when it runs the no-op:
+// a cell served entirely from the result cache never entered the
+// initializer, and without the Do it would read cc.slab unsynchronized
+// with the goroutine that acquired it.
+func (cc *classCell) release() {
+	if cc.left.Add(-1) != 0 {
+		return
+	}
+	cc.once.Do(func() {})
+	if cc.slab != nil {
+		cc.slab.Release()
+		cc.slab = nil
+	}
+}
+
+// converterClasses groups variants into converter-option equivalence
+// classes: variants with identical option bits produce identical converted
+// traces, so they share one slab per trace. classOf maps variant index to
+// class id; classOpts holds each class's option set.
+func converterClasses(variants []Variant) (classOf []int, classOpts []core.Options) {
+	classOf = make([]int, len(variants))
+	byBits := make(map[uint8]int)
+	for vi, v := range variants {
+		bits := v.Opts.Bits()
+		ci, ok := byBits[bits]
+		if !ok {
+			ci = len(classOpts)
+			byBits[bits] = ci
+			classOpts = append(classOpts, v.Opts)
+		}
+		classOf[vi] = ci
+	}
+	return classOf, classOpts
 }
 
 // RunSweep simulates every profile under every variant with a bounded pool
@@ -319,6 +403,11 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 		return nil, err
 	}
 	nv := len(cfg.Variants)
+	classOf, classOpts := converterClasses(cfg.Variants)
+	classSize := make([]int32, len(classOpts))
+	for _, ci := range classOf {
+		classSize[ci]++
+	}
 	states := make([]traceState, len(profiles))
 	cells := make([][]Result, len(profiles))
 	cellOK := make([][]bool, len(profiles))
@@ -328,6 +417,12 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 		cells[i] = make([]Result, nv)
 		cellOK[i] = make([]bool, nv)
 		cellErrs[i] = make([]error, nv)
+		if cfg.Slabs != nil {
+			states[i].classes = make([]classCell, len(classOpts))
+			for ci := range states[i].classes {
+				states[i].classes[ci].left.Store(classSize[ci])
+			}
+		}
 	}
 
 	type job struct{ ti, vi int }
@@ -342,14 +437,34 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 			for j := range jobs {
 				st := &states[j.ti]
 				v := cfg.Variants[j.vi]
-				compute := func() (Result, error) {
+				generate := func() ([]cvp.Instruction, error) {
 					st.once.Do(func() {
 						st.instrs, st.err = profiles[j.ti].GenerateBatch(cfg.Instructions)
 					})
-					if st.err != nil {
-						return Result{}, st.err
+					return st.instrs, st.err
+				}
+				compute := func() (Result, error) {
+					if cfg.Slabs == nil {
+						instrs, err := generate()
+						if err != nil {
+							return Result{}, err
+						}
+						return runVariant(&profiles[j.ti], instrs, v, cfg.simConfigFor(v.Opts), &cfg)
 					}
-					return runVariant(&profiles[j.ti], st.instrs, v, cfg.simConfigFor(v.Opts), &cfg)
+					// Conversion is hoisted to the class: the first cell of
+					// the class to miss the result cache acquires the slab
+					// (converting only if the store misses too — generation
+					// is deferred all the way into that innermost miss);
+					// every later cell simulates from the same mapping.
+					cc := &st.classes[classOf[j.vi]]
+					cc.once.Do(func() {
+						cc.slab, cc.err = acquireSlab(cfg.Slabs, &profiles[j.ti],
+							classOpts[classOf[j.vi]], cfg.Instructions, generate)
+					})
+					if cc.err != nil {
+						return Result{}, cc.err
+					}
+					return runVariantSlab(&profiles[j.ti], cc.slab, v, cfg.simConfigFor(v.Opts), &cfg)
 				}
 				var res Result
 				var err error
@@ -358,6 +473,9 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 					res, err = cfg.Cache.GetOrCompute(key, compute)
 				} else {
 					res, err = compute()
+				}
+				if cfg.Slabs != nil {
+					st.classes[classOf[j.vi]].release()
 				}
 				switch {
 				case err == nil:
@@ -383,15 +501,46 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 			}
 		}()
 	}
+	// With a slab store, a single goroutine warms the next trace's slabs
+	// from disk while the current trace simulates: validation touches every
+	// page, so by the time the workers reach the trace its slabs are
+	// resident. The pace channel is capacity 1 and sends are non-blocking —
+	// prefetch trails at most one trace behind the feed and never stalls
+	// it, and a cold store (nothing on disk yet) degrades to a handful of
+	// failed opens.
+	var prefetchWG sync.WaitGroup
+	var pace chan int
+	if cfg.Slabs != nil && len(profiles) > 1 {
+		pace = make(chan int, 1)
+		prefetchWG.Add(1)
+		go func() {
+			defer prefetchWG.Done()
+			for ti := range pace {
+				for ci := range classOpts {
+					cfg.Slabs.Prefetch(slabKey(&profiles[ti], classOpts[ci], cfg.Instructions))
+				}
+			}
+		}()
+	}
 	// Trace-major order: all of a trace's variants are adjacent in the
 	// queue, so at most ~Parallelism traces have live instruction slabs.
 	for ti := range profiles {
+		if pace != nil && ti+1 < len(profiles) {
+			select {
+			case pace <- ti + 1:
+			default:
+			}
+		}
 		for vi := 0; vi < nv; vi++ {
 			jobs <- job{ti, vi}
 		}
 	}
 	close(jobs)
+	if pace != nil {
+		close(pace)
+	}
 	wg.Wait()
+	prefetchWG.Wait()
 
 	out := make([]TraceResult, len(profiles))
 	var errs []error

@@ -11,6 +11,7 @@ import (
 	"tracerebase/internal/sim"
 	"tracerebase/internal/stats"
 	"tracerebase/internal/synth"
+	"tracerebase/internal/tracestore"
 )
 
 // RenderTable1 prints Table 1: the summary of the proposed trace conversion
@@ -177,82 +178,107 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 	for ti, trc := range suite {
 		// The trace is generated at most once, and converted at most once
 		// per set, no matter how many of the 18 simulations miss — and not
-		// at all when every simulation hits the cache.
+		// at all when every simulation hits the cache. With a slab store
+		// the per-set conversion additionally resolves through the store,
+		// so a warm run skips it entirely.
 		var instrs []cvp.Instruction
-		generate := func() error {
+		generate := func() ([]cvp.Instruction, error) {
 			if instrs != nil {
-				return nil
+				return instrs, nil
 			}
 			var err error
 			instrs, err = trc.Profile.GenerateBatch(cfg.Instructions)
-			return err
+			return instrs, err
 		}
 		for _, s := range sets {
-			var src *champtrace.ValuesSource
-			var convStats core.Stats
-			convert := func() error {
-				if src != nil {
+			err := func() error {
+				var src *champtrace.ValuesSource
+				var convStats core.Stats
+				var slab *tracestore.Slab
+				defer func() {
+					if slab != nil {
+						slab.Release()
+					}
+				}()
+				convert := func() error {
+					if src != nil {
+						return nil
+					}
+					if cfg.Slabs != nil {
+						sl, err := acquireSlab(cfg.Slabs, &trc.Profile, s.opts, cfg.Instructions, generate)
+						if err != nil {
+							return err
+						}
+						slab = sl
+						convStats = sl.Conv()
+						src = champtrace.NewValuesSource(sl.Records())
+						return nil
+					}
+					instrs, err := generate()
+					if err != nil {
+						return err
+					}
+					recs, cs, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), s.opts)
+					if err != nil {
+						return err
+					}
+					convStats = cs
+					src = champtrace.NewValuesSource(recs)
 					return nil
 				}
-				if err := generate(); err != nil {
-					return err
+				mkSource := func() (champtrace.Source, func() core.Stats, func()) {
+					src.Reset()
+					return src, func() core.Stats { return convStats }, func() {}
 				}
-				recs, cs, err := core.ConvertAllBatch(cvp.NewValuesSource(instrs), s.opts)
-				if err != nil {
-					return err
-				}
-				convStats = cs
-				src = champtrace.NewValuesSource(recs)
-				return nil
-			}
-			mkSource := func() (champtrace.Source, func() core.Stats, func()) {
-				src.Reset()
-				return src, func() core.Stats { return convStats }, func() {}
-			}
-			runOne := func(pf string) (Result, error) {
-				simCfg := sim.ConfigIPC1(pf, s.rules)
-				simCfg.NoCycleSkip = cfg.NoSkip
-				cfg.applySampling(&simCfg)
-				compute := func() (Result, error) {
-					if err := convert(); err != nil {
-						return Result{}, err
-					}
-					if cfg.Checkpoints != nil && simCfg.SamplePeriod > 0 && cfg.Warmup > 0 {
-						// Only the prefetcher-less baseline is checkpointable
-						// (stateful IPC-1 prefetchers lack snapshot support);
-						// the rest fall through to a plain sampled run.
-						k := checkpointKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
-						res, ok, err := runCheckpointed(cfg.Checkpoints, cfg.ckptGate, k, mkSource, simCfg, cfg.Warmup)
+				runOne := func(pf string) (Result, error) {
+					simCfg := sim.ConfigIPC1(pf, s.rules)
+					simCfg.NoCycleSkip = cfg.NoSkip
+					cfg.applySampling(&simCfg)
+					compute := func() (Result, error) {
+						if err := convert(); err != nil {
+							return Result{}, err
+						}
+						if cfg.Checkpoints != nil && simCfg.SamplePeriod > 0 && cfg.Warmup > 0 {
+							// Only the prefetcher-less baseline is checkpointable
+							// (stateful IPC-1 prefetchers lack snapshot support);
+							// the rest fall through to a plain sampled run.
+							k := checkpointKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
+							res, ok, err := runCheckpointed(cfg.Checkpoints, cfg.ckptGate, k, mkSource, simCfg, cfg.Warmup)
+							if err != nil {
+								return Result{}, err
+							}
+							if ok {
+								return res, nil
+							}
+						}
+						src.Reset()
+						st, err := sim.Run(src, simCfg, cfg.Warmup, 0)
 						if err != nil {
 							return Result{}, err
 						}
-						if ok {
-							return res, nil
-						}
+						return Result{IPC: st.IPC(), Sim: st, Conv: convStats}, nil
 					}
-					src.Reset()
-					st, err := sim.Run(src, simCfg, cfg.Warmup, 0)
+					if cfg.Cache == nil {
+						return compute()
+					}
+					key := cacheKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
+					return cfg.Cache.GetOrCompute(key, compute)
+				}
+				base, err := runOne("none")
+				if err != nil {
+					return err
+				}
+				for _, pf := range Table3Prefetchers {
+					st, err := runOne(pf)
 					if err != nil {
-						return Result{}, err
+						return err
 					}
-					return Result{IPC: st.IPC(), Sim: st, Conv: convStats}, nil
+					speedups[s.name][pf] = append(speedups[s.name][pf], st.IPC/base.IPC)
 				}
-				if cfg.Cache == nil {
-					return compute()
-				}
-				key := cacheKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
-				return cfg.Cache.GetOrCompute(key, compute)
-			}
-			base, err := runOne("none")
+				return nil
+			}()
 			if err != nil {
 				return Table3Result{}, err
-			}
-			for _, pf := range Table3Prefetchers {
-				st, err := runOne(pf)
-				if err != nil {
-					return Table3Result{}, err
-				}
-				speedups[s.name][pf] = append(speedups[s.name][pf], st.IPC/base.IPC)
 			}
 		}
 		if cfg.Progress != nil {

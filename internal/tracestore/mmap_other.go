@@ -1,0 +1,23 @@
+//go:build !unix
+
+package tracestore
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the unix mmap surface falls back to reading
+// the file into an anonymous buffer. The store still works — slabs just
+// cost one heap copy per process instead of shared page-cache residency.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func unmapFile(data []byte) error {
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared: every process mapping
+// the same slab file shares one copy in the page cache. On unix it is legal
+// for the LRU sweep to unlink a file that still has live mappings — the
+// pages stay valid until the last munmap.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,551 @@
+package tracestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tracerebase/internal/champtrace"
+	"tracerebase/internal/core"
+	"tracerebase/internal/resultcache"
+)
+
+func testKey(n uint64) Key {
+	return resultcache.NewHasher("tracestore/test").U64(n).Sum()
+}
+
+// testRecords builds n distinguishable instruction records.
+func testRecords(n int, salt uint64) []champtrace.Instruction {
+	recs := make([]champtrace.Instruction, n)
+	for i := range recs {
+		recs[i] = champtrace.Instruction{
+			IP:       0x400000 + uint64(i)*4 + salt,
+			IsBranch: i%7 == 0,
+			Taken:    i%14 == 0,
+			SrcRegs:  [champtrace.NumSrcRegs]uint8{1, 2},
+			SrcMem:   [champtrace.NumSrcMem]uint64{uint64(i) * 64},
+		}
+	}
+	return recs
+}
+
+func testConv(n int) core.Stats {
+	return core.Stats{In: uint64(n), Out: uint64(n), CondBranches: uint64(n / 7)}
+}
+
+func converterFor(n int, salt uint64, calls *atomic.Int64) ConvertFunc {
+	return func(scratch []champtrace.Instruction) ([]champtrace.Instruction, core.Stats, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return append(scratch[:0], testRecords(n, salt)...), testConv(n), nil
+	}
+}
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestConvertPersistReload(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(1)
+	want := testRecords(500, 9)
+
+	s := mustOpen(t, Config{Dir: dir})
+	sl, err := s.GetOrConvert(key, converterFor(500, 9, nil))
+	if err != nil {
+		t.Fatalf("GetOrConvert: %v", err)
+	}
+	if !reflect.DeepEqual(sl.Records(), want) {
+		t.Fatalf("converted records differ")
+	}
+	if sl.Conv() != testConv(500) {
+		t.Fatalf("conv stats differ: %+v", sl.Conv())
+	}
+	// The served slab must be the file mapping, not the conversion heap
+	// slab: that is the zero-copy contract.
+	if sl.data == nil {
+		t.Fatalf("slab served from heap, not from the written file")
+	}
+	sl.Release()
+	st := s.Stats()
+	if st.Misses != 1 || st.Converts != 1 || st.BytesWritten == 0 {
+		t.Fatalf("cold stats: %+v", st)
+	}
+
+	// Second lookup in-process: resident hit, no conversion.
+	sl2, err := s.GetOrConvert(key, converterFor(500, 777, nil))
+	if err != nil {
+		t.Fatalf("warm GetOrConvert: %v", err)
+	}
+	if !reflect.DeepEqual(sl2.Records(), want) {
+		t.Fatalf("resident records differ")
+	}
+	sl2.Release()
+	if st := s.Stats(); st.MemHits != 1 {
+		t.Fatalf("warm stats: %+v", st)
+	}
+	s.Close()
+
+	// Fresh store over the same dir: disk hit, byte-identical records and
+	// identical converter stats — the persisted slab fully replaces the
+	// conversion.
+	s2 := mustOpen(t, Config{Dir: dir})
+	var calls atomic.Int64
+	sl3, err := s2.GetOrConvert(key, converterFor(500, 777, &calls))
+	if err != nil {
+		t.Fatalf("reload GetOrConvert: %v", err)
+	}
+	defer sl3.Release()
+	if calls.Load() != 0 {
+		t.Fatalf("reload ran the converter")
+	}
+	if !reflect.DeepEqual(sl3.Records(), want) {
+		t.Fatalf("reloaded records differ")
+	}
+	if sl3.Conv() != testConv(500) {
+		t.Fatalf("reloaded conv stats differ: %+v", sl3.Conv())
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.BytesMapped == 0 {
+		t.Fatalf("reload stats: %+v", st)
+	}
+}
+
+func TestEmptySlab(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(2)
+	s := mustOpen(t, Config{Dir: dir})
+	sl, err := s.GetOrConvert(key, converterFor(0, 0, nil))
+	if err != nil {
+		t.Fatalf("GetOrConvert: %v", err)
+	}
+	if sl.Len() != 0 {
+		t.Fatalf("want empty slab, got %d records", sl.Len())
+	}
+	sl.Release()
+	s.Close()
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	sl2, ok := s2.Get(key)
+	if !ok || sl2.Len() != 0 {
+		t.Fatalf("empty slab did not round-trip (ok=%v)", ok)
+	}
+	sl2.Release()
+}
+
+func TestSingleFlight(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	key := testKey(3)
+	var calls atomic.Int64
+	slow := func(scratch []champtrace.Instruction) ([]champtrace.Instruction, core.Stats, error) {
+		calls.Add(1)
+		return append(scratch[:0], testRecords(100, 0)...), testConv(100), nil
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sl, err := s.GetOrConvert(key, slow)
+			if err != nil {
+				t.Errorf("GetOrConvert: %v", err)
+				return
+			}
+			if sl.Len() != 100 {
+				t.Errorf("short slab: %d", sl.Len())
+			}
+			sl.Release()
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("converter ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestConvertErrorNotStored(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	key := testKey(4)
+	boom := fmt.Errorf("converter exploded")
+	_, err := s.GetOrConvert(key, func(scratch []champtrace.Instruction) ([]champtrace.Instruction, core.Stats, error) {
+		return scratch, core.Stats{}, boom
+	})
+	if err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Fatalf("want converter error, got %v", err)
+	}
+	if st := s.Stats(); st.ConvertErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A later call retries and can succeed.
+	sl, err := s.GetOrConvert(key, converterFor(10, 0, nil))
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	sl.Release()
+}
+
+// corruptOneByte flips a byte in the record region of the only slab file
+// under dir.
+func corruptOneByte(t *testing.T, s *Store, at int64) string {
+	t.Helper()
+	var path string
+	filepath.Walk(s.Dir(), func(p string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasSuffix(p, ".slab") {
+			path = p
+		}
+		return nil
+	})
+	if path == "" {
+		t.Fatalf("no slab file found under %s", s.Dir())
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("open slab: %v", err)
+	}
+	defer f.Close()
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, at); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, at); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestCorruptSlabReconverted(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(5)
+	s := mustOpen(t, Config{Dir: dir})
+	sl, err := s.GetOrConvert(key, converterFor(300, 1, nil))
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	sl.Release()
+	// Flip a byte mid-records: header still parses, data CRC must catch it.
+	path := corruptOneByte(t, s, headerSize+100)
+	s.Close()
+
+	var warned []string
+	s2 := mustOpen(t, Config{Dir: dir, Warn: func(f string, a ...any) {
+		warned = append(warned, fmt.Sprintf(f, a...))
+	}})
+	var calls atomic.Int64
+	sl2, err := s2.GetOrConvert(key, converterFor(300, 1, &calls))
+	if err != nil {
+		t.Fatalf("GetOrConvert over corrupt slab: %v", err)
+	}
+	defer sl2.Release()
+	if calls.Load() != 1 {
+		t.Fatalf("corrupt slab was not reconverted (calls=%d)", calls.Load())
+	}
+	if !reflect.DeepEqual(sl2.Records(), testRecords(300, 1)) {
+		t.Fatalf("reconverted records differ")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(warned) == 0 || !strings.Contains(warned[0], "corrupt slab") {
+		t.Fatalf("no pointed warning, got %q", warned)
+	}
+	// The corrupt file was replaced by the reconversion's write.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("slab file not rewritten: %v", err)
+	}
+}
+
+func TestTruncatedSlabReconverted(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(6)
+	s := mustOpen(t, Config{Dir: dir})
+	sl, err := s.GetOrConvert(key, converterFor(300, 2, nil))
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	sl.Release()
+	path := s.EntryPath(key)
+	s.Close()
+	if err := os.Truncate(path, headerSize+64); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	var calls atomic.Int64
+	sl2, err := s2.GetOrConvert(key, converterFor(300, 2, &calls))
+	if err != nil {
+		t.Fatalf("GetOrConvert over truncated slab: %v", err)
+	}
+	sl2.Release()
+	if calls.Load() != 1 {
+		t.Fatalf("truncated slab was not reconverted")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestForeignVersionIsMissWithoutDelete(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(7)
+	s := mustOpen(t, Config{Dir: dir})
+	sl, err := s.GetOrConvert(key, converterFor(50, 3, nil))
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	sl.Release()
+	s.Close()
+
+	// Patch the header to a future format version with a valid header CRC:
+	// intact but unusable — must read as a miss and NOT be deleted until
+	// the native writer replaces it.
+	entry := ""
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasSuffix(p, ".slab") {
+			entry = p
+		}
+		return nil
+	})
+	raw, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatalf("read slab: %v", err)
+	}
+	raw[4] = 0xfe // version 254
+	crc := crc32.Checksum(raw[:headerCRCOff], castagnoli)
+	binary.LittleEndian.PutUint32(raw[headerCRCOff:headerCRCOff+4], crc)
+	if err := os.WriteFile(entry, raw, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	s3 := mustOpen(t, Config{Dir: dir})
+	var calls atomic.Int64
+	sl3, err := s3.GetOrConvert(key, converterFor(50, 3, &calls))
+	if err != nil {
+		t.Fatalf("GetOrConvert: %v", err)
+	}
+	sl3.Release()
+	if calls.Load() != 1 {
+		t.Fatalf("foreign slab was not treated as a miss")
+	}
+	if st := s3.Stats(); st.Corrupt != 0 {
+		t.Fatalf("foreign slab counted corrupt: %+v", st)
+	}
+	// The native write replaced it: it must now load.
+	s3.Close()
+	s4 := mustOpen(t, Config{Dir: dir})
+	if _, ok := s4.Get(key); !ok {
+		t.Fatalf("native rewrite did not replace foreign slab")
+	}
+}
+
+func TestMmapLifetime(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir(), MaxResident: 1})
+	keyA, keyB := testKey(10), testKey(11)
+
+	slA, err := s.GetOrConvert(keyA, converterFor(200, 10, nil))
+	if err != nil {
+		t.Fatalf("A: %v", err)
+	}
+	wantA := append([]champtrace.Instruction(nil), slA.Records()...)
+
+	// Installing B exceeds MaxResident=1 and evicts A's residency — but A
+	// is still referenced, so its mapping must survive untouched.
+	slB, err := s.GetOrConvert(keyB, converterFor(200, 11, nil))
+	if err != nil {
+		t.Fatalf("B: %v", err)
+	}
+	s.mu.Lock()
+	aResident, aDestroyed := slA.resident, slA.destroyed
+	s.mu.Unlock()
+	if aResident {
+		t.Fatalf("A still resident past MaxResident=1")
+	}
+	if aDestroyed {
+		t.Fatalf("A destroyed while still referenced")
+	}
+	if !reflect.DeepEqual(slA.Records(), wantA) {
+		t.Fatalf("A's records changed under eviction")
+	}
+
+	// The last Release is what frees it.
+	slA.Release()
+	s.mu.Lock()
+	aDestroyed = slA.destroyed
+	s.mu.Unlock()
+	if !aDestroyed {
+		t.Fatalf("A not destroyed after last Release with residency dropped")
+	}
+
+	// B stays resident: Release keeps it mapped for reuse.
+	slB.Release()
+	s.mu.Lock()
+	bDestroyed := slB.destroyed
+	s.mu.Unlock()
+	if bDestroyed {
+		t.Fatalf("resident B destroyed on Release")
+	}
+	slB2, ok := s.Get(keyB)
+	if !ok {
+		t.Fatalf("resident B not served")
+	}
+	slB2.Release()
+
+	// Close drops residency; with no references left, B is unmapped.
+	s.Close()
+	s.mu.Lock()
+	bDestroyed = slB.destroyed
+	s.mu.Unlock()
+	if !bDestroyed {
+		t.Fatalf("B not destroyed on Close")
+	}
+}
+
+func TestCloseWithOutstandingRef(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	sl, err := s.GetOrConvert(testKey(12), converterFor(100, 12, nil))
+	if err != nil {
+		t.Fatalf("GetOrConvert: %v", err)
+	}
+	want := append([]champtrace.Instruction(nil), sl.Records()...)
+	s.Close()
+	if !reflect.DeepEqual(sl.Records(), want) {
+		t.Fatalf("records invalid after Close with outstanding ref")
+	}
+	sl.Release()
+	s.mu.Lock()
+	destroyed := sl.destroyed
+	s.mu.Unlock()
+	if !destroyed {
+		t.Fatalf("slab leaked after Close + final Release")
+	}
+}
+
+func TestDiskLRUEviction(t *testing.T) {
+	// Each 100-record slab file is 4096 + 6400 + meta + 8 ≈ 10.6 KB; a
+	// 32 KB budget holds two.
+	s := mustOpen(t, Config{Dir: t.TempDir(), MaxBytes: 32 << 10, MaxResident: 1})
+	for i := uint64(0); i < 4; i++ {
+		sl, err := s.GetOrConvert(testKey(20+i), converterFor(100, i, nil))
+		if err != nil {
+			t.Fatalf("slab %d: %v", i, err)
+		}
+		sl.Release()
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no disk evictions under MaxBytes: %+v", st)
+	}
+	if s.DiskBytes() > 32<<10 {
+		t.Fatalf("disk footprint %d exceeds budget", s.DiskBytes())
+	}
+	// The most recent slab must have survived.
+	if _, err := os.Stat(s.EntryPath(testKey(23))); err != nil {
+		t.Fatalf("newest slab evicted: %v", err)
+	}
+}
+
+func TestPrefetchWarmsResident(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(30)
+	s := mustOpen(t, Config{Dir: dir})
+	sl, err := s.GetOrConvert(key, converterFor(100, 30, nil))
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	sl.Release()
+	s.Close()
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	s2.Prefetch(key)
+	st := s2.Stats()
+	if st.Prefetches != 1 || st.DiskHits != 1 {
+		t.Fatalf("prefetch stats: %+v", st)
+	}
+	// The subsequent lookup is a resident hit, not a disk load.
+	var calls atomic.Int64
+	sl2, err := s2.GetOrConvert(key, converterFor(100, 30, &calls))
+	if err != nil {
+		t.Fatalf("GetOrConvert: %v", err)
+	}
+	sl2.Release()
+	if calls.Load() != 0 {
+		t.Fatalf("prefetched slab reconverted")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("post-prefetch stats: %+v", st)
+	}
+	// Prefetch of a missing key is a quiet no-op.
+	s2.Prefetch(testKey(31))
+	if st := s2.Stats(); st.Prefetches != 1 {
+		t.Fatalf("missing-key prefetch counted: %+v", st)
+	}
+}
+
+func TestWriteFailureDegradesToHeap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	// Make the store root read-only so CreateTemp fails.
+	if err := os.Chmod(s.Dir(), 0o555); err != nil {
+		t.Fatalf("chmod: %v", err)
+	}
+	defer os.Chmod(s.Dir(), 0o755)
+	if f, err := os.CreateTemp(s.Dir(), "probe-*"); err == nil {
+		f.Close()
+		os.Remove(f.Name())
+		t.Skip("running as a user unaffected by directory permissions")
+	}
+
+	var warned []string
+	s.warn = func(f string, a ...any) { warned = append(warned, fmt.Sprintf(f, a...)) }
+	sl, err := s.GetOrConvert(testKey(40), converterFor(100, 40, nil))
+	if err != nil {
+		t.Fatalf("GetOrConvert must degrade, got error: %v", err)
+	}
+	if !sl.heap {
+		t.Fatalf("expected heap fallback slab")
+	}
+	if !reflect.DeepEqual(sl.Records(), testRecords(100, 40)) {
+		t.Fatalf("heap slab records differ")
+	}
+	sl.Release()
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(warned) == 0 {
+		t.Fatalf("write failure was silent")
+	}
+}
+
+func TestScratchPoolRecycled(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir(), MaxResident: 1})
+	var sawScratch bool
+	for i := uint64(0); i < 3; i++ {
+		sl, err := s.GetOrConvert(testKey(50+i), func(scratch []champtrace.Instruction) ([]champtrace.Instruction, core.Stats, error) {
+			if cap(scratch) > 0 {
+				sawScratch = true
+			}
+			return append(scratch[:0], testRecords(200, i)...), testConv(200), nil
+		})
+		if err != nil {
+			t.Fatalf("slab %d: %v", i, err)
+		}
+		sl.Release()
+	}
+	if !sawScratch {
+		t.Fatalf("conversion scratch never recycled through the pool")
+	}
+}

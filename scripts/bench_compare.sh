@@ -9,7 +9,7 @@
 #                working tree is dirty the tree is stashed while the
 #                reference run executes and restored afterwards.
 #   BENCH_REGEX  -bench regex (default: the simulator-core set
-#                'BenchmarkPipeline$|BenchmarkPipelineIdleHeavy$|BenchmarkMultiCorePipeline$|BenchmarkHierarchy$|ConvertSimulate').
+#                'BenchmarkPipeline$|BenchmarkPipelineIdleHeavy$|BenchmarkMultiCorePipeline$|BenchmarkHierarchy$|ConvertSimulate|BenchmarkSlab').
 #
 # Environment:
 #   GO         go binary (default: go)
@@ -23,7 +23,7 @@ set -euo pipefail
 GO=${GO:-go}
 BENCHTIME=${BENCHTIME:-3x}
 REF=${1:-HEAD}
-BENCH=${2:-'BenchmarkPipeline$|BenchmarkPipelineIdleHeavy$|BenchmarkMultiCorePipeline$|BenchmarkHierarchy$|ConvertSimulate'}
+BENCH=${2:-'BenchmarkPipeline$|BenchmarkPipelineIdleHeavy$|BenchmarkMultiCorePipeline$|BenchmarkHierarchy$|ConvertSimulate|BenchmarkSlab'}
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
