@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache bench-slabs
+.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache bench-slabs serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,25 @@ bench-cache:
 	/tmp/rebase-bench -exp all -step $(STEP) -cache-dir $$dir >/tmp/bench-cache-warm.out; \
 	cmp /tmp/bench-cache-cold.out /tmp/bench-cache-warm.out && echo "outputs identical"; \
 	rm -rf $$dir
+
+# Run the sweep service in the foreground on the default port with the
+# default cache dir. SIGINT/SIGTERM drains in-flight jobs and flushes the
+# memory tier before exiting. Point clients (or another daemon's -remote
+# tier) at http://127.0.0.1:8344.
+ADDR ?= 127.0.0.1:8344
+WORKERS ?= 1
+serve:
+	$(GO) run ./cmd/rebase serve -addr $(ADDR) -workers $(WORKERS)
+
+# Sweep-service latency benchmark: cold submit vs warm memory-tier repeat
+# vs remote-tier hit through a chained daemon, every response cmp'd
+# byte-identical against the batch CLI. Emits BENCH_9.json; the headline
+# is the warm p50 (must sit well under 10ms). See EXPERIMENTS.md
+# "Service latency benchmark workflow".
+EXP ?= all
+SERVE_REPEATS ?= 20
+bench-serve:
+	scripts/bench_serve.sh $(EXP) $(STEP) $(SERVE_REPEATS)
 
 # Slab-cold/slab-warm pair with the result cache disabled, so every
 # simulation recomputes and the delta isolates the compiled-trace store

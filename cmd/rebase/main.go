@@ -33,6 +33,16 @@
 //	rebase -cores 2 -coschedule srvcrypto
 //	rebase -cores 4 -coschedule thrash,rack -llc-policy shared-srrip -mem-bandwidth 4
 //
+// rebase serve runs the same engine as a long-lived daemon over a tiered
+// result cache (memory LRU -> disk -> optional remote peer daemon via
+// -remote), and rebase submit is its streaming client; submitted jobs
+// produce output byte-identical to the batch CLI, with repeat queries
+// answered from the memory tier:
+//
+//	rebase serve -addr 127.0.0.1:8344 -workers 2
+//	rebase submit -exp fig1 -step 3
+//	rebase submit -status
+//
 // rebase -selftest runs the conformance suite instead of an experiment:
 // golden-corpus verification, the differential battery over the synthetic
 // suite, and the metamorphic simulator checks. Any positional arguments are
@@ -52,16 +62,28 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
 	"tracerebase/internal/conformance"
 	"tracerebase/internal/experiments"
+	"tracerebase/internal/report"
+	"tracerebase/internal/resultcache"
 	"tracerebase/internal/synth"
 )
 
 func main() {
+	// Subcommands precede the flag-driven batch mode: `rebase serve` runs
+	// the sweep daemon, `rebase submit` is its client. Everything else is
+	// the classic batch CLI.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		case "submit":
+			os.Exit(runSubmit(os.Args[2:]))
+		}
+	}
 	os.Exit(run())
 }
 
@@ -156,7 +178,7 @@ func run() (code int) {
 			log = nil
 		}
 		err := conformance.SelfTest(conformance.SelfTestConfig{
-			Suite:       subsample(synth.PublicSuite(), *step),
+			Suite:       report.Subsample(synth.PublicSuite(), *step),
 			Parallelism: *parallel,
 			TraceFiles:  flag.Args(),
 			Log:         log,
@@ -270,133 +292,18 @@ func run() (code int) {
 		}
 	}
 
-	report := experiments.NewJSONReport(cfg)
-
-	wants := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
-		wants[strings.TrimSpace(e)] = true
+	// The experiment composition itself lives in internal/report so the
+	// serve daemon renders byte-identical output for the same request.
+	out := report.Output{Text: os.Stdout, JSON: *jsonOut}
+	if !*quiet {
+		out.Log = os.Stderr
 	}
-	all := wants["all"]
-	needSweep := all || wants["fig1"] || wants["fig2"] || wants["fig3"] || wants["fig4"] || wants["fig5"]
-
-	// Per-category cycle-skipping and sampling telemetry, collected from
-	// the figure sweep (the one place full per-trace stats flow through
-	// this command).
-	var skipCats []benchSkip
-	var sampleCats []benchSample
-
 	start := time.Now()
-	if (all || wants["table1"]) && !*jsonOut {
-		experiments.RenderTable1(os.Stdout)
-		fmt.Println()
+	tel, err := report.Run(cfg, report.Spec{Exp: *exp, Step: *step}, out)
+	if err != nil {
+		return fail("%v", err)
 	}
-
-	if needSweep {
-		profiles := subsample(synth.PublicSuite(), *step)
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "sweep: %d public traces x %d variants, %d instructions each\n",
-				len(profiles), len(experiments.Variants()), *instrs)
-		}
-		results, err := experiments.RunSweep(profiles, cfg)
-		if err != nil {
-			return fail("sweep: %v", err)
-		}
-		skipCats = skipFractions(results)
-		if cfg.SamplePeriod > 0 {
-			sampleCats = sampleSummary(results)
-		}
-		if *jsonOut {
-			report.FillFigures(results)
-		}
-		if (all || wants["fig1"]) && !*jsonOut {
-			experiments.RenderFig1(os.Stdout, experiments.Fig1(results))
-			fmt.Println()
-		}
-		if (all || wants["fig2"]) && !*jsonOut {
-			experiments.RenderFig2(os.Stdout, experiments.Fig2(results))
-			fmt.Println()
-		}
-		if (all || wants["fig3"]) && !*jsonOut {
-			experiments.RenderFig3(os.Stdout, experiments.Fig3(results))
-			fmt.Println()
-		}
-		if (all || wants["fig4"]) && !*jsonOut {
-			experiments.RenderFig4(os.Stdout, experiments.Fig4(results))
-			fmt.Println()
-		}
-		if (all || wants["fig5"]) && !*jsonOut {
-			experiments.RenderFig5(os.Stdout, experiments.Fig5(results))
-			fmt.Println()
-		}
-	}
-
-	if all || wants["table2"] {
-		suite := subsampleIPC1(synth.IPC1Suite(), *step)
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "table 2: %d IPC-1 traces\n", len(suite))
-		}
-		res, err := experiments.Table2(cfg, suite)
-		if err != nil {
-			return fail("table2: %v", err)
-		}
-		if *jsonOut {
-			report.Table2 = &res
-		} else {
-			experiments.RenderTable2(os.Stdout, res)
-			fmt.Println()
-		}
-	}
-
-	if wants["ablation"] {
-		res, err := experiments.FrontEndAblation(cfg, nil)
-		if err != nil {
-			return fail("ablation: %v", err)
-		}
-		if *jsonOut {
-			report.Ablation = res
-		} else {
-			experiments.RenderFrontEndAblation(os.Stdout, res)
-			fmt.Println()
-		}
-	}
-
-	if all || wants["table3"] {
-		suite := subsampleIPC1(synth.IPC1Suite(), *step)
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "table 3: %d IPC-1 traces x 2 trace sets x %d prefetchers\n",
-				len(suite), len(experiments.Table3Prefetchers))
-		}
-		res, err := experiments.Table3(cfg, suite)
-		if err != nil {
-			return fail("table3: %v", err)
-		}
-		if *jsonOut {
-			report.Table3 = &res
-		} else {
-			experiments.RenderTable3(os.Stdout, res)
-			fmt.Println()
-		}
-	}
-
-	if wants["char"] {
-		profiles := subsample(synth.PublicSuite(), *step)
-		rows, err := experiments.Characterize(profiles, cfg)
-		if err != nil {
-			return fail("characterize: %v", err)
-		}
-		if *jsonOut {
-			report.Char = rows
-		} else {
-			experiments.RenderCharacterization(os.Stdout, rows)
-			fmt.Println()
-		}
-	}
-
-	if *jsonOut {
-		if err := report.Write(os.Stdout); err != nil {
-			return fail("json: %v", err)
-		}
-	}
+	skipCats, sampleCats := tel.Skip, tel.Sample
 	elapsed := time.Since(start)
 	if !*quiet {
 		if len(skipCats) > 0 {
@@ -436,103 +343,6 @@ func run() (code int) {
 	return 0
 }
 
-// benchSample summarizes sampled-mode statistics for one trace category
-// across every (trace, variant) cell of the sweep: the average interval-mean
-// IPC, the average 95% confidence half-width around it, and how the
-// instruction budget split between detailed, warmed, and skipped phases.
-type benchSample struct {
-	Category     string  `json:"category"`
-	Runs         int     `json:"runs"`
-	Intervals    uint64  `json:"intervals"`
-	MeanIPC      float64 `json:"mean_ipc"`
-	MeanCI95     float64 `json:"mean_ci95"`
-	Instructions uint64  `json:"detailed_instructions"`
-	Warmed       uint64  `json:"warmed_instructions"`
-	Skipped      uint64  `json:"skipped_instructions"`
-}
-
-// sampleSummary aggregates per-run sampling statistics by trace category,
-// ordered by category name.
-func sampleSummary(results []experiments.TraceResult) []benchSample {
-	byCat := map[string]*benchSample{}
-	for _, tr := range results {
-		cat := string(tr.Profile.Category)
-		agg := byCat[cat]
-		if agg == nil {
-			agg = &benchSample{Category: cat}
-			byCat[cat] = agg
-		}
-		for _, res := range tr.Results {
-			agg.Runs++
-			agg.Intervals += res.Sim.SampleIntervals
-			agg.MeanIPC += res.Sim.SampleIPCMean
-			agg.MeanCI95 += res.Sim.SampleCI95
-			agg.Instructions += res.Sim.Instructions
-			agg.Warmed += res.Sim.WarmedInstructions
-			agg.Skipped += res.Sim.SkippedInstructions
-		}
-	}
-	cats := make([]string, 0, len(byCat))
-	for cat := range byCat {
-		cats = append(cats, cat)
-	}
-	sort.Strings(cats)
-	out := make([]benchSample, 0, len(cats))
-	for _, cat := range cats {
-		s := *byCat[cat]
-		if s.Runs > 0 {
-			s.MeanIPC /= float64(s.Runs)
-			s.MeanCI95 /= float64(s.Runs)
-		}
-		out = append(out, s)
-	}
-	return out
-}
-
-// benchSkip reports event-horizon cycle skipping for one trace category:
-// what fraction of the measured cycles the simulator jumped over instead of
-// ticking through. All zeros under -no-skip.
-type benchSkip struct {
-	Category      string  `json:"category"`
-	Cycles        uint64  `json:"cycles"`
-	SkippedCycles uint64  `json:"skipped_cycles"`
-	Skips         uint64  `json:"skips"`
-	Fraction      float64 `json:"fraction"`
-}
-
-// skipFractions aggregates cycle-skipping counters per trace category over
-// every (trace, variant) cell of a sweep, ordered by category name.
-func skipFractions(results []experiments.TraceResult) []benchSkip {
-	byCat := map[string]*benchSkip{}
-	for _, tr := range results {
-		cat := string(tr.Profile.Category)
-		agg := byCat[cat]
-		if agg == nil {
-			agg = &benchSkip{Category: cat}
-			byCat[cat] = agg
-		}
-		for _, res := range tr.Results {
-			agg.Cycles += res.Sim.Cycles
-			agg.SkippedCycles += res.Sim.SkippedCycles
-			agg.Skips += res.Sim.CycleSkips
-		}
-	}
-	cats := make([]string, 0, len(byCat))
-	for cat := range byCat {
-		cats = append(cats, cat)
-	}
-	sort.Strings(cats)
-	out := make([]benchSkip, 0, len(cats))
-	for _, cat := range cats {
-		s := *byCat[cat]
-		if s.Cycles > 0 {
-			s.Fraction = float64(s.SkippedCycles) / float64(s.Cycles)
-		}
-		out = append(out, s)
-	}
-	return out
-}
-
 // benchRecord is the schema of -bench-json output: enough context to make
 // a recorded wall-clock comparable across machines and configurations.
 type benchRecord struct {
@@ -549,11 +359,14 @@ type benchRecord struct {
 	WallSeconds  float64     `json:"wall_seconds"`
 	Timestamp    string      `json:"timestamp"`
 	Cache        *benchCache `json:"cache,omitempty"`
+	// CacheTiers breaks the result-cache backend down per tier (memory,
+	// disk, remote) with hit/miss/latency/byte counters.
+	CacheTiers []resultcache.BackendStats `json:"cache_tiers,omitempty"`
 	// CheckpointCache records warmed-checkpoint reuse in sampled runs.
 	CheckpointCache *benchCache `json:"checkpoint_cache,omitempty"`
 	// Skip carries per-category cycle-skipping fractions when the run
 	// included the figure sweep.
-	Skip []benchSkip `json:"skip,omitempty"`
+	Skip []report.SkipStat `json:"skip,omitempty"`
 	// Sample carries the sampling configuration and per-category interval
 	// statistics when the run used -sample.
 	Sample *benchSampleBlock `json:"sample,omitempty"`
@@ -595,10 +408,10 @@ func printSlabStats(store *experiments.SlabStore) {
 // benchSampleBlock groups the sampling parameters with the per-category
 // interval statistics of the figure sweep.
 type benchSampleBlock struct {
-	Period     uint64        `json:"period"`
-	Detail     uint64        `json:"detail"`
-	Warm       uint64        `json:"warm"`
-	Categories []benchSample `json:"categories,omitempty"`
+	Period     uint64              `json:"period"`
+	Detail     uint64              `json:"detail"`
+	Warm       uint64              `json:"warm"`
+	Categories []report.SampleStat `json:"categories,omitempty"`
 }
 
 // benchCache records result-cache activity so a BENCH file distinguishes
@@ -614,7 +427,7 @@ type benchCache struct {
 	BytesWritten uint64 `json:"bytes_written"`
 }
 
-func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []benchSkip, sampleCats []benchSample, multi *benchMultiBlock) error {
+func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, elapsed time.Duration, skipCats []report.SkipStat, sampleCats []report.SampleStat, multi *benchMultiBlock) error {
 	parallelism := cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -650,6 +463,7 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 			Misses: s.Misses, Corrupt: s.Corrupt, Evictions: s.Evictions,
 			BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
 		}
+		rec.CacheTiers = cfg.Cache.TierStats()
 	}
 	if cfg.Checkpoints != nil {
 		s := cfg.Checkpoints.Stats()
@@ -681,28 +495,6 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-func subsample(ps []synth.Profile, step int) []synth.Profile {
-	if step <= 1 {
-		return ps
-	}
-	var out []synth.Profile
-	for i := 0; i < len(ps); i += step {
-		out = append(out, ps[i])
-	}
-	return out
-}
-
-func subsampleIPC1(ts []synth.IPC1Trace, step int) []synth.IPC1Trace {
-	if step <= 1 {
-		return ts
-	}
-	var out []synth.IPC1Trace
-	for i := 0; i < len(ts); i += step {
-		out = append(out, ts[i])
-	}
-	return out
 }
 
 func fail(format string, args ...any) int {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tracerebase/internal/server"
+)
+
+// runSubmit is the `rebase submit` subcommand: the daemon client. It
+// posts a job, follows the NDJSON event stream, writes the assembled
+// output to stdout (byte-identical to the batch CLI), and reports which
+// tier served it on stderr.
+func runSubmit(args []string) int {
+	fs := flag.NewFlagSet("rebase submit", flag.ExitOnError)
+	var (
+		baseURL      = fs.String("url", "http://127.0.0.1:8344", "daemon base URL")
+		exp          = fs.String("exp", "all", "experiment: table1, fig1..fig5, table2, table3, ablation, char, or all")
+		instrs       = fs.Int("instructions", 150000, "instructions per trace")
+		warmup       = fs.Uint64("warmup", 50000, "warm-up instructions per trace")
+		step         = fs.Int("step", 1, "use every step-th trace of each suite (1 = all)")
+		noSkip       = fs.Bool("no-skip", false, "disable event-horizon cycle skipping")
+		jsonOut      = fs.Bool("json", false, "request the JSON document instead of text")
+		sample       = fs.Bool("sample", false, "SMARTS-style interval sampling")
+		samplePeriod = fs.Uint64("sample-period", 12500, "sampled mode: instructions per sampling period")
+		sampleDetail = fs.Uint64("sample-detail", 2500, "sampled mode: detailed instructions per interval")
+		sampleWarm   = fs.Uint64("sample-warm", 2500, "sampled mode: fully-warmed instructions ahead of each interval")
+		status       = fs.Bool("status", false, "print the daemon status document and exit")
+		quiet        = fs.Bool("q", false, "suppress progress output")
+	)
+	fs.Parse(args)
+
+	client := &server.Client{BaseURL: *baseURL}
+	if *status {
+		st, err := client.Status()
+		if err != nil {
+			return fail("submit: %v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+		return 0
+	}
+
+	spec := server.JobSpec{
+		Exp:          *exp,
+		Step:         *step,
+		Instructions: *instrs,
+		Warmup:       *warmup,
+		NoSkip:       *noSkip,
+		JSON:         *jsonOut,
+		Sample:       *sample,
+	}
+	if *sample {
+		spec.SamplePeriod = *samplePeriod
+		spec.SampleDetail = *sampleDetail
+		spec.SampleWarm = *sampleWarm
+	}
+	if !*quiet {
+		client.OnEvent = func(ev server.Event) {
+			switch ev.Type {
+			case "started":
+				fmt.Fprintf(os.Stderr, "job started\n")
+			case "progress":
+				fmt.Fprintf(os.Stderr, "\r%3d/%3d traces", ev.Done, ev.Total)
+				if ev.Done == ev.Total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	res, err := client.Submit(spec)
+	if err != nil {
+		return fail("submit: %v", err)
+	}
+	os.Stdout.Write(res.Output)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "served: %s in %.6fs\n", res.Served, res.ServerSeconds)
+	}
+	return 0
+}

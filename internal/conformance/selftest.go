@@ -170,6 +170,10 @@ func SelfTest(cfg SelfTestConfig) error {
 		len(resultCacheProfiles)), func() error {
 		return CheckCacheTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
 	})
+	r.run(fmt.Sprintf("cache tiers: off vs cold vs warm-memory vs warm-remote sweeps of %d traces byte-identical",
+		len(resultCacheProfiles)), func() error {
+		return CheckTierTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
+	})
 
 	// 5. Slab-store transparency: sweeps fed from the compiled-trace store
 	// — cold, warm (second process), and with a slab corrupted or truncated

@@ -50,6 +50,13 @@ func OpenResultCache(dir string, maxBytes int64) (*ResultCache, error) {
 	)
 }
 
+// NewResultCache builds a result cache over an already-composed backend
+// (e.g. a memory/disk/remote Tiered stack for the serve daemon). The
+// cache owns the backend: Close flushes and closes it.
+func NewResultCache(b resultcache.Backend) *ResultCache {
+	return resultcache.New[Result](b, resultcache.GobCodec[Result]{})
+}
+
 // rulesFor returns the ChampSim branch-deduction rules a converted trace
 // needs: traces carrying the branch-regs improvement require the §3.2.2
 // patched rules. Every simulation in this package pairs rules with options

@@ -3,12 +3,7 @@ package resultcache
 import (
 	"bytes"
 	"encoding/gob"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
-	"time"
 )
 
 // Codec converts cached values to and from their stored payload bytes.
@@ -47,7 +42,8 @@ type Config struct {
 	Dir string
 	// MaxBytes bounds the on-disk footprint; least-recently-used entries
 	// are evicted past it. <= 0 selects the 1 GiB default. The in-memory
-	// layer is not bounded: a process keeps every result it has touched.
+	// decoded-value layer is not bounded: a process keeps every result it
+	// has touched.
 	MaxBytes int64
 }
 
@@ -60,7 +56,9 @@ const DefaultMaxBytes = 1 << 30
 type Stats struct {
 	// Hits = MemHits + DiskHits.
 	Hits, Misses uint64
-	// MemHits were served from the in-process map, DiskHits from disk.
+	// MemHits were served from the in-process decoded-value map, DiskHits
+	// from the backend (disk, or whatever tier composition backs the
+	// cache).
 	MemHits, DiskHits uint64
 	// SharedWaits counts single-flight joins: lookups that blocked on an
 	// identical in-flight computation instead of duplicating it.
@@ -71,12 +69,13 @@ type Stats struct {
 	// Corrupt counts entries that failed validation and were discarded;
 	// each also shows up as a miss and a recompute.
 	Corrupt uint64
-	// Evictions counts entries removed by the LRU size bound.
+	// Evictions counts entries removed by a size bound.
 	Evictions uint64
 	// WriteErrors counts store failures; the computed value is still
 	// returned to the caller, so a read-only cache degrades gracefully.
 	WriteErrors uint64
-	// BytesRead and BytesWritten count record bytes moved to/from disk.
+	// BytesRead and BytesWritten count payload-carrying bytes moved
+	// through the backend tiers.
 	BytesRead, BytesWritten uint64
 }
 
@@ -86,142 +85,101 @@ type flight[T any] struct {
 	err  error
 }
 
-type diskEntry struct {
-	size  int64
-	atime int64 // logical LRU clock, not wall time
-}
-
-// Cache is a three-layer content-addressed result store: an unbounded
-// in-process map, a size-bounded on-disk store with atomic writes and
-// checksummed records, and a single-flight layer that collapses concurrent
-// computations of the same key into one. All methods are safe for
-// concurrent use.
+// Cache is a content-addressed result store over a Backend: an unbounded
+// in-process decoded-value map, the backend (a single disk tier for Open,
+// any Tiered composition for New), and a single-flight layer that
+// collapses concurrent computations of the same key into one. All methods
+// are safe for concurrent use.
 type Cache[T any] struct {
-	dir      string // versioned root: Config.Dir/v<SchemaVersion>
-	maxBytes int64
-	codec    Codec[T]
+	backend Backend
+	codec   Codec[T]
 
 	mu      sync.Mutex
 	mem     map[Key]T
 	flights map[Key]*flight[T]
-	disk    map[Key]diskEntry
-	total   int64 // sum of disk entry sizes
-	clock   int64 // LRU logical time
 	stats   Stats
 }
 
-// Open opens (creating if needed) the cache rooted at cfg.Dir and indexes
-// the entries already on disk. Leftover temp files from interrupted writes
-// are removed; files that do not look like entries are ignored.
+// Open opens (creating if needed) a disk-backed cache rooted at cfg.Dir —
+// the classic batch-CLI configuration. See New to compose the cache over
+// other backends (memory LRU, remote, tiered).
 func Open[T any](cfg Config, codec Codec[T]) (*Cache[T], error) {
-	if cfg.Dir == "" {
-		return nil, fmt.Errorf("resultcache: empty cache directory")
-	}
-	if cfg.MaxBytes <= 0 {
-		cfg.MaxBytes = DefaultMaxBytes
-	}
-	root := filepath.Join(cfg.Dir, fmt.Sprintf("v%d", SchemaVersion))
-	if err := os.MkdirAll(root, 0o755); err != nil {
-		return nil, fmt.Errorf("resultcache: %w", err)
-	}
-	c := &Cache[T]{
-		dir:      root,
-		maxBytes: cfg.MaxBytes,
-		codec:    codec,
-		mem:      make(map[Key]T),
-		flights:  make(map[Key]*flight[T]),
-		disk:     make(map[Key]diskEntry),
-	}
-	if err := c.scan(); err != nil {
+	disk, err := NewDisk(DiskConfig{Dir: cfg.Dir, MaxBytes: cfg.MaxBytes})
+	if err != nil {
 		return nil, err
 	}
-	return c, nil
+	return New[T](disk, codec), nil
 }
 
-// scan builds the disk index. Entry ages are seeded from file mtimes so
-// LRU order survives across processes (Chtimes on disk hits refreshes
-// them).
-func (c *Cache[T]) scan() error {
-	shards, err := os.ReadDir(c.dir)
-	if err != nil {
-		return fmt.Errorf("resultcache: %w", err)
+// New builds a cache over an already-constructed backend. The cache owns
+// the backend: Close closes it.
+func New[T any](backend Backend, codec Codec[T]) *Cache[T] {
+	return &Cache[T]{
+		backend: backend,
+		codec:   codec,
+		mem:     make(map[Key]T),
+		flights: make(map[Key]*flight[T]),
 	}
-	type aged struct {
-		key   Key
-		size  int64
-		mtime time.Time
-	}
-	var found []aged
-	for _, sh := range shards {
-		if !sh.IsDir() || len(sh.Name()) != 2 {
-			continue
-		}
-		shardDir := filepath.Join(c.dir, sh.Name())
-		files, err := os.ReadDir(shardDir)
-		if err != nil {
-			continue
-		}
-		for _, f := range files {
-			name := f.Name()
-			if strings.HasPrefix(name, "tmp-") {
-				// Leftover from an interrupted write: a partial temp file
-				// was never renamed into place, so it is not an entry.
-				os.Remove(filepath.Join(shardDir, name))
-				continue
-			}
-			if !strings.HasSuffix(name, ".rc") {
-				continue
-			}
-			key, err := ParseKey(strings.TrimSuffix(name, ".rc"))
-			if err != nil {
-				continue
-			}
-			info, err := f.Info()
-			if err != nil {
-				continue
-			}
-			found = append(found, aged{key, info.Size(), info.ModTime()})
-		}
-	}
-	// Oldest first, so assigned logical times preserve on-disk LRU order.
-	for i := 1; i < len(found); i++ {
-		for j := i; j > 0 && found[j].mtime.Before(found[j-1].mtime); j-- {
-			found[j], found[j-1] = found[j-1], found[j]
-		}
-	}
-	for _, e := range found {
-		c.clock++
-		c.disk[e.key] = diskEntry{size: e.size, atime: c.clock}
-		c.total += e.size
-	}
-	return nil
 }
 
-// EntryPath returns where the entry for key lives (or would live) on disk.
+// Backend returns the tier composition the cache stores through.
+func (c *Cache[T]) Backend() Backend { return c.backend }
+
+// EntryPath returns where the entry for key lives (or would live) on
+// disk, or "" when no tier is file-backed.
 func (c *Cache[T]) EntryPath(key Key) string {
-	hexKey := key.String()
-	return filepath.Join(c.dir, hexKey[:2], hexKey+".rc")
+	if p, ok := c.backend.(entryPather); ok {
+		return p.EntryPath(key)
+	}
+	return ""
 }
 
-// Dir returns the versioned cache root.
-func (c *Cache[T]) Dir() string { return c.dir }
+// Dir returns the versioned root of the first directory-rooted tier, or
+// "" when there is none.
+func (c *Cache[T]) Dir() string {
+	if p, ok := c.backend.(dirBackend); ok {
+		return p.Dir()
+	}
+	return ""
+}
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters: lookup outcomes are
+// counted by the cache itself; storage-side counters (corruption,
+// evictions, write errors, byte traffic) are summed over the backend
+// tiers.
 func (c *Cache[T]) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	c.mu.Unlock()
+	for _, t := range TierStats(c.backend) {
+		s.Corrupt += t.Corrupt
+		s.Evictions += t.Evictions
+		s.WriteErrors += t.WriteErrors
+		s.BytesRead += t.BytesRead
+		s.BytesWritten += t.BytesWritten
+	}
+	return s
 }
 
-// DiskBytes returns the indexed on-disk footprint.
-func (c *Cache[T]) DiskBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total
+// TierStats returns the per-tier backend counters (one entry per tier for
+// a Tiered backend).
+func (c *Cache[T]) TierStats() []BackendStats {
+	return TierStats(c.backend)
 }
+
+// DiskBytes returns the persistent footprint of the first sized tier.
+func (c *Cache[T]) DiskBytes() int64 {
+	if p, ok := c.backend.(sizedBackend); ok {
+		return p.DiskBytes()
+	}
+	return 0
+}
+
+// Close flushes and closes the backend.
+func (c *Cache[T]) Close() error { return c.backend.Close() }
 
 // Get returns the cached value for key if it is resident in memory or
-// valid on disk. It never computes and never joins an in-flight
+// valid in the backend. It never computes and never joins an in-flight
 // computation.
 func (c *Cache[T]) Get(key Key) (T, bool) {
 	c.mu.Lock()
@@ -232,7 +190,7 @@ func (c *Cache[T]) Get(key Key) (T, bool) {
 		return v, true
 	}
 	c.mu.Unlock()
-	if v, ok := c.tryDisk(key); ok {
+	if v, ok := c.tryBackend(key); ok {
 		return v, true
 	}
 	c.mu.Lock()
@@ -274,9 +232,9 @@ func (c *Cache[T]) GetOrCompute(key Key, compute func() (T, error)) (T, error) {
 	return fl.val, fl.err
 }
 
-// fill resolves a leader's lookup: disk, then compute+store.
+// fill resolves a leader's lookup: backend, then compute+store.
 func (c *Cache[T]) fill(key Key, compute func() (T, error)) (T, error) {
-	if v, ok := c.tryDisk(key); ok {
+	if v, ok := c.tryBackend(key); ok {
 		return v, nil
 	}
 
@@ -295,58 +253,35 @@ func (c *Cache[T]) fill(key Key, compute func() (T, error)) (T, error) {
 	return v, nil
 }
 
-// tryDisk attempts to load and validate the on-disk entry for key,
-// promoting it into the memory layer on success and discarding it on
-// corruption.
-func (c *Cache[T]) tryDisk(key Key) (T, bool) {
+// tryBackend attempts to load and decode the backend entry for key,
+// promoting it into the memory layer on success. A payload the backend
+// validated but the codec cannot decode is discarded as corrupt so it is
+// recomputed, never served.
+func (c *Cache[T]) tryBackend(key Key) (T, bool) {
 	var zero T
-	path := c.EntryPath(key)
-	buf, err := os.ReadFile(path)
+	payload, err := c.backend.Get(key)
 	if err != nil {
 		return zero, false
 	}
-	payload, err := decodeRecord(key, buf)
-	var v T
-	if err == nil {
-		v, err = c.codec.Decode(payload)
-	}
+	v, err := c.codec.Decode(payload)
 	if err != nil {
-		// Corrupt or undecodable: discard so it is recomputed, never
-		// served.
-		os.Remove(path)
+		c.backend.Delete(key)
 		c.mu.Lock()
 		c.stats.Corrupt++
-		if e, ok := c.disk[key]; ok {
-			c.total -= e.size
-			delete(c.disk, key)
-		}
 		c.mu.Unlock()
 		return zero, false
 	}
-	now := time.Now()
-	os.Chtimes(path, now, now) // refresh cross-process LRU age; best-effort
 	c.mu.Lock()
 	c.stats.Hits++
 	c.stats.DiskHits++
-	c.stats.BytesRead += uint64(len(buf))
 	c.mem[key] = v
-	c.clock++
-	if e, ok := c.disk[key]; ok {
-		e.atime = c.clock
-		c.disk[key] = e
-	} else {
-		// Written by another process after our scan.
-		c.disk[key] = diskEntry{size: int64(len(buf)), atime: c.clock}
-		c.total += int64(len(buf))
-	}
 	c.mu.Unlock()
 	return v, true
 }
 
-// store encodes v, writes it atomically (temp file + rename, so a crash
-// mid-write never leaves a partial entry visible), indexes it, and evicts
-// past the size bound. Failures are counted, not returned: the value is
-// already in memory and the run must not depend on a writable cache.
+// store encodes v and writes it through the backend. Failures are
+// counted, not returned: the value is already in memory and the run must
+// not depend on a writable cache.
 func (c *Cache[T]) store(key Key, v T) {
 	c.mu.Lock()
 	c.mem[key] = v
@@ -354,82 +289,12 @@ func (c *Cache[T]) store(key Key, v T) {
 
 	payload, err := c.codec.Encode(v)
 	if err != nil {
-		c.noteWriteError()
+		// Encode failures are the cache's own; backend Put failures are
+		// counted by the failing tier.
+		c.mu.Lock()
+		c.stats.WriteErrors++
+		c.mu.Unlock()
 		return
 	}
-	rec := encodeRecord(key, payload)
-	path := c.EntryPath(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.noteWriteError()
-		return
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
-	if err != nil {
-		c.noteWriteError()
-		return
-	}
-	if _, err := tmp.Write(rec); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		c.noteWriteError()
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		c.noteWriteError()
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		c.noteWriteError()
-		return
-	}
-
-	c.mu.Lock()
-	c.stats.BytesWritten += uint64(len(rec))
-	if e, ok := c.disk[key]; ok {
-		c.total -= e.size
-	}
-	c.clock++
-	c.disk[key] = diskEntry{size: int64(len(rec)), atime: c.clock}
-	c.total += int64(len(rec))
-	evict := c.collectEvictions(key)
-	c.mu.Unlock()
-	for _, k := range evict {
-		os.Remove(c.EntryPath(k))
-	}
-}
-
-// collectEvictions (mu held) trims the index to the size bound, oldest
-// first, sparing the just-written key, and returns the keys whose files
-// the caller must remove.
-func (c *Cache[T]) collectEvictions(justWritten Key) []Key {
-	var out []Key
-	for c.total > c.maxBytes {
-		var victim Key
-		var victimAge int64
-		found := false
-		for k, e := range c.disk {
-			if k == justWritten {
-				continue
-			}
-			if !found || e.atime < victimAge {
-				victim, victimAge, found = k, e.atime, true
-			}
-		}
-		if !found {
-			break // only the fresh entry remains; keep it even if oversized
-		}
-		c.total -= c.disk[victim].size
-		delete(c.disk, victim)
-		c.stats.Evictions++
-		out = append(out, victim)
-	}
-	return out
-}
-
-func (c *Cache[T]) noteWriteError() {
-	c.mu.Lock()
-	c.stats.WriteErrors++
-	c.mu.Unlock()
+	c.backend.Put(key, payload)
 }

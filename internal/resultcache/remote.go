@@ -1,0 +1,243 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Remote wire protocol. A Remote client and an HTTPHandler server speak
+// it symmetrically; the payload travels inside the same self-validating
+// TRRC record frame the disk tier uses, so transport corruption and
+// wrong-key responses are caught end to end by CRC and the embedded key:
+//
+//	GET    <base>/<hexkey>  -> 200 + record | 404
+//	PUT    <base>/<hexkey>  <- record       -> 204
+//	DELETE <base>/<hexkey>  -> 204
+//
+// <base> is the mount point (the rebase daemon serves it at /cache).
+
+// DefaultRemoteTimeout bounds one request attempt when RemoteConfig
+// leaves Timeout unset.
+const DefaultRemoteTimeout = 10 * time.Second
+
+// DefaultRemoteRetries is the number of re-attempts after a failed
+// request (network error or 5xx) when RemoteConfig leaves Retries unset.
+const DefaultRemoteRetries = 2
+
+// maxRemoteRecord bounds a record accepted over the wire (1 GiB), so a
+// confused peer cannot balloon memory.
+const maxRemoteRecord = 1 << 30
+
+// RemoteConfig parameterizes NewRemote.
+type RemoteConfig struct {
+	// BaseURL is the peer's cache mount, e.g. "http://host:8344/cache".
+	BaseURL string
+	// Timeout bounds each request attempt (0 = DefaultRemoteTimeout).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a retryable failure
+	// (< 0 = none, 0 = DefaultRemoteRetries).
+	Retries int
+	// Client overrides the HTTP client (nil = a fresh one with Timeout).
+	Client *http.Client
+}
+
+// Remote is the HTTP backend: a client for another process's cache tier.
+// A daemon pointed at a peer daemon's /cache mount turns the peer's whole
+// store (memory tier included) into this process's slowest tier, so two
+// daemons share warm results over the network.
+type Remote struct {
+	base    string
+	client  *http.Client
+	retries int
+
+	metrics tierMetrics
+}
+
+// NewRemote returns a remote backend speaking the wire protocol against
+// cfg.BaseURL.
+func NewRemote(cfg RemoteConfig) (*Remote, error) {
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	if base == "" {
+		return nil, fmt.Errorf("resultcache: empty remote base URL")
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("resultcache: remote base URL %q must be http(s)", cfg.BaseURL)
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: timeout}
+	}
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = DefaultRemoteRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	return &Remote{base: base, client: client, retries: retries}, nil
+}
+
+// Name implements Backend.
+func (r *Remote) Name() string { return "remote" }
+
+// Stat implements Backend.
+func (r *Remote) Stat() BackendStats { return r.metrics.snapshot(r.Name()) }
+
+// BaseURL returns the peer mount this backend talks to.
+func (r *Remote) BaseURL() string { return r.base }
+
+func (r *Remote) url(key Key) string { return r.base + "/" + key.String() }
+
+// do runs one request with retry on network errors and 5xx responses.
+// 2xx and 404 resolve immediately; 404 maps to (nil, true, nil).
+func (r *Remote) do(method string, key Key, body []byte) (respBody []byte, notFound bool, err error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, reqErr := http.NewRequest(method, r.url(key), reader)
+		if reqErr != nil {
+			return nil, false, reqErr
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, doErr := r.client.Do(req)
+		if doErr == nil {
+			switch {
+			case resp.StatusCode == http.StatusNotFound:
+				resp.Body.Close()
+				return nil, true, nil
+			case resp.StatusCode >= 200 && resp.StatusCode < 300:
+				data, readErr := io.ReadAll(io.LimitReader(resp.Body, maxRemoteRecord+1))
+				resp.Body.Close()
+				if readErr == nil && len(data) > maxRemoteRecord {
+					readErr = fmt.Errorf("resultcache: remote record exceeds %d bytes", maxRemoteRecord)
+				}
+				if readErr == nil {
+					return data, false, nil
+				}
+				err = readErr
+			default:
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				err = fmt.Errorf("resultcache: remote %s %s: HTTP %d", method, key, resp.StatusCode)
+				if resp.StatusCode < 500 {
+					return nil, false, err // 4xx other than 404: not retryable
+				}
+			}
+		} else {
+			err = doErr
+		}
+		if attempt >= r.retries {
+			return nil, false, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// Get implements Backend. The response record is validated (CRC + the
+// embedded key) before the payload is surfaced; a damaged response counts
+// as corrupt and reads as a miss.
+func (r *Remote) Get(key Key) ([]byte, error) {
+	start := time.Now()
+	body, notFound, err := r.do(http.MethodGet, key, nil)
+	if err != nil {
+		r.metrics.observeGet(start, false, 0)
+		return nil, fmt.Errorf("%w: %s: %v", ErrNotFound, key, err)
+	}
+	if notFound {
+		r.metrics.observeGet(start, false, 0)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	payload, err := decodeRecord(key, body)
+	if err != nil {
+		r.metrics.observeCorrupt()
+		r.metrics.observeGet(start, false, 0)
+		return nil, fmt.Errorf("%w: %s: %v", ErrNotFound, key, err)
+	}
+	r.metrics.observeGet(start, true, len(body))
+	return payload, nil
+}
+
+// Put implements Backend.
+func (r *Remote) Put(key Key, payload []byte) error {
+	start := time.Now()
+	rec := encodeRecord(key, payload)
+	_, notFound, err := r.do(http.MethodPut, key, rec)
+	if err == nil && notFound {
+		err = fmt.Errorf("resultcache: remote rejected PUT %s", key)
+	}
+	r.metrics.observePut(start, err, len(rec))
+	return err
+}
+
+// Delete implements Backend.
+func (r *Remote) Delete(key Key) error {
+	r.metrics.observeDelete()
+	_, _, err := r.do(http.MethodDelete, key, nil)
+	return err
+}
+
+// Close implements Backend.
+func (r *Remote) Close() error {
+	r.client.CloseIdleConnections()
+	return nil
+}
+
+// NewHTTPHandler serves b over the Remote wire protocol — the server side
+// of the tier. Mount it (e.g. at /cache/ with http.StripPrefix) and point
+// a peer's RemoteConfig.BaseURL at the mount; the peer's misses then read
+// through this process's tiers, and its write-backs warm them.
+func NewHTTPHandler(b Backend) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		key, err := ParseKey(strings.Trim(req.URL.Path, "/"))
+		if err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		switch req.Method {
+		case http.MethodGet:
+			payload, err := b.Get(key)
+			if err != nil {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(encodeRecord(key, payload))
+		case http.MethodPut:
+			body, err := io.ReadAll(io.LimitReader(req.Body, maxRemoteRecord+1))
+			if err != nil || len(body) > maxRemoteRecord {
+				http.Error(w, "bad body", http.StatusBadRequest)
+				return
+			}
+			payload, err := decodeRecord(key, body)
+			if err != nil {
+				http.Error(w, "bad record", http.StatusBadRequest)
+				return
+			}
+			if err := b.Put(key, payload); err != nil {
+				http.Error(w, "store failed", http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			if err := b.Delete(key); err != nil {
+				http.Error(w, "delete failed", http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package resultcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestTieredReadThroughPromotion(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	defer tiered.Close()
+
+	key, want := bkey("promote"), []byte("warm me up")
+	// Seed only the slow tier, as if written by an earlier process.
+	if err := disk.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	got, src, err := tiered.GetWithSource(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) || src != "disk" {
+		t.Fatalf("first read = %q from %q, want %q from disk", got, src, want)
+	}
+	// The hit must have been promoted into the memory tier.
+	if _, src, err = tiered.GetWithSource(key); err != nil || src != "memory" {
+		t.Fatalf("second read src=%q err=%v, want memory hit", src, err)
+	}
+	if _, err := mem.Get(key); err != nil {
+		t.Fatal("promotion should have populated the memory tier")
+	}
+}
+
+func TestTieredWriteBackAndFlush(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	defer tiered.Close()
+
+	key, want := bkey("writeback"), []byte("durable")
+	if err := tiered.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	// The fast tier is written synchronously.
+	if _, err := mem.Get(key); err != nil {
+		t.Fatal("memory tier must be written synchronously")
+	}
+	// After Flush the slow tier must hold the entry too.
+	tiered.Flush()
+	got, err := disk.Get(key)
+	if err != nil {
+		t.Fatalf("disk tier after Flush: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("disk payload = %q, want %q", got, want)
+	}
+}
+
+func TestTieredCloseDrainsPendingWrites(t *testing.T) {
+	mem := NewMemory(0)
+	dir := t.TempDir()
+	disk, err := NewDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+
+	var keys []Key
+	for i := 0; i < 50; i++ {
+		k := bkey(fmt.Sprintf("drain-%d", i))
+		keys = append(keys, k)
+		if err := tiered.Put(k, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tiered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything written before Close must be durable: a fresh disk backend
+	// over the same directory sees all 50 entries.
+	reopened, err := NewDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, err := reopened.Get(k); err != nil {
+			t.Fatalf("entry %s lost across Close: %v", k, err)
+		}
+	}
+}
+
+func TestTieredPutAfterCloseIsSynchronous(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	if err := tiered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	key, want := bkey("late"), []byte("after close")
+	if err := tiered.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	// With the flusher gone the slow tier must still have been written,
+	// synchronously, with no Flush needed.
+	if _, err := disk.Get(key); err != nil {
+		t.Fatalf("disk tier after post-Close Put: %v", err)
+	}
+}
+
+func TestTieredMissReadsAllTiers(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	defer tiered.Close()
+
+	if _, err := tiered.Get(bkey("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss: err=%v, want ErrNotFound", err)
+	}
+	tiers := tiered.Tiers()
+	if len(tiers) != 2 || tiers[0].Name != "memory" || tiers[1].Name != "disk" {
+		t.Fatalf("Tiers() = %+v", tiers)
+	}
+	if tiers[0].Misses != 1 || tiers[1].Misses != 1 {
+		t.Fatalf("both tiers should record the miss: %+v", tiers)
+	}
+}
+
+func TestTieredWithRemoteTier(t *testing.T) {
+	// Daemon A's store, exported over HTTP.
+	remoteDisk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHTTPHandler(remoteDisk))
+	defer srv.Close()
+
+	// Daemon B: memory -> local disk -> daemon A.
+	remote, err := NewRemote(RemoteConfig{BaseURL: srv.URL, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDisk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(0)
+	tiered := NewTiered(mem, localDisk, remote)
+	defer tiered.Close()
+
+	key, want := bkey("shared"), []byte("computed on daemon A")
+	// A computed the result; B has never seen it.
+	if err := remoteDisk.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	got, src, err := tiered.GetWithSource(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) || src != "remote" {
+		t.Fatalf("read = %q from %q, want %q from remote", got, src, want)
+	}
+	// Promotion: both faster tiers now hold the entry locally.
+	if _, err := mem.Get(key); err != nil {
+		t.Fatal("memory tier should hold the promoted entry")
+	}
+	if _, err := localDisk.Get(key); err != nil {
+		t.Fatal("local disk tier should hold the promoted entry")
+	}
+	// And a write on B reaches A via write-back.
+	key2, want2 := bkey("shared-2"), []byte("computed on daemon B")
+	if err := tiered.Put(key2, want2); err != nil {
+		t.Fatal(err)
+	}
+	tiered.Flush()
+	if got2, err := remoteDisk.Get(key2); err != nil || !bytes.Equal(got2, want2) {
+		t.Fatalf("daemon A should hold B's write-back: %q, %v", got2, err)
+	}
+}
+
+func TestCacheOverTieredBackendSingleFlight(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New[int](NewTiered(mem, disk), GobCodec[int]{})
+	defer c.Close()
+
+	key := bkey("singleflight-tiered")
+	var computes int
+	var mu sync.Mutex
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := c.GetOrCompute(key, func() (int, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1 (single-flight across tiers)", computes)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %d, want 42", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Computes != 1 {
+		t.Fatalf("Stats.Computes = %d, want 1", s.Computes)
+	}
+}
+
+func TestCacheStatsSumTierCounters(t *testing.T) {
+	mem := NewMemory(150) // small enough to force memory evictions
+	disk, err := NewDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New[[]byte](NewTiered(mem, disk), GobCodec[[]byte]{})
+	defer c.Close()
+
+	for i := 0; i < 4; i++ {
+		k := bkey(fmt.Sprintf("sum-%d", i))
+		if _, err := c.GetOrCompute(k, func() ([]byte, error) {
+			return bytes.Repeat([]byte{byte(i)}, 100), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("Stats should surface memory-tier evictions, got %+v", s)
+	}
+	c.Backend().(*Tiered).Flush() // write-back is async; settle before counting
+	tiers := c.TierStats()
+	if len(tiers) != 2 {
+		t.Fatalf("TierStats len = %d, want 2", len(tiers))
+	}
+	if tiers[0].Puts == 0 || tiers[1].Puts == 0 {
+		t.Fatalf("both tiers should have Puts: %+v", tiers)
+	}
+}

@@ -1,0 +1,97 @@
+package tracestore
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestEvictionDoesNotUnmapInUseSlab races both eviction paths against a
+// referenced slab: with MaxResident=1 every churned conversion evicts the
+// held slab from residency, and a tiny MaxBytes forces disk LRU eviction
+// of its file as well. Throughout, a reader hammers the held mapping —
+// under -race and on real mmap pages, an unmap of an in-use slab would
+// fault or corrupt the read. The contract: eviction only drops the
+// store's residency hold; the mapping lives until the last Release.
+func TestEvictionDoesNotUnmapInUseSlab(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir(), MaxResident: 1, MaxBytes: 1 << 15})
+
+	keyHeld := testKey(1000)
+	want := testRecords(400, 5)
+	held, err := s.GetOrConvert(keyHeld, converterFor(400, 5, nil))
+	if err != nil {
+		t.Fatalf("GetOrConvert: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs := held.Records()
+				if len(recs) != len(want) || recs[0].IP != want[0].IP || recs[len(recs)-1].IP != want[len(recs)-1].IP {
+					t.Error("held slab content changed under eviction churn")
+					return
+				}
+			}
+		}()
+	}
+
+	// Churn: every conversion both steals the single residency slot and
+	// pushes the disk index past its bound.
+	var churn sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		churn.Add(1)
+		go func(w int) {
+			defer churn.Done()
+			for i := 0; i < 25; i++ {
+				salt := uint64(w*1000 + i)
+				sl, err := s.GetOrConvert(testKey(2000+salt), converterFor(300, salt, nil))
+				if err != nil {
+					t.Errorf("churn GetOrConvert: %v", err)
+					return
+				}
+				if sl.Len() != 300 {
+					t.Errorf("churn slab has %d records, want 300", sl.Len())
+				}
+				sl.Release()
+			}
+		}(w)
+	}
+	churn.Wait()
+	close(stop)
+	readers.Wait()
+
+	// The held slab survived every eviction intact and was never unmapped.
+	if !reflect.DeepEqual(held.Records(), want) {
+		t.Fatal("held slab records differ after eviction churn")
+	}
+	s.mu.Lock()
+	destroyed, resident := held.destroyed, held.resident
+	s.mu.Unlock()
+	if destroyed {
+		t.Fatal("slab backing memory released while still referenced")
+	}
+	if resident {
+		t.Fatal("churn should have evicted the held slab from residency (MaxResident=1)")
+	}
+
+	// With residency already dropped, the last Release frees the mapping.
+	held.Release()
+	s.mu.Lock()
+	destroyed = held.destroyed
+	s.mu.Unlock()
+	if !destroyed {
+		t.Fatal("non-resident slab should be destroyed at its last Release")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("churn should have caused disk evictions: %+v", st)
+	}
+}

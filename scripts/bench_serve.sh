@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# bench_serve.sh — sweep-service latency benchmark: cold submit vs warm
+# repeat vs remote-tier hit, emitting BENCH_9.json.
+#
+#   scripts/bench_serve.sh [exp] [step] [repeats]
+#
+# Starts daemon A over a fresh cache dir, submits one cold job (full
+# compute), then repeats the identical submission `repeats` times — every
+# repeat must be served from A's memory tier, and the headline number is
+# the p50 of the server-side latencies. A second daemon B then chains A
+# as its remote tier: B's first submission must arrive over the wire
+# with zero compute, and a B repeat must hit B's own memory tier. All
+# outputs are cmp'd byte-for-byte against the batch CLI.
+set -euo pipefail
+
+EXP="${1:-all}"
+STEP="${2:-3}"
+REPEATS="${3:-20}"
+INSTRUCTIONS="${INSTRUCTIONS:-150000}"
+WARMUP="${WARMUP:-50000}"
+OUT="${OUT:-BENCH_9.json}"
+
+cd "$(dirname "$0")/.."
+BIN=/tmp/rebase-bench-serve
+go build -o "$BIN" ./cmd/rebase
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() { # $1 = cache dir, $2 = log file, extra args follow
+  local dir="$1" log="$2"
+  shift 2
+  # </dev/null + >/dev/null detach the daemon from the caller's command
+  # substitution, which would otherwise wait for the daemon to exit.
+  "$BIN" serve -addr 127.0.0.1:0 -cache-dir "$dir" -no-trace-store "$@" \
+    </dev/null >/dev/null 2>"$log" &
+  PIDS+=($!)
+  local url=""
+  for _ in $(seq 1 100); do
+    url="$(sed -n 's/.*serving on \(http:\/\/[0-9.]*:[0-9]*\).*/\1/p' "$log" | head -1)"
+    [ -n "$url" ] && break
+    sleep 0.1
+  done
+  [ -n "$url" ] || { echo "daemon failed to start; log:" >&2; cat "$log" >&2; exit 1; }
+  echo "$url"
+}
+
+SUBMIT_ARGS=(-exp "$EXP" -step "$STEP" -instructions "$INSTRUCTIONS" -warmup "$WARMUP")
+
+submit() { # $1 = daemon URL, $2 = stdout file; prints "served seconds"
+  "$BIN" submit -url "$1" "${SUBMIT_ARGS[@]}" >"$2" 2>"$WORK/submit.err"
+  sed -n 's/^served: \([a-z]*\) in \([0-9.]*\)s$/\1 \2/p' "$WORK/submit.err"
+}
+
+echo "== batch reference (${EXP}, step ${STEP})" >&2
+"$BIN" "${SUBMIT_ARGS[@]}" -no-cache -no-trace-store -q >"$WORK/want.out"
+
+echo "== daemon A: cold submit" >&2
+URL_A="$(start_daemon "$WORK/cache-a" "$WORK/a.log")"
+read -r COLD_SERVED COLD_SECONDS <<<"$(submit "$URL_A" "$WORK/cold.out")"
+cmp "$WORK/want.out" "$WORK/cold.out"
+[ "$COLD_SERVED" = computed ] || { echo "cold submit served=$COLD_SERVED, want computed" >&2; exit 1; }
+
+echo "== daemon A: ${REPEATS} warm repeats" >&2
+WARM_TIMES=()
+for _ in $(seq 1 "$REPEATS"); do
+  read -r served secs <<<"$(submit "$URL_A" "$WORK/warm.out")"
+  cmp "$WORK/want.out" "$WORK/warm.out"
+  [ "$served" = memory ] || { echo "warm repeat served=$served, want memory" >&2; exit 1; }
+  WARM_TIMES+=("$secs")
+done
+WARM_P50="$(printf '%s\n' "${WARM_TIMES[@]}" | sort -g | awk -v n="$REPEATS" 'NR == int((n + 1) / 2)')"
+WARM_MAX="$(printf '%s\n' "${WARM_TIMES[@]}" | sort -g | tail -1)"
+
+echo "== daemon B chained to A: remote-tier hit" >&2
+URL_B="$(start_daemon "$WORK/cache-b" "$WORK/b.log" -remote "$URL_A")"
+read -r REMOTE_SERVED REMOTE_SECONDS <<<"$(submit "$URL_B" "$WORK/remote.out")"
+cmp "$WORK/want.out" "$WORK/remote.out"
+[ "$REMOTE_SERVED" = remote ] || { echo "chained submit served=$REMOTE_SERVED, want remote" >&2; exit 1; }
+read -r BWARM_SERVED BWARM_SECONDS <<<"$(submit "$URL_B" "$WORK/bwarm.out")"
+cmp "$WORK/want.out" "$WORK/bwarm.out"
+[ "$BWARM_SERVED" = memory ] || { echo "chained repeat served=$BWARM_SERVED, want memory" >&2; exit 1; }
+
+cat >"$OUT" <<EOF
+{
+  "description": "Sweep-service latency: one daemon computes a job cold, then answers $REPEATS identical submissions from its in-memory tier; a second daemon chained to the first pulls the same job over the remote tier without invoking a generator, converter, or simulator, then serves its own repeat from memory. Every response was cmp'd byte-identical to the batch CLI run of the same flags. Latencies are server-side (lookup + stream), as reported in the done event.",
+  "experiment": "$EXP",
+  "step": $STEP,
+  "instructions": $INSTRUCTIONS,
+  "warmup": $WARMUP,
+  "cold_compute_seconds": $COLD_SECONDS,
+  "warm_repeats": $REPEATS,
+  "warm_memory_p50_seconds": $WARM_P50,
+  "warm_memory_max_seconds": $WARM_MAX,
+  "remote_tier_hit_seconds": $REMOTE_SECONDS,
+  "chained_warm_memory_seconds": $BWARM_SECONDS,
+  "byte_identical": true
+}
+EOF
+echo "cold ${COLD_SECONDS}s; warm p50 ${WARM_P50}s (max ${WARM_MAX}s); remote ${REMOTE_SECONDS}s; chained warm ${BWARM_SECONDS}s" >&2
+echo "wrote $OUT" >&2

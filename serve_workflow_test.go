@@ -1,0 +1,167 @@
+package tracerebase
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeWorkflow exercises the sweep daemon across real process
+// boundaries: it builds the rebase binary, starts `rebase serve` on an
+// ephemeral port, submits a smoke sweep with `rebase submit`, and asserts
+// the streamed output is byte-identical to the batch CLI's. A second
+// submission must be answered from the daemon's memory tier. Finally
+// SIGTERM must take the graceful path: drain, flush, exit 0.
+func TestServeWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the rebase binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rebase")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/rebase")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	batchArgs := []string{"-exp", "fig1", "-step", "27",
+		"-instructions", "4000", "-warmup", "1000"}
+
+	// Reference bytes: the batch CLI, no cache, no daemon.
+	batch := exec.Command(bin, append(batchArgs, "-no-cache", "-no-trace-store", "-q")...)
+	var want, batchErr bytes.Buffer
+	batch.Stdout = &want
+	batch.Stderr = &batchErr
+	if err := batch.Run(); err != nil {
+		t.Fatalf("batch rebase: %v\nstderr:\n%s", err, batchErr.Bytes())
+	}
+
+	// Start the daemon on an ephemeral port and scrape the bound address
+	// from its startup log line.
+	serve := exec.Command(bin, "serve", "-addr", "127.0.0.1:0",
+		"-cache-dir", filepath.Join(dir, "cache"), "-no-trace-store")
+	stderr, err := serve.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.Start(); err != nil {
+		t.Fatalf("rebase serve: %v", err)
+	}
+	defer serve.Process.Kill()
+
+	logLines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			logLines <- sc.Text()
+		}
+		close(logLines)
+	}()
+	addrRe := regexp.MustCompile(`serving on (http://[0-9.]+:\d+)`)
+	var baseURL string
+	deadline := time.After(30 * time.Second)
+	for baseURL == "" {
+		select {
+		case line, ok := <-logLines:
+			if !ok {
+				t.Fatal("daemon exited before announcing its address")
+			}
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				baseURL = m[1]
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the daemon to start")
+		}
+	}
+	// Keep draining so the daemon never blocks on a full stderr pipe.
+	go func() {
+		for range logLines {
+		}
+	}()
+
+	submit := func() (stdout, stderr []byte) {
+		cmd := exec.Command(bin, append([]string{"submit", "-url", baseURL}, batchArgs...)...)
+		var outBuf, errBuf bytes.Buffer
+		cmd.Stdout = &outBuf
+		cmd.Stderr = &errBuf
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("rebase submit: %v\nstderr:\n%s", err, errBuf.Bytes())
+		}
+		return outBuf.Bytes(), errBuf.Bytes()
+	}
+
+	coldOut, coldErr := submit()
+	if !bytes.Equal(coldOut, want.Bytes()) {
+		t.Fatalf("daemon output differs from batch CLI output\nbatch:\n%s\ndaemon:\n%s", want.Bytes(), coldOut)
+	}
+	if !strings.Contains(string(coldErr), "served: computed") {
+		t.Fatalf("first submission should be computed; stderr:\n%s", coldErr)
+	}
+
+	warmOut, warmErr := submit()
+	if !bytes.Equal(warmOut, want.Bytes()) {
+		t.Fatal("repeat submission output differs from batch CLI output")
+	}
+	if !strings.Contains(string(warmErr), "served: memory") {
+		t.Fatalf("repeat submission should be a memory-tier hit; stderr:\n%s", warmErr)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := serve.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- serve.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+
+	// The flushed disk tier alone must now be able to serve the job: a
+	// fresh daemon over the same cache dir answers without recomputing.
+	serve2 := exec.Command(bin, "serve", "-addr", "127.0.0.1:0",
+		"-cache-dir", filepath.Join(dir, "cache"), "-no-trace-store")
+	stderr2, err := serve2.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve2.Process.Kill()
+	sc := bufio.NewScanner(stderr2)
+	baseURL = ""
+	for sc.Scan() {
+		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+			baseURL = m[1]
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatal("second daemon exited before announcing its address")
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	diskOut, diskErr := submit()
+	if !bytes.Equal(diskOut, want.Bytes()) {
+		t.Fatal("disk-served output differs from batch CLI output")
+	}
+	if !strings.Contains(string(diskErr), "served: disk") {
+		t.Fatalf("fresh daemon over the flushed dir should hit disk; stderr:\n%s", diskErr)
+	}
+	serve2.Process.Signal(syscall.SIGTERM)
+	serve2.Wait()
+}
