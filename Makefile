@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache bench-slabs serve bench-serve
+.PHONY: build vet test test-race conformance fuzz-smoke bench-smoke bench bench-compare bench-cache bench-slabs serve bench-serve bench-query
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,12 @@ conformance:
 	$(GO) run ./cmd/rebase -selftest
 
 # Run each native fuzz target for FUZZTIME (default 30s). Go only allows
-# one -fuzz target per invocation, hence three runs.
+# one -fuzz target per invocation, hence the separate runs.
 fuzz-smoke:
 	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzCVPDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzChampTraceDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzConvert$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/conformance -run '^$$' -fuzz '^FuzzExpBlockDecode$$' -fuzztime $(FUZZTIME)
 
 # A fast allocation check of the hot convert+simulate path: the streaming
 # source must stay well below the materializing baseline, and a resident
@@ -80,6 +81,15 @@ EXP ?= all
 SERVE_REPEATS ?= 20
 bench-serve:
 	scripts/bench_serve.sh $(EXP) $(STEP) $(SERVE_REPEATS)
+
+# Experiment-store query benchmark: populate a fresh store with the full
+# -exp all matrix, then compare block-pruned queries against -full-scan
+# baselines — identical rows required, with an aggregate bytes-read ratio
+# of at least 5x. Emits BENCH_10.json. See EXPERIMENTS.md "Query benchmark
+# workflow".
+QUERY_REPEATS ?= 10
+bench-query:
+	scripts/bench_query.sh $(STEP) $(QUERY_REPEATS)
 
 # Slab-cold/slab-warm pair with the result cache disabled, so every
 # simulation recomputes and the delta isolates the compiled-trace store

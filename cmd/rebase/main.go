@@ -19,6 +19,16 @@
 // entirely, and a cache summary line (hits/misses/bytes) is printed after
 // each run. Use `traceinfo -cachekey` to inspect a cell's key derivation.
 //
+// Alongside the caches, every sweep records its result cells into a
+// columnar experiment store (<cache dir>/exp, flags -exp-store /
+// -no-exp-store / -exp-store-dir) and reads its rendered results back out
+// of it. The store is queryable without re-running anything:
+//
+//	rebase query 'category=srv variant=all,none metric=ipc group-by=rob stat=p50,p99'
+//
+// prunes blocks on footer statistics and materializes only the referenced
+// columns; see `rebase query -h` for the query language.
+//
 // For performance work, -cpuprofile and -memprofile write pprof profiles
 // covering the whole run, and -bench-json records the wall-clock,
 // configuration, and cache activity of the run as a small JSON document
@@ -67,6 +77,7 @@ import (
 
 	"tracerebase/internal/conformance"
 	"tracerebase/internal/experiments"
+	"tracerebase/internal/expstore"
 	"tracerebase/internal/report"
 	"tracerebase/internal/resultcache"
 	"tracerebase/internal/synth"
@@ -82,6 +93,8 @@ func main() {
 			os.Exit(runServe(os.Args[2:]))
 		case "submit":
 			os.Exit(runSubmit(os.Args[2:]))
+		case "query":
+			os.Exit(runQuery(os.Args[2:]))
 		}
 	}
 	os.Exit(run())
@@ -108,7 +121,11 @@ func run() (code int) {
 		traceStore    = flag.Bool("trace-store", true, "serve converted traces from the compiled-trace slab store (zero-copy mmap, shared across runs and processes)")
 		noTraceStore  = flag.Bool("no-trace-store", false, "disable the compiled-trace store (overrides -trace-store)")
 		traceStoreDir = flag.String("trace-store-dir", "", "compiled-trace store directory (default <cache dir>/slabs)")
-		memLimit      = flag.String("mem-limit", "auto", "soft memory limit: auto (parallelism-scaled, bounded by available RAM), off, or a size like 2GiB; ignored when $GOMEMLIMIT is set")
+
+		expStore    = flag.Bool("exp-store", true, "record sweep result cells into the columnar experiment store (queryable with `rebase query`)")
+		noExpStore  = flag.Bool("no-exp-store", false, "disable the experiment store (overrides -exp-store)")
+		expStoreDir = flag.String("exp-store-dir", "", "experiment store directory (default <cache dir>/exp)")
+		memLimit    = flag.String("mem-limit", "auto", "soft memory limit: auto (parallelism-scaled, bounded by available RAM), off, or a size like 2GiB; ignored when $GOMEMLIMIT is set")
 
 		cores      = flag.Int("cores", 1, "simulate N lockstep cores over a shared LLC (requires -coschedule)")
 		coschedule = flag.String("coschedule", "", "comma-separated co-schedule scenarios to run on -cores cores: "+strings.Join(synth.CoScheduleSpecs(), ", "))
@@ -251,6 +268,37 @@ func run() (code int) {
 			defer store.Close()
 		}
 	}
+	var expMisses int
+	if *expStore && !*noExpStore && *coschedule == "" {
+		// The experiment store is the sweep's queryable record: every
+		// computed (or cache-hit) single-core cell is appended, and the
+		// results the run renders are read back out of the store.
+		dir := *expStoreDir
+		if dir == "" && *cacheDir != "" {
+			dir = *cacheDir + "/exp"
+		}
+		if dir == "" {
+			var err error
+			dir, err = experiments.DefaultExpStoreDir()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rebase: experiment store disabled: %v\n", err)
+			}
+		}
+		if dir != "" {
+			store, err := expstore.Open(expstore.Config{Dir: dir, Warn: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "rebase: "+format+"\n", args...)
+			}})
+			if err != nil {
+				// A broken store must never block the run; results stay
+				// in-flight and queries simply see no new cells.
+				fmt.Fprintf(os.Stderr, "rebase: experiment store disabled: %v\n", err)
+			} else {
+				cfg.Exp = store
+				cfg.ExpMisses = func(n int) { expMisses += n }
+				defer store.Close()
+			}
+		}
+	}
 	if *coschedule != "" {
 		cfg.Cores = *cores
 		cfg.LLCPolicy = *llcPolicy
@@ -333,6 +381,17 @@ func run() (code int) {
 				float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
 		}
 		printSlabStats(cfg.Slabs)
+		if cfg.Exp != nil {
+			// Flush pending cells so the trailer reports what this run
+			// actually persisted (Close would flush them anyway).
+			if err := cfg.Exp.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "rebase: experiment store flush: %v\n", err)
+			}
+			s := cfg.Exp.Stats()
+			fmt.Fprintf(os.Stderr, "exp-store: %d cells appended (%d dup), %d read-back misses, %d blocks written, %d compactions, %d corrupt, %.1f MB written (%s)\n",
+				s.Appends, s.DupSkipped, expMisses, s.BlocksWritten, s.Compactions, s.Corrupt,
+				float64(s.BytesWritten)/1e6, cfg.Exp.Dir())
+		}
 		fmt.Fprintf(os.Stderr, "total: %.1fs\n", elapsed.Seconds())
 	}
 	if *benchJSON != "" {
@@ -375,6 +434,22 @@ type benchRecord struct {
 	// TraceStore records compiled-trace slab store activity: a warm store
 	// shows disk hits and zero converts.
 	TraceStore *benchTraceStore `json:"trace_store,omitempty"`
+	// ExpStore records columnar experiment-store activity: a warm store
+	// shows every offered cell deduplicated and nothing written.
+	ExpStore *benchExpStore `json:"exp_store,omitempty"`
+}
+
+// benchExpStore records experiment-store activity so a BENCH file
+// distinguishes first-run appends from warm dedup re-runs.
+type benchExpStore struct {
+	Appends       uint64 `json:"appends"`
+	DupSkipped    uint64 `json:"dup_skipped"`
+	BlocksWritten uint64 `json:"blocks_written"`
+	CellsWritten  uint64 `json:"cells_written"`
+	Compactions   uint64 `json:"compactions"`
+	Corrupt       uint64 `json:"corrupt"`
+	Foreign       uint64 `json:"foreign"`
+	BytesWritten  uint64 `json:"bytes_written"`
 }
 
 // benchTraceStore records slab-store activity so a BENCH file distinguishes
@@ -480,6 +555,15 @@ func writeBenchJSON(path, exp string, step int, cfg experiments.SweepConfig, ela
 			Misses: s.Misses, Converts: s.Converts, Prefetches: s.Prefetches,
 			Corrupt: s.Corrupt, Evictions: s.Evictions, WriteErrors: s.WriteErrors,
 			BytesMapped: s.BytesMapped, BytesWritten: s.BytesWritten,
+		}
+	}
+	if cfg.Exp != nil {
+		s := cfg.Exp.Stats()
+		rec.ExpStore = &benchExpStore{
+			Appends: s.Appends, DupSkipped: s.DupSkipped,
+			BlocksWritten: s.BlocksWritten, CellsWritten: s.CellsWritten,
+			Compactions: s.Compactions, Corrupt: s.Corrupt, Foreign: s.Foreign,
+			BytesWritten: s.BytesWritten,
 		}
 	}
 	if cfg.SamplePeriod > 0 {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tracerebase/internal/experiments"
+	"tracerebase/internal/expstore"
 	"tracerebase/internal/resultcache"
 	"tracerebase/internal/server"
 )
@@ -24,14 +25,15 @@ import (
 func runServe(args []string) int {
 	fs := flag.NewFlagSet("rebase serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8344", "listen address")
-		workers  = fs.Int("workers", 1, "concurrent job executions (cache hits bypass the pool)")
-		parallel = fs.Int("parallel", 0, "concurrent simulations per job (0 = NumCPU)")
-		cacheDir = fs.String("cache-dir", "", "cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir)")
-		memBytes = fs.Int64("mem-bytes", 0, "in-memory tier budget in bytes (0 = 256 MiB)")
-		remote   = fs.String("remote", "", "peer daemon to chain as the slowest cache tier, e.g. http://host:8344 (its /cache mount is used)")
-		noSlabs  = fs.Bool("no-trace-store", false, "disable the compiled-trace slab store")
-		quiet    = fs.Bool("q", false, "suppress operational log output")
+		addr       = fs.String("addr", "127.0.0.1:8344", "listen address")
+		workers    = fs.Int("workers", 1, "concurrent job executions (cache hits bypass the pool)")
+		parallel   = fs.Int("parallel", 0, "concurrent simulations per job (0 = NumCPU)")
+		cacheDir   = fs.String("cache-dir", "", "cache directory (default $TRACEREBASE_CACHE_DIR or the user cache dir)")
+		memBytes   = fs.Int64("mem-bytes", 0, "in-memory tier budget in bytes (0 = 256 MiB)")
+		remote     = fs.String("remote", "", "peer daemon to chain as the slowest cache tier, e.g. http://host:8344 (its /cache mount is used)")
+		noSlabs    = fs.Bool("no-trace-store", false, "disable the compiled-trace slab store")
+		noExpStore = fs.Bool("no-exp-store", false, "disable the columnar experiment store (and GET /query)")
+		quiet      = fs.Bool("q", false, "suppress operational log output")
 	)
 	fs.Parse(args)
 
@@ -89,6 +91,17 @@ func runServe(args []string) int {
 			fmt.Fprintf(log, "rebase: trace store disabled: %v\n", err)
 		} else {
 			base.Slabs = store
+			defer store.Close()
+		}
+	}
+	if !*noExpStore {
+		store, err := expstore.Open(expstore.Config{Dir: dir + "/exp", Warn: func(format string, a ...any) {
+			fmt.Fprintf(log, "rebase: "+format+"\n", a...)
+		}})
+		if err != nil {
+			fmt.Fprintf(log, "rebase: experiment store disabled: %v\n", err)
+		} else {
+			base.Exp = store
 			defer store.Close()
 		}
 	}

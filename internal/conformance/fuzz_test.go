@@ -2,10 +2,14 @@ package conformance
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/cvp"
+	"tracerebase/internal/expstore"
 	"tracerebase/internal/synth"
 )
 
@@ -119,6 +123,78 @@ func FuzzChampTraceDecode(f *testing.F) {
 		}
 		if err := CheckChampRoundTrip(recs); err != nil {
 			t.Fatalf("accepted prefix does not round-trip: %v", err)
+		}
+	})
+}
+
+// seedExpBlock writes one real experiment-store block and returns its
+// on-disk bytes, so the fuzzer starts from a valid header, column
+// directory, and footer instead of rediscovering the format.
+func seedExpBlock(f *testing.F, n int) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	store, err := expstore.Open(expstore.Config{Dir: dir, BlockCells: n})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		c := expstore.Cell{
+			Trace: "srv_" + string(rune('a'+i%3)), Category: "srv",
+			Variant: "All_imps", Config: "develop", Prefetcher: "none",
+			ROB: uint64(128 + i), Cores: 1, Instructions: 4000, Warmup: 500,
+			IPC: 1.25 + float64(i)/16,
+		}
+		c.Key[0], c.Key[31] = byte(i), byte(i*7)
+		c.Sim.Instructions = 4000
+		c.Sim.Cycles = uint64(3000 + 100*i)
+		c.Conv.In = 4000
+		if err := store.Append(c); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		f.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.expb"))
+	if err != nil || len(matches) == 0 {
+		f.Fatalf("no block written: %v", err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzExpBlockDecode checks the experiment-store block decoder on
+// arbitrary input: it must never panic or over-read, and whatever it
+// accepts must decode deterministically.
+func FuzzExpBlockDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("EXPB"))
+	f.Add(make([]byte, 4096))
+	for _, n := range []int{1, 5} {
+		raw := seedExpBlock(f, n)
+		f.Add(raw)
+		f.Add(raw[:len(raw)/2]) // mid-column truncation
+		flipped := bytes.Clone(raw)
+		flipped[len(flipped)/2] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells, err := expstore.DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		if len(cells) == 0 {
+			t.Fatal("decoder accepted a block with zero cells")
+		}
+		again, err := expstore.DecodeBlock(data)
+		if err != nil {
+			t.Fatalf("second decode of an accepted block failed: %v", err)
+		}
+		if !reflect.DeepEqual(cells, again) {
+			t.Fatal("decoding the same block twice gave different cells")
 		}
 	})
 }

@@ -184,7 +184,18 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckSlabTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 6. Cycle-skip transparency: sweeps over the golden-corpus profiles
+	// 6. Experiment-store transparency: sweeps that append every result
+	// cell to the columnar store and read their results back out of it —
+	// cold, warm (second process, full dedup), and with a block corrupted
+	// on disk — must render byte-identically to the store-off engine, with
+	// damaged blocks discarded, warned about, and their cells re-appended
+	// by the next sweep; pruned queries must match the brute-force scan.
+	r.run(fmt.Sprintf("exp store: store-off vs cold vs warm vs corrupted sweeps of %d traces byte-identical, pruned query == full scan",
+		len(resultCacheProfiles)), func() error {
+		return CheckExpStoreTransparency(resultCacheProfiles, cfg.SimInstructions, cfg.Warmup)
+	})
+
+	// 7. Cycle-skip transparency: sweeps over the golden-corpus profiles
 	// with event-horizon skipping enabled must be byte-identical to
 	// -no-skip on both the develop and IPC-1 models.
 	r.run(fmt.Sprintf("cycle skipping: skip-on vs -no-skip sweeps of %d traces byte-identical (develop + ipc1)",
@@ -192,7 +203,7 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckCycleSkipTransparency(goldenProfiles(), cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 7. Sampling: sampled runs must replay deterministically, resume from
+	// 8. Sampling: sampled runs must replay deterministically, resume from
 	// checkpoints without divergence, key apart from exact results, and
 	// stay scheduling-independent under parallel sweeps. The accuracy of
 	// sampled IPC itself is pinned by the golden corpus (step 1).
@@ -218,7 +229,7 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckSampledParallelism(sweepProfiles, cfg.SimInstructions, cfg.Warmup, sweepPar)
 	})
 
-	// 8. Multi-core: the N-core lockstep engine must degenerate exactly to
+	// 9. Multi-core: the N-core lockstep engine must degenerate exactly to
 	// the single-core behavior (idle neighbors), stay scheduling- and
 	// label-independent, and keep cycle skipping invisible at N > 1.
 	idleProfile := synth.PublicProfile(synth.ComputeInt, 1)
@@ -235,7 +246,7 @@ func SelfTest(cfg SelfTestConfig) error {
 		return CheckMultiSkipTransparency("thrash", 2, cfg.SimInstructions, cfg.Warmup)
 	})
 
-	// 9. User-supplied traces.
+	// 10. User-supplied traces.
 	for _, path := range cfg.TraceFiles {
 		rep, err := ValidateTraceFile(path)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
 	"tracerebase/internal/cvp"
+	"tracerebase/internal/resultcache"
 	"tracerebase/internal/sim"
 	"tracerebase/internal/stats"
 	"tracerebase/internal/synth"
@@ -122,11 +123,27 @@ func FrontEndAblation(cfg SweepConfig, suite []synth.IPC1Trace) ([]FrontEndAblat
 				}
 				return Result{IPC: st.IPC(), Sim: st, Conv: convStats}, nil
 			}
-			if cfg.Cache == nil {
-				return compute()
+			var res Result
+			var err error
+			var k resultcache.Key
+			if cfg.Cache != nil || cfg.Exp != nil {
+				k = cacheKey(&trc.Profile, opts, simCfg, cfg.Instructions, cfg.Warmup)
 			}
-			k := cacheKey(&trc.Profile, opts, simCfg, cfg.Instructions, cfg.Warmup)
-			return cfg.Cache.GetOrCompute(k, compute)
+			if cfg.Cache == nil {
+				res, err = compute()
+			} else {
+				res, err = cfg.Cache.GetOrCompute(k, compute)
+			}
+			if err == nil {
+				// The front-end style is the cell's variant; the Decoupled
+				// bit is already part of the config identity in the key.
+				variant := "coupled"
+				if simCfg.Decoupled {
+					variant = "decoupled"
+				}
+				cfg.recordCell(&trc.Profile, variant, simCfg, k, res)
+			}
+			return res, err
 		}
 		for _, decoupled := range []bool{false, true} {
 			mk := func(pf string) sim.Config {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tracerebase/internal/expstore"
+	"tracerebase/internal/resultcache"
+	"tracerebase/internal/sim"
+	"tracerebase/internal/synth"
+)
+
+// The experiment store records every cell a sweep computes (or serves from
+// the result cache) as one row of the columnar expstore, keyed by the same
+// content address the result cache uses. Appends are advisory: a store
+// write failure degrades to a warning — the sweep result is unaffected —
+// and duplicate keys are dropped by the store itself, so warm re-runs do
+// not grow it.
+
+// DefaultExpStoreDir resolves the experiment-store root relative to the
+// cache root: <cache>/exp.
+func DefaultExpStoreDir() (string, error) {
+	dir, err := DefaultCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return dir + "/exp", nil
+}
+
+// storeCell assembles the expstore row for one (trace, variant) cell. The
+// identity columns come from the same simulator configuration the dispatch
+// path used, so queries group by exactly what ran.
+func storeCell(p *synth.Profile, variant string, simCfg sim.Config, instructions int, warmup uint64, key resultcache.Key, res Result) expstore.Cell {
+	return expstore.Cell{
+		Trace:        p.Name,
+		Category:     string(p.Category),
+		Variant:      variant,
+		Config:       simCfg.Name,
+		Prefetcher:   simCfg.L1IPrefetcher,
+		ROB:          uint64(simCfg.ROBSize),
+		Cores:        1,
+		SamplePeriod: simCfg.SamplePeriod,
+		Instructions: uint64(instructions),
+		Warmup:       warmup,
+		Key:          key,
+		IPC:          res.IPC,
+		Sim:          res.Sim,
+		Conv:         res.Conv,
+	}
+}
+
+// recordCell appends one cell to the sweep's experiment store, if any.
+// Failures warn through the store and never fail the sweep.
+func (c *SweepConfig) recordCell(p *synth.Profile, variant string, simCfg sim.Config, key resultcache.Key, res Result) {
+	if c.Exp == nil {
+		return
+	}
+	// Append errors are already counted and warned by the store.
+	_ = c.Exp.Append(storeCell(p, variant, simCfg, c.Instructions, c.Warmup, key, res))
+}
+
+// CellKey returns the content address of one (trace, variant) cell as this
+// configuration would dispatch it — the handle the report layer uses to
+// read sweep results back out of the experiment store.
+func (c SweepConfig) CellKey(p synth.Profile, v Variant) (resultcache.Key, error) {
+	if err := c.fill(); err != nil {
+		return resultcache.Key{}, err
+	}
+	return cacheKey(&p, v.Opts, c.simConfigFor(v.Opts), c.Instructions, c.Warmup), nil
+}
+
+// storeReadBack swaps the in-memory sweep results for their store-read
+// copies: after a sweep has appended (or deduped against) every cell, the
+// cells are fetched back by content key and replace the engine's own
+// values, making the figure pipeline the store's first consumer. Cells the
+// store cannot produce (an earlier write failure, a just-dropped corrupt
+// block) fall back to the in-memory result with a warning; the returned
+// count is the number of such misses, which the store-transparency oracle
+// pins to zero.
+func storeReadBack(cfg *SweepConfig, out []TraceResult) (int, error) {
+	type slot struct {
+		ti   int
+		name string
+	}
+	keys := make([]expstore.Key, 0, len(out)*len(cfg.Variants))
+	slots := make(map[expstore.Key][]slot)
+	for ti := range out {
+		for _, v := range cfg.Variants {
+			if _, ok := out[ti].Results[v.Name]; !ok {
+				continue // failed cell: nothing was appended for it
+			}
+			key := cacheKey(&out[ti].Profile, v.Opts, cfg.simConfigFor(v.Opts), cfg.Instructions, cfg.Warmup)
+			if _, seen := slots[key]; !seen {
+				keys = append(keys, key)
+			}
+			slots[key] = append(slots[key], slot{ti, v.Name})
+		}
+	}
+	cells, err := cfg.Exp.Cells(keys)
+	if err != nil {
+		return len(keys), fmt.Errorf("experiments: expstore read-back: %w", err)
+	}
+	misses := 0
+	for key, ss := range slots {
+		cell, ok := cells[key]
+		if !ok {
+			misses++
+			continue
+		}
+		res := Result{IPC: cell.IPC, Sim: cell.Sim, Conv: cell.Conv}
+		for _, s := range ss {
+			out[s.ti].Results[s.name] = res
+		}
+	}
+	return misses, nil
+}

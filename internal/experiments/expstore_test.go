@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"tracerebase/internal/expstore"
+	"tracerebase/internal/synth"
+)
+
+// TestSweepExpStoreTransparency is the engine-level transparency check: a
+// sweep with the experiment store enabled — cells appended, then results
+// read back out of the store — returns exactly what the plain engine
+// returns, a warm store dedups every re-offered cell, and the recorded
+// cells answer queries.
+func TestSweepExpStoreTransparency(t *testing.T) {
+	profiles := synth.PublicSuite()[:3]
+	base := SweepConfig{Instructions: 6000, Warmup: 2000, Parallelism: 2,
+		Variants: figureVariants(VariantNone, VariantAll)}
+
+	plain, err := RunSweep(profiles, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := expstore.Open(expstore.Config{Dir: t.TempDir(), BlockCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	misses := -1
+	cfg := base
+	cfg.Exp = store
+	cfg.ExpMisses = func(n int) { misses = n }
+	backed, err := RunSweep(profiles, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses != 0 {
+		t.Fatalf("store read-back missed %d cells, want 0", misses)
+	}
+	if !reflect.DeepEqual(plain, backed) {
+		t.Fatal("store-backed sweep diverged from the plain engine")
+	}
+	st := store.Stats()
+	if st.Appends != uint64(len(profiles)*2) || st.DupSkipped != 0 {
+		t.Fatalf("appends %d dup %d, want %d appends 0 dups", st.Appends, st.DupSkipped, len(profiles)*2)
+	}
+
+	// A warm re-run offers every cell again; the store drops them all.
+	if _, err := RunSweep(profiles, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st = store.Stats()
+	if st.DupSkipped != uint64(len(profiles)*2) {
+		t.Fatalf("warm re-run DupSkipped = %d, want %d", st.DupSkipped, len(profiles)*2)
+	}
+
+	// The recorded cells are queryable, and the filtered IPC values match
+	// the sweep's own results exactly.
+	q, err := expstore.ParseQuery("variant=All_imps trace=" + profiles[0].Name + " stat=count,mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Count != 1 {
+		t.Fatalf("query rows %+v, want one single-cell row", res.Rows)
+	}
+	if got, want := res.Rows[0].Values[1], plain[0].Results[VariantAll].IPC; got != want {
+		t.Fatalf("store IPC %v, sweep IPC %v", got, want)
+	}
+}

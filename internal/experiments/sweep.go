@@ -19,6 +19,8 @@ import (
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
 	"tracerebase/internal/cvp"
+	"tracerebase/internal/expstore"
+	"tracerebase/internal/resultcache"
 	"tracerebase/internal/sim"
 	"tracerebase/internal/synth"
 	"tracerebase/internal/tracestore"
@@ -166,6 +168,20 @@ type SweepConfig struct {
 	// next trace's slabs are prefetched while the current one simulates.
 	// nil reproduces the streaming-conversion engine exactly.
 	Slabs *SlabStore
+	// Exp, when non-nil, is the append-only columnar experiment store:
+	// every cell the sweep computes (or serves from the result cache) is
+	// appended as one row keyed by the cell's content address, and once
+	// the sweep assembles its results they are replaced by their
+	// store-read copies — the figure pipeline downstream consumes what the
+	// store serves, making the engine the query layer's first consumer.
+	// Appends and read-back degrade gracefully (a failed write or a
+	// dropped corrupt block falls back to the in-memory result), so nil
+	// and a broken store alike reproduce the plain engine exactly.
+	Exp *expstore.Store
+	// ExpMisses, when non-nil, is called once per sweep with the number of
+	// cells the store read-back could not serve. Zero in a healthy store;
+	// the store-transparency conformance oracle pins it there.
+	ExpMisses func(misses int)
 	// Checkpoints, when non-nil alongside sampling, serves warmed-prefix
 	// checkpoints by content address: cells sharing a warm identity
 	// (keyed by WarmIdentity, not the full config identity) resume from
@@ -468,11 +484,17 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 				}
 				var res Result
 				var err error
+				var key resultcache.Key
+				if cfg.Cache != nil || cfg.Exp != nil {
+					key = cacheKey(&profiles[j.ti], v.Opts, cfg.simConfigFor(v.Opts), cfg.Instructions, cfg.Warmup)
+				}
 				if cfg.Cache != nil {
-					key := cacheKey(&profiles[j.ti], v.Opts, cfg.simConfigFor(v.Opts), cfg.Instructions, cfg.Warmup)
 					res, err = cfg.Cache.GetOrCompute(key, compute)
 				} else {
 					res, err = compute()
+				}
+				if err == nil {
+					cfg.recordCell(&profiles[j.ti], v.Name, cfg.simConfigFor(v.Opts), key, res)
 				}
 				if cfg.Slabs != nil {
 					st.classes[classOf[j.vi]].release()
@@ -558,6 +580,17 @@ func RunSweep(profiles []synth.Profile, cfg SweepConfig) ([]TraceResult, error) 
 			if cellOK[ti][vi] {
 				out[ti].Results[v.Name] = cells[ti][vi]
 			}
+		}
+	}
+	// With an experiment store, the assembled results are exchanged for
+	// their store-read copies before anything downstream sees them.
+	if cfg.Exp != nil {
+		misses, rbErr := storeReadBack(&cfg, out)
+		if rbErr != nil {
+			errs = append(errs, rbErr)
+		}
+		if cfg.ExpMisses != nil {
+			cfg.ExpMisses(misses)
 		}
 	}
 	return out, errors.Join(errs...)

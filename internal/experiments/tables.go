@@ -8,6 +8,7 @@ import (
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
 	"tracerebase/internal/cvp"
+	"tracerebase/internal/resultcache"
 	"tracerebase/internal/sim"
 	"tracerebase/internal/stats"
 	"tracerebase/internal/synth"
@@ -258,11 +259,24 @@ func Table3(cfg SweepConfig, suite []synth.IPC1Trace) (Table3Result, error) {
 						}
 						return Result{IPC: st.IPC(), Sim: st, Conv: convStats}, nil
 					}
-					if cfg.Cache == nil {
-						return compute()
+					var res Result
+					var err error
+					var key resultcache.Key
+					if cfg.Cache != nil || cfg.Exp != nil {
+						key = cacheKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
 					}
-					key := cacheKey(&trc.Profile, s.opts, simCfg, cfg.Instructions, cfg.Warmup)
-					return cfg.Cache.GetOrCompute(key, compute)
+					if cfg.Cache == nil {
+						res, err = compute()
+					} else {
+						res, err = cfg.Cache.GetOrCompute(key, compute)
+					}
+					if err == nil {
+						// The set name ("competition"/"fixed") is the cell's
+						// variant; the prefetcher identity column separates
+						// the nine models within a set.
+						cfg.recordCell(&trc.Profile, s.name, simCfg, key, res)
+					}
+					return res, err
 				}
 				base, err := runOne("none")
 				if err != nil {

@@ -1,0 +1,200 @@
+package expstore
+
+import (
+	"os"
+	"sort"
+	"strings"
+)
+
+// Compaction merges undersized blocks — the per-partition tail blocks a
+// sweep's final Flush writes, or the small batches incremental appends
+// produce — into full-sized ones, so footer statistics stay tight and
+// per-block query overhead (header + footer reads) stays bounded as the
+// store ages. Only blocks with identical partition signatures (the same
+// category and config dictionary sets) merge, preserving the block purity
+// the partitioned writer established; signatures rarely sit adjacent on
+// disk, so grouping works over the whole undersized population rather than
+// adjacent runs. The cell multiset is preserved exactly: inputs are
+// concatenated, resorted by identity columns, and rewritten; nothing is
+// deduplicated or dropped.
+//
+// A compacted block takes its first input's sequence number and a bumped
+// generation, and records the sequence range its cells came from, so a
+// crash between publishing the output and removing the inputs leaves only
+// duplicate cells that the range overlap flags as dup-suspect — query
+// dedup absorbs them.
+
+// maybeCompactLocked kicks background compaction (single-flight) once
+// enough undersized blocks accumulate. mu is held.
+func (s *Store) maybeCompactLocked() {
+	if s.compacting || s.closed {
+		return
+	}
+	cands := s.undersizedLocked()
+	if len(cands) < s.cfg.CompactTrigger || len(cands) < 2 {
+		return
+	}
+	s.compacting = true
+	go s.runCompaction(cands)
+}
+
+// Compact synchronously merges every eligible set of undersized blocks,
+// regardless of the background trigger. Tests and the CLI use it; the
+// background path runs the same passes.
+func (s *Store) Compact() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	for s.compacting {
+		s.compactCv.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	cands := s.undersizedLocked()
+	if len(cands) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.compacting = true
+	s.mu.Unlock()
+	s.runCompaction(cands)
+	return nil
+}
+
+// undersizedLocked lists the serveable blocks below the flush threshold,
+// in (seq, gen) order. mu is held.
+func (s *Store) undersizedLocked() []*blockRef {
+	var cands []*blockRef
+	for _, b := range s.blocks {
+		if b.foreign || b.h.cells >= s.cfg.BlockCells {
+			continue
+		}
+		cands = append(cands, b)
+	}
+	return cands
+}
+
+// compactionGroups buckets candidates by partition signature — the exact
+// category and config dictionary sets from their footers — and splits each
+// bucket greedily into merge groups of at least two blocks, each bounded
+// by MaxBlockCells. Mapping candidate footers happens here, off the store
+// lock.
+func (s *Store) compactionGroups(cands []*blockRef) [][]*blockRef {
+	bySig := make(map[string][]*blockRef)
+	var sigs []string
+	for _, ref := range cands {
+		r, err := s.acquire(ref)
+		if err != nil {
+			continue // corrupt candidates were dropped by acquire
+		}
+		sig := strings.Join(r.metas[colIndex["category"]].dict, ",") +
+			"|" + strings.Join(r.metas[colIndex["config"]].dict, ",")
+		if _, ok := bySig[sig]; !ok {
+			sigs = append(sigs, sig)
+		}
+		bySig[sig] = append(bySig[sig], r)
+	}
+	sort.Strings(sigs)
+	var groups [][]*blockRef
+	for _, sig := range sigs {
+		var group []*blockRef
+		cells := 0
+		emit := func() {
+			if len(group) >= 2 {
+				groups = append(groups, group)
+			}
+			group, cells = nil, 0
+		}
+		for _, b := range bySig[sig] {
+			if cells+b.h.cells > s.cfg.MaxBlockCells {
+				emit()
+			}
+			group = append(group, b)
+			cells += b.h.cells
+		}
+		emit()
+	}
+	return groups
+}
+
+// runCompaction merges each group into one block. Inputs are retired from
+// the active list but stay mapped until Close, so concurrent query
+// snapshots remain valid; their files are removed once the output is
+// published.
+func (s *Store) runCompaction(cands []*blockRef) {
+	defer func() {
+		s.mu.Lock()
+		s.compacting = false
+		s.compactCv.Broadcast()
+		s.mu.Unlock()
+	}()
+	for _, group := range s.compactionGroups(cands) {
+		var cells []Cell
+		maxGen := 0
+		bm := blockMeta{runID: s.runID, hasSrc: true}
+		first := true
+		ok := true
+		for _, ref := range group {
+			cs, err := DecodeBlock(ref.data)
+			if err != nil {
+				s.mu.Lock()
+				s.dropCorrupt(ref, err)
+				s.removeRefLocked(ref)
+				s.mu.Unlock()
+				ok = false
+				break
+			}
+			cells = append(cells, cs...)
+			if ref.gen > maxGen {
+				maxGen = ref.gen
+			}
+			lo, hi := ref.srcRange()
+			if first || lo < bm.srcMin {
+				bm.srcMin = lo
+			}
+			if first || hi > bm.srcMax {
+				bm.srcMax = hi
+			}
+			if first || ref.bm.baseSeq < bm.baseSeq {
+				bm.baseSeq = ref.bm.baseSeq
+			}
+			first = false
+		}
+		if !ok {
+			continue
+		}
+		sortCells(cells)
+		// The output's dedup lineage is exact, not inherited: crash-leftover
+		// inputs can duplicate each other, so check the merged batch itself.
+		keys := make(map[Key]struct{}, len(cells))
+		for i := range cells {
+			if _, dup := keys[cells[i].Key]; dup {
+				bm.mayDup = true
+				break
+			}
+			keys[cells[i].Key] = struct{}{}
+		}
+		s.mu.Lock()
+		out, err := s.writeBlockLocked(cells, bm, group[0].seq, maxGen+1, false)
+		if err != nil {
+			s.stats.WriteErrors++
+			s.cfg.Warn("expstore: compaction write failed: %v", err)
+			s.mu.Unlock()
+			continue
+		}
+		s.stats.Compactions++
+		s.stats.BlocksCompacted += uint64(len(group))
+		for _, ref := range group {
+			s.removeRefLocked(ref)
+			s.retired = append(s.retired, ref)
+		}
+		s.insertRefLocked(out)
+		s.mu.Unlock()
+		for _, ref := range group {
+			os.Remove(ref.path)
+		}
+	}
+}

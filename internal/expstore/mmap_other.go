@@ -1,0 +1,20 @@
+//go:build !unix
+
+package expstore
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the whole file on platforms without mmap
+// support wired up. Semantics are identical; only sharing is lost.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package expstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps a block file read-only and shared: queries across workers
+// and processes serve columns from the same page-cache pages.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

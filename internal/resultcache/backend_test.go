@@ -244,7 +244,7 @@ func TestHTTPHandlerRejectsBadRequests(t *testing.T) {
 		body         []byte
 		wantStatus   int
 	}{
-		{http.MethodGet, "/zzzz", nil, http.StatusBadRequest},              // unparseable key
+		{http.MethodGet, "/zzzz", nil, http.StatusBadRequest},                             // unparseable key
 		{http.MethodPut, "/" + bkey("k").String(), []byte("junk"), http.StatusBadRequest}, // unframed body
 		{http.MethodPost, "/" + bkey("k").String(), nil, http.StatusMethodNotAllowed},
 	} {

@@ -1,73 +1,36 @@
 package resultcache
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"hash/crc32"
+
+	"tracerebase/internal/frame"
 )
 
 // ErrCorrupt marks a cache entry that failed structural validation —
 // truncated, checksum mismatch, wrong key, or an unknown record version.
 // Callers treat it as a miss: the entry is discarded and recomputed, never
-// served.
-var ErrCorrupt = errors.New("resultcache: corrupt entry")
+// served. It wraps frame.ErrCorrupt, whose TRRC framing (magic, version,
+// embedded key, payload length, CRC-32C) this store shares with the other
+// on-disk stores.
+var ErrCorrupt = fmt.Errorf("resultcache: %w", frame.ErrCorrupt)
 
-// On-disk record layout (all integers little-endian):
-//
-//	magic   [4]byte  "TRRC"
-//	version uint32   recordVersion
-//	key     [32]byte the entry's own key (guards against renamed files)
-//	paylen  uint64   payload length
-//	payload [paylen]byte
-//	crc     uint32   CRC-32C (Castagnoli) of payload
 const (
 	recordMagic   = "TRRC"
 	recordVersion = 1
-	headerSize    = 4 + 4 + KeySize + 8
-	trailerSize   = 4
 )
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // encodeRecord frames payload as a self-validating record for key.
 func encodeRecord(key Key, payload []byte) []byte {
-	buf := make([]byte, headerSize+len(payload)+trailerSize)
-	copy(buf[0:4], recordMagic)
-	binary.LittleEndian.PutUint32(buf[4:8], recordVersion)
-	copy(buf[8:8+KeySize], key[:])
-	binary.LittleEndian.PutUint64(buf[8+KeySize:headerSize], uint64(len(payload)))
-	copy(buf[headerSize:], payload)
-	crc := crc32.Checksum(payload, castagnoli)
-	binary.LittleEndian.PutUint32(buf[headerSize+len(payload):], crc)
-	return buf
+	return frame.Encode(recordMagic, recordVersion, key, payload)
 }
 
 // decodeRecord validates the framing and returns the payload. Any
-// structural problem yields an error wrapping ErrCorrupt.
+// structural problem yields an error wrapping ErrCorrupt (and therefore
+// frame.ErrCorrupt).
 func decodeRecord(key Key, buf []byte) ([]byte, error) {
-	if len(buf) < headerSize+trailerSize {
-		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(buf), headerSize+trailerSize)
-	}
-	if string(buf[0:4]) != recordMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[0:4])
-	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != recordVersion {
-		return nil, fmt.Errorf("%w: record version %d, want %d", ErrCorrupt, v, recordVersion)
-	}
-	var stored Key
-	copy(stored[:], buf[8:8+KeySize])
-	if stored != key {
-		return nil, fmt.Errorf("%w: key mismatch (%s stored)", ErrCorrupt, stored)
-	}
-	paylen := binary.LittleEndian.Uint64(buf[8+KeySize : headerSize])
-	if paylen != uint64(len(buf)-headerSize-trailerSize) {
-		return nil, fmt.Errorf("%w: payload length %d, file holds %d", ErrCorrupt, paylen, len(buf)-headerSize-trailerSize)
-	}
-	payload := buf[headerSize : headerSize+int(paylen)]
-	crc := binary.LittleEndian.Uint32(buf[headerSize+int(paylen):])
-	if got := crc32.Checksum(payload, castagnoli); got != crc {
-		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, crc)
+	payload, err := frame.Decode(recordMagic, recordVersion, key, buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return payload, nil
 }

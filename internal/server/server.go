@@ -85,6 +85,8 @@ func New(cfg Config) *Server {
 //
 //	POST /jobs    submit a JobSpec, stream Events as NDJSON
 //	GET  /status  JSON status: jobs, workers, per-tier cache counters
+//	GET  /query   execute ?q=<query string> against the experiment store,
+//	              return the result as JSON (503 when no store is wired)
 //	GET  /healthz liveness probe
 //	     /cache/  the resultcache wire protocol over the daemon's backend
 //	              (point another daemon's -remote tier here)
@@ -92,6 +94,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -263,6 +266,33 @@ func (s *Server) StatusSnapshot() Status {
 		JobsFailed:    s.jobsFailed.Load(),
 		Tiers:         resultcache.TierStats(s.backend),
 	}
+}
+
+// handleQuery is GET /query?q=<query string>: run a block-pruned query
+// over the daemon's experiment store — cells recorded by every job it has
+// executed — and return the rows as JSON. ?full-scan=1 forces the
+// brute-force baseline.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.base.Exp == nil {
+		http.Error(w, "no experiment store (daemon started with -no-exp-store?)", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing ?q=<query string>", http.StatusBadRequest)
+		return
+	}
+	res, err := report.Query(s.base.Exp, q, r.URL.Query().Get("full-scan") == "1")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	report.WriteQueryJSON(w, res)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

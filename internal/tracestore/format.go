@@ -21,11 +21,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
-	"hash/crc32"
 	"unsafe"
 
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
+	"tracerebase/internal/frame"
 	"tracerebase/internal/resultcache"
 )
 
@@ -60,8 +60,6 @@ const (
 // exactly its 64-byte wire size, with no padding. If a field is ever added
 // or reordered this fails to compile instead of silently corrupting slabs.
 var _ [champtrace.RecordSize]byte = [unsafe.Sizeof(champtrace.Instruction{})]byte{}
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // layoutSig fingerprints the native record layout — field offsets, struct
 // size, and byte order — so a slab written on a foreign architecture (or by
@@ -124,7 +122,7 @@ func encodeHeader(h header) []byte {
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(h.count))
 	binary.LittleEndian.PutUint64(buf[24:32], uint64(h.metaLen))
 	copy(buf[32:64], h.key[:])
-	crc := crc32.Checksum(buf[:headerCRCOff], castagnoli)
+	crc := frame.Checksum(buf[:headerCRCOff])
 	binary.LittleEndian.PutUint32(buf[headerCRCOff:headerCRCOff+4], crc)
 	return buf
 }
@@ -147,7 +145,7 @@ func parseHeader(buf []byte, want Key) (header, headerVerdict) {
 	if len(buf) < headerSize || string(buf[0:4]) != headerMagic {
 		return h, headerCorrupt
 	}
-	crc := crc32.Checksum(buf[:headerCRCOff], castagnoli)
+	crc := frame.Checksum(buf[:headerCRCOff])
 	if binary.LittleEndian.Uint32(buf[headerCRCOff:headerCRCOff+4]) != crc {
 		return h, headerCorrupt
 	}
@@ -221,7 +219,7 @@ func checkFooter(data []byte, h header) bool {
 		return false
 	}
 	body := data[headerSize : end-footerSize]
-	crc := crc32.Checksum(body, castagnoli)
+	crc := frame.Checksum(body)
 	if binary.LittleEndian.Uint32(data[end-footerSize:end-4]) != crc {
 		return false
 	}

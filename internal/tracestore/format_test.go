@@ -2,12 +2,12 @@ package tracestore
 
 import (
 	"encoding/binary"
-	"hash/crc32"
 	"testing"
 	"unsafe"
 
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
+	"tracerebase/internal/frame"
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
@@ -66,7 +66,7 @@ func TestHeaderCorruption(t *testing.T) {
 // resealHeader recomputes the header CRC after a deliberate field edit, so
 // the test exercises the semantic check rather than the checksum.
 func resealHeader(b []byte) {
-	crc := crc32.Checksum(b[:headerCRCOff], castagnoli)
+	crc := frame.Checksum(b[:headerCRCOff])
 	binary.LittleEndian.PutUint32(b[headerCRCOff:headerCRCOff+4], crc)
 }
 

@@ -3,7 +3,7 @@ package tracestore
 import (
 	"bufio"
 	"fmt"
-	"hash/crc32"
+
 	"io"
 	"os"
 	"path/filepath"
@@ -13,6 +13,7 @@ import (
 
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
+	"tracerebase/internal/frame"
 	"tracerebase/internal/resultcache"
 )
 
@@ -550,11 +551,11 @@ func (s *Store) persist(key Key, recs []champtrace.Instruction, conv core.Stats)
 		if _, err := w.Write(body); err != nil {
 			return err
 		}
-		crc = crc32.Update(0, castagnoli, body)
+		crc = frame.Update(0, body)
 		if _, err := w.Write(meta); err != nil {
 			return err
 		}
-		crc = crc32.Update(crc, castagnoli, meta)
+		crc = frame.Update(crc, meta)
 		if _, err := w.Write(encodeFooter(crc)); err != nil {
 			return err
 		}

@@ -3,7 +3,6 @@ package tracestore
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -14,6 +13,7 @@ import (
 
 	"tracerebase/internal/champtrace"
 	"tracerebase/internal/core"
+	"tracerebase/internal/frame"
 	"tracerebase/internal/resultcache"
 )
 
@@ -325,7 +325,7 @@ func TestForeignVersionIsMissWithoutDelete(t *testing.T) {
 		t.Fatalf("read slab: %v", err)
 	}
 	raw[4] = 0xfe // version 254
-	crc := crc32.Checksum(raw[:headerCRCOff], castagnoli)
+	crc := frame.Checksum(raw[:headerCRCOff])
 	binary.LittleEndian.PutUint32(raw[headerCRCOff:headerCRCOff+4], crc)
 	if err := os.WriteFile(entry, raw, 0o644); err != nil {
 		t.Fatalf("rewrite: %v", err)

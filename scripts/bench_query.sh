@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# bench_query.sh — columnar experiment-store query benchmark: block-pruned,
+# column-projected queries vs brute-force full scans over a store populated
+# by the full experiment matrix, emitting BENCH_10.json.
+#
+#   scripts/bench_query.sh [step] [repeats]
+#
+# Populates a fresh store with `rebase -exp all -step <step>`, then runs a
+# set of selective queries twice each — the default pruned path and the
+# -full-scan baseline that decodes every block. Rows must be byte-identical;
+# the headline numbers are the bytes-read ratio (full / pruned, required
+# >= 5x in aggregate) and the per-query latency pair.
+set -euo pipefail
+
+STEP="${1:-3}"
+REPEATS="${2:-10}"
+INSTRUCTIONS="${INSTRUCTIONS:-150000}"
+WARMUP="${WARMUP:-50000}"
+OUT="${OUT:-BENCH_10.json}"
+
+cd "$(dirname "$0")/.."
+BIN=/tmp/rebase-bench-query
+go build -o "$BIN" ./cmd/rebase
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+EXPDIR="$WORK/exp"
+
+echo "== populating the store: -exp all -step $STEP" >&2
+"$BIN" -exp all -step "$STEP" -instructions "$INSTRUCTIONS" -warmup "$WARMUP" \
+  -cache-dir "$WORK/cache" -exp-store-dir "$EXPDIR" -q >/dev/null
+
+# Each query stays answerable at any -step: trace index 0 and the srv
+# category are always subsampled in, and the ipc1 cells come from the
+# table-3/ablation runs of -exp all.
+QUERIES=(
+  'trace=compute_int_0 variant=All_imps stat=mean'
+  'category=srv variant=all,none metric=ipc group-by=rob stat=p50,p99'
+  'config=ipc1 group-by=prefetcher stat=count,mean'
+)
+
+# timed <repeats> <cmd...>: prints the mean wall-clock per run in seconds.
+timed() {
+  local n="$1" start end
+  shift
+  start="$(date +%s%N)"
+  for _ in $(seq 1 "$n"); do "$@" >/dev/null; done
+  end="$(date +%s%N)"
+  awk -v d="$((end - start))" -v n="$n" 'BEGIN { printf "%.6f", d / n / 1e9 }'
+}
+
+PER_QUERY=""
+TOTAL_PRUNED_BYTES=0
+TOTAL_FULL_BYTES=0
+TOTAL_PRUNED_BLOCKS=0
+for q in "${QUERIES[@]}"; do
+  echo "== query: $q" >&2
+  "$BIN" query -store-dir "$EXPDIR" -json "$q" >"$WORK/pruned.json"
+  "$BIN" query -store-dir "$EXPDIR" -json -full-scan "$q" >"$WORK/full.json"
+
+  # Rows must be identical; the scan blocks are where the two paths differ.
+  STATS="$(python3 - "$WORK/pruned.json" "$WORK/full.json" <<'PY'
+import json, sys
+pruned = json.load(open(sys.argv[1]))
+full = json.load(open(sys.argv[2]))
+if pruned["rows"] != full["rows"]:
+    sys.exit("pruned query rows differ from the full scan")
+if not pruned["rows"]:
+    sys.exit("query matched no cells; the store population step failed")
+print(len(pruned["rows"]), pruned["scan"]["bytes_read"],
+      full["scan"]["bytes_read"], full["scan"]["bytes_total"],
+      pruned["scan"]["blocks_pruned"])
+PY
+)" || { echo "query '$q' failed verification" >&2; exit 1; }
+  read -r ROWS PRUNED_BYTES FULL_BYTES TOTAL_BYTES PRUNED_BLOCKS <<<"$STATS"
+
+  PRUNED_SECONDS="$(timed "$REPEATS" "$BIN" query -store-dir "$EXPDIR" -json "$q")"
+  FULL_SECONDS="$(timed "$REPEATS" "$BIN" query -store-dir "$EXPDIR" -json -full-scan "$q")"
+
+  TOTAL_PRUNED_BYTES=$((TOTAL_PRUNED_BYTES + PRUNED_BYTES))
+  TOTAL_FULL_BYTES=$((TOTAL_FULL_BYTES + FULL_BYTES))
+  TOTAL_PRUNED_BLOCKS=$((TOTAL_PRUNED_BLOCKS + PRUNED_BLOCKS))
+  echo "   rows $ROWS; bytes $PRUNED_BYTES vs $FULL_BYTES; ${PRUNED_SECONDS}s vs ${FULL_SECONDS}s" >&2
+  [ -n "$PER_QUERY" ] && PER_QUERY+=","
+  PER_QUERY+="$(cat <<EOF
+
+    {
+      "query": "$q",
+      "rows": $ROWS,
+      "pruned_bytes_read": $PRUNED_BYTES,
+      "full_scan_bytes_read": $FULL_BYTES,
+      "store_bytes_total": $TOTAL_BYTES,
+      "blocks_pruned": $PRUNED_BLOCKS,
+      "pruned_seconds": $PRUNED_SECONDS,
+      "full_scan_seconds": $FULL_SECONDS
+    }
+EOF
+)"
+done
+
+RATIO="$(awk -v f="$TOTAL_FULL_BYTES" -v p="$TOTAL_PRUNED_BYTES" 'BEGIN { printf "%.1f", f / p }')"
+if ! awk -v r="$RATIO" 'BEGIN { exit !(r >= 5) }'; then
+  echo "bytes-read ratio ${RATIO}x below the 5x floor" >&2
+  exit 1
+fi
+if [ "$TOTAL_PRUNED_BLOCKS" -eq 0 ]; then
+  echo "no blocks were pruned across any query" >&2
+  exit 1
+fi
+
+cat >"$OUT" <<EOF
+{
+  "description": "Experiment-store query engine: selective queries over the full -exp all -step $STEP matrix, pruned path (footer-stats block pruning + per-column materialization) vs the -full-scan baseline that decodes every block. Rows were verified identical between the two paths for every query; the headline is the aggregate bytes-read ratio.",
+  "step": $STEP,
+  "instructions": $INSTRUCTIONS,
+  "warmup": $WARMUP,
+  "query_repeats": $REPEATS,
+  "total_pruned_bytes_read": $TOTAL_PRUNED_BYTES,
+  "total_full_scan_bytes_read": $TOTAL_FULL_BYTES,
+  "bytes_read_ratio": $RATIO,
+  "rows_identical": true,
+  "queries": [$PER_QUERY
+  ]
+}
+EOF
+echo "bytes-read ratio ${RATIO}x (pruned $TOTAL_PRUNED_BYTES vs full $TOTAL_FULL_BYTES); wrote $OUT" >&2
